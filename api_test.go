@@ -1,0 +1,98 @@
+// Integration tests of the public API: everything a downstream user touches
+// goes through the telepresence package, never internal/ paths.
+package telepresence_test
+
+import (
+	"fmt"
+	"log"
+	"testing"
+
+	tp "telepresence"
+)
+
+func TestPublicSessionEndToEnd(t *testing.T) {
+	cfg := tp.DefaultSessionConfig(tp.FaceTime, []tp.Participant{
+		{ID: "u1", Loc: tp.Ashburn, Device: tp.VisionPro},
+		{ID: "u2", Loc: tp.NewYork, Device: tp.VisionPro},
+	})
+	cfg.Duration = 4 * tp.Second
+	cfg.Seed = 99
+	sess, err := tp.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := sess.Plan()
+	if plan.Media != tp.MediaSpatialPersona || plan.Transport != tp.TransportQUIC {
+		t.Fatalf("plan = %+v", plan)
+	}
+	res := sess.Run()
+	if len(res.Users) != 2 {
+		t.Fatalf("%d users", len(res.Users))
+	}
+	for _, u := range res.Users {
+		if u.Uplink.Mean() <= 0 {
+			t.Errorf("%s: no uplink traffic", u.ID)
+		}
+	}
+}
+
+func TestPublicPlanMatrix(t *testing.T) {
+	plan, err := tp.PlanSession(tp.Zoom, []tp.Participant{
+		{ID: "a", Loc: tp.Seattle, Device: tp.VisionPro},
+		{ID: "b", Loc: tp.Miami, Device: tp.VisionPro},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.P2P || plan.Media != tp.Media2DVideo {
+		t.Errorf("two-party Zoom plan = %+v", plan)
+	}
+}
+
+func TestPublicConstantsStable(t *testing.T) {
+	if tp.MaxSpatialUsers != 5 {
+		t.Error("spatial cap drifted")
+	}
+	if tp.Version == "" {
+		t.Error("no version")
+	}
+	if len(tp.VantagePoints()) != 9 {
+		t.Error("vantage points drifted")
+	}
+	if tp.RenderDeadlineMs < 11 || tp.RenderDeadlineMs > 11.2 {
+		t.Errorf("deadline %.2f ms, want ~11.1", tp.RenderDeadlineMs)
+	}
+}
+
+func TestQuickVsFullOptions(t *testing.T) {
+	q, f := tp.Quick(1), tp.Full(1)
+	if q.SessionDuration >= f.SessionDuration {
+		t.Error("Quick not quicker than Full")
+	}
+	if f.Reps < 5 {
+		t.Error("Full should match the paper's >=5 repetitions")
+	}
+}
+
+// ExamplePlanSession demonstrates the §4.1 decision matrix through the
+// public API.
+func ExamplePlanSession() {
+	plan, err := tp.PlanSession(tp.FaceTime, []tp.Participant{
+		{ID: "u1", Loc: tp.Ashburn, Device: tp.VisionPro},
+		{ID: "u2", Loc: tp.SanFrancisco, Device: tp.VisionPro},
+	}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v over %v via %v\n", plan.Media, plan.Transport, plan.Server)
+	// Output: spatial-persona over QUIC via VA
+}
+
+// ExampleKeypointStreaming reproduces the paper's 74-keypoint bandwidth
+// estimate.
+func ExampleKeypointStreaming() {
+	res := tp.KeypointStreaming(tp.Quick(4))
+	fmt.Printf("%d keypoints, under 1 Mbps: %v\n",
+		res.Keypoints, res.MbpsSample.Mean() < 1)
+	// Output: 74 keypoints, under 1 Mbps: true
+}

@@ -1,0 +1,105 @@
+// Command vpsim runs one configurable telepresence session and reports
+// per-user measurements: the interactive counterpart to the fixed
+// experiments in vpbench.
+//
+// Usage:
+//
+//	vpsim -app facetime -users 3 -duration 10 [-cap 0.7] [-delay 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	tp "telepresence"
+)
+
+func main() {
+	appName := flag.String("app", "facetime", "facetime | zoom | webex | teams")
+	users := flag.Int("users", 2, "participants (2-5)")
+	durationS := flag.Float64("duration", 10, "simulated seconds")
+	capMbps := flag.Float64("cap", 0, "uplink cap on user 1 in Mbps (0 = none); the tc experiment")
+	delayMs := flag.Float64("delay", 0, "extra one-way delay on user 1's links in ms")
+	device := flag.String("peer-device", "visionpro", "device of the second user: visionpro | macbook | ipad | iphone")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	var app tp.App
+	switch strings.ToLower(*appName) {
+	case "facetime":
+		app = tp.FaceTime
+	case "zoom":
+		app = tp.Zoom
+	case "webex":
+		app = tp.Webex
+	case "teams":
+		app = tp.Teams
+	default:
+		fmt.Fprintf(os.Stderr, "vpsim: unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+	var peer tp.Device
+	switch strings.ToLower(*device) {
+	case "visionpro":
+		peer = tp.VisionPro
+	case "macbook":
+		peer = tp.MacBook
+	case "ipad":
+		peer = tp.IPad
+	case "iphone":
+		peer = tp.IPhone
+	default:
+		fmt.Fprintf(os.Stderr, "vpsim: unknown device %q\n", *device)
+		os.Exit(2)
+	}
+
+	locs := []tp.Location{tp.Ashburn, tp.NewYork, tp.Chicago, tp.Austin, tp.Miami}
+	if *users < 2 || *users > len(locs) {
+		fmt.Fprintf(os.Stderr, "vpsim: users must be 2-%d\n", len(locs))
+		os.Exit(2)
+	}
+	parts := make([]tp.Participant, *users)
+	for i := range parts {
+		dev := tp.VisionPro
+		if i == 1 {
+			dev = peer
+		}
+		parts[i] = tp.Participant{ID: fmt.Sprintf("u%d", i+1), Loc: locs[i], Device: dev}
+	}
+
+	cfg := tp.DefaultSessionConfig(app, parts)
+	cfg.Duration = tp.Duration(*durationS * float64(tp.Second))
+	cfg.Seed = *seed
+	sess, err := tp.NewSession(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpsim:", err)
+		os.Exit(1)
+	}
+	if *capMbps > 0 {
+		sess.UplinkShaper(0).RateBps = *capMbps * 1e6
+	}
+	if *delayMs > 0 {
+		sess.UplinkShaper(0).ExtraDelayMs = *delayMs
+		sess.DownlinkShaper(0).ExtraDelayMs = *delayMs
+	}
+
+	plan := sess.Plan()
+	fmt.Printf("app=%v media=%v transport=%v ", plan.App, plan.Media, plan.Transport)
+	if plan.P2P {
+		fmt.Println("topology=P2P")
+	} else {
+		fmt.Printf("topology=server(%v)\n", plan.Server)
+	}
+
+	res := sess.Run()
+	fmt.Printf("%-4s %-10s %-10s %-9s %-7s %-7s %-8s %-7s %s\n",
+		"user", "up(Mbps)", "down(Mbps)", "protocol", "sent", "decoded", "undec", "lat(ms)", "unavailable")
+	for _, u := range res.Users {
+		fmt.Printf("%-4s %-10.2f %-10.2f %-9v %-7d %-7d %-8d %-7.1f %.0f%%\n",
+			u.ID, u.Uplink.Mean(), u.Downlink.Mean(), u.Protocol,
+			u.FramesSent, u.FramesDecoded, u.FramesUndecodable,
+			u.MeanFrameLatencyMs, u.UnavailableFrac*100)
+	}
+}

@@ -1,0 +1,50 @@
+// rate_adaptation reproduces the §4.3 bandwidth-cap experiment: the
+// semantic spatial-persona stream cannot shed rate, so capping the uplink
+// at 0.7 Mbps (the paper's Linux tc setting) makes the persona go "poor
+// connection", while a 2D-video session under the same cap adapts and
+// survives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tp "telepresence"
+)
+
+func main() {
+	fmt.Println("spatial persona (semantic, no rate adaptation):")
+	fmt.Println("cap(Mbps)  unavailable  mean frame age(ms)")
+	rows, err := tp.RateAdaptation(tp.Quick(31), []float64{0, 2.0, 1.0, 0.7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		cap := "none"
+		if r.CapMbps > 0 {
+			cap = fmt.Sprintf("%.1f", r.CapMbps)
+		}
+		fmt.Printf("%-10s %-12.0f%% %.1f\n", cap, r.UnavailableFrac*100, r.MeanLatencyMs)
+	}
+
+	// Contrast: a Zoom 2D-video session under the same 0.7 Mbps cap. The
+	// encoder's rate controller walks its quantizer down and keeps frames
+	// flowing (degraded, but alive).
+	cfg := tp.DefaultSessionConfig(tp.Zoom, []tp.Participant{
+		{ID: "u1", Loc: tp.Ashburn, Device: tp.VisionPro},
+		{ID: "u2", Loc: tp.NewYork, Device: tp.VisionPro},
+	})
+	cfg.Duration = 12 * tp.Second
+	cfg.Seed = 31
+	sess, err := tp.NewSession(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess.UplinkShaper(0).RateBps = 0.7e6
+	res := sess.Run()
+	u2 := res.Users[1]
+	fmt.Printf("\n2D video (Zoom) under the same 0.7 Mbps cap: %d frames decoded, "+
+		"uplink settled at %.2f Mbps\n", u2.FramesDecoded, res.Users[0].Uplink.Mean())
+	fmt.Println("\npaper: semantic data must be fully delivered for reconstruction, so the")
+	fmt.Println("spatial persona fails hard where conventional video degrades gracefully.")
+}

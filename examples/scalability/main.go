@@ -1,0 +1,41 @@
+// scalability reproduces Figure 7: how spatial-persona sessions scale from
+// two to five Vision Pro users — rendered triangles, CPU/GPU frame time,
+// and downlink throughput — and explains FaceTime's five-user cap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tp "telepresence"
+)
+
+func main() {
+	opts := tp.Quick(21)
+	opts.SessionDuration = 6 * tp.Second
+
+	rows, err := tp.Fig7(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("users  triangles(mean)  CPU(ms)  GPU(ms)  GPU-p95  downlink(Mbps)")
+	for _, r := range rows {
+		fmt.Printf("%-6d %-16.0f %-8.2f %-8.2f %-8.2f %.2f\n",
+			r.Users, r.TriMean, r.CPUMean, r.GPUMean, r.GPUP95, r.DownMbps)
+	}
+	last := rows[len(rows)-1]
+	fmt.Printf("\nat five users the GPU's 95th percentile is %.1f ms against the %.1f ms\n",
+		last.GPUP95, tp.RenderDeadlineMs)
+	fmt.Println("budget for 90 FPS — the paper's explanation for FaceTime's five-persona cap.")
+
+	// The paper's proposed fix (Implications 4): remote rendering.
+	rr, err := tp.RemoteRenderAblation(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nremote-rendering ablation (server composites personas into one video):")
+	fmt.Println("users  fan-out(Mbps)  remote-render(Mbps)")
+	for _, r := range rr {
+		fmt.Printf("%-6d %-14.2f %.2f\n", r.Users, r.FanoutMbps, r.RemoteRenderMbps)
+	}
+}

@@ -1,0 +1,50 @@
+// semantic_vs_mesh reproduces the §4.3 "What is Being Delivered?" analysis:
+// it prices the three candidate delivery strategies for a spatial persona —
+// direct 3D mesh streaming (Draco-class), pre-rendered 2D video, and
+// semantic keypoints — and shows the two-orders-of-magnitude gap that led
+// the paper to conclude FaceTime uses semantic communication.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tp "telepresence"
+)
+
+func main() {
+	opts := tp.Quick(11)
+
+	// Strategy 1: stream the 3D mesh itself (ten 70-90K-triangle heads,
+	// compressed, 90 FPS).
+	ms, err := tp.MeshStreaming(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Strategy 2: pre-render to 2D video (the FaceTime 2D-persona path,
+	// measured on a real simulated session).
+	cfg := tp.DefaultSessionConfig(tp.FaceTime, []tp.Participant{
+		{ID: "u1", Loc: tp.Ashburn, Device: tp.VisionPro},
+		{ID: "u2", Loc: tp.NewYork, Device: tp.MacBook}, // forces 2D video
+	})
+	cfg.Duration = 8 * tp.Second
+	cfg.Seed = 11
+	sess, err := tp.NewSession(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	video := sess.Run().Users[0].Uplink.Mean()
+
+	// Strategy 3: semantic keypoints (74 points, compressed, 90 FPS).
+	kp := tp.KeypointStreaming(opts)
+
+	fmt.Println("delivery strategy            bandwidth        paper")
+	fmt.Printf("3D mesh (Draco-class)        %8.1f Mbps    108.4±16.7\n", ms.MbpsSample.Mean())
+	fmt.Printf("pre-rendered 2D video        %8.1f Mbps    ~2\n", video)
+	fmt.Printf("semantic keypoints           %8.2f Mbps    0.64±0.02\n", kp.MbpsSample.Mean())
+	fmt.Printf("\nmesh/semantic ratio: %.0fx (paper: ~170x)\n",
+		ms.MbpsSample.Mean()/kp.MbpsSample.Mean())
+	fmt.Println("\nonly the semantic estimate matches FaceTime's measured 0.67 Mbps —")
+	fmt.Println("the paper's evidence that spatial personas use semantic communication.")
+}

@@ -1,0 +1,81 @@
+// Package capture implements the paper's measurement vantage point: a
+// wiretap on the WiFi AP links recording every frame's timestamp, size,
+// direction and payload prefix (§3.2, "We use Wireshark on each AP to
+// capture and analyze network traffic"). Payloads stay encrypted; the
+// analysis package classifies and measures from headers and sizes alone,
+// exactly as the paper had to.
+package capture
+
+import (
+	"telepresence/internal/netem"
+	"telepresence/internal/simtime"
+)
+
+// SnapLen bounds how much payload each record keeps, like tcpdump's -s.
+const SnapLen = 64
+
+// Record is one captured frame.
+type Record struct {
+	At   simtime.Time
+	Size int
+	Dir  netem.Direction
+	Link string
+	// Payload holds up to SnapLen bytes of the frame payload.
+	Payload []byte
+}
+
+// Capture accumulates records from one or more link taps.
+type Capture struct {
+	Name    string
+	records []Record
+}
+
+// New returns an empty capture.
+func New(name string) *Capture { return &Capture{Name: name} }
+
+// TapFor returns a netem.Tap that records frames traversing the named link.
+func (c *Capture) TapFor(linkName string) netem.Tap {
+	return func(now simtime.Time, f netem.Frame, dir netem.Direction) {
+		r := Record{At: now, Size: f.Size, Dir: dir, Link: linkName}
+		if n := len(f.Payload); n > 0 {
+			if n > SnapLen {
+				n = SnapLen
+			}
+			r.Payload = append([]byte(nil), f.Payload[:n]...)
+		}
+		c.records = append(c.records, r)
+	}
+}
+
+// Attach installs taps on all the given links.
+func (c *Capture) Attach(links ...*netem.Link) {
+	for _, l := range links {
+		l.AddTap(c.TapFor(l.Name()))
+	}
+}
+
+// Records returns all captured records (not a copy).
+func (c *Capture) Records() []Record { return c.records }
+
+// Len reports the number of records.
+func (c *Capture) Len() int { return len(c.records) }
+
+// Reset clears the capture.
+func (c *Capture) Reset() { c.records = c.records[:0] }
+
+// Filter returns the records matching pred.
+func (c *Capture) Filter(pred func(Record) bool) []Record {
+	var out []Record
+	for _, r := range c.records {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Egress returns only delivered frames — what a passive observer on the far
+// side of the AP counts as throughput.
+func (c *Capture) Egress() []Record {
+	return c.Filter(func(r Record) bool { return r.Dir == netem.Egress })
+}

@@ -1,0 +1,117 @@
+package capture
+
+import (
+	"testing"
+
+	"telepresence/internal/netem"
+	"telepresence/internal/simrand"
+	"telepresence/internal/simtime"
+)
+
+func runLink(t *testing.T, cfg netem.Config, sends int) (*Capture, *netem.Link) {
+	t.Helper()
+	s := simtime.NewScheduler()
+	l := netem.NewLink(s, simrand.New(1), cfg)
+	l.SetHandler(func(simtime.Time, netem.Frame) {})
+	c := New("test")
+	c.Attach(l)
+	for i := 0; i < sends; i++ {
+		l.Send(netem.Frame{Size: 1000, Payload: []byte{byte(i), 1, 2, 3}})
+	}
+	s.Run()
+	return c, l
+}
+
+func TestCaptureRecordsBothDirections(t *testing.T) {
+	c, _ := runLink(t, netem.Config{Name: "ap", DelayMs: 5}, 3)
+	if c.Len() != 6 { // 3 ingress + 3 egress
+		t.Fatalf("captured %d records, want 6", c.Len())
+	}
+	in, out := 0, 0
+	for _, r := range c.Records() {
+		switch r.Dir {
+		case netem.Ingress:
+			in++
+		case netem.Egress:
+			out++
+		}
+		if r.Link != "ap" {
+			t.Errorf("record link %q", r.Link)
+		}
+		if r.Size != 1000 {
+			t.Errorf("record size %d", r.Size)
+		}
+	}
+	if in != 3 || out != 3 {
+		t.Errorf("in/out = %d/%d", in, out)
+	}
+	if got := len(c.Egress()); got != 3 {
+		t.Errorf("Egress() = %d records", got)
+	}
+}
+
+func TestCaptureRecordsDrops(t *testing.T) {
+	c, _ := runLink(t, netem.Config{Name: "lossy", LossProb: 1}, 5)
+	dropped := c.Filter(func(r Record) bool { return r.Dir == netem.Dropped })
+	if len(dropped) != 5 {
+		t.Errorf("%d dropped records, want 5", len(dropped))
+	}
+	if len(c.Egress()) != 0 {
+		t.Error("egress records on a fully lossy link")
+	}
+}
+
+func TestCaptureTimestampsOrdered(t *testing.T) {
+	c, _ := runLink(t, netem.Config{Name: "t", DelayMs: 2, RateBps: 1e6}, 10)
+	recs := c.Egress()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].At < recs[i-1].At {
+			t.Fatalf("egress records out of order at %d", i)
+		}
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := netem.NewLink(s, simrand.New(2), netem.Config{Name: "big"})
+	l.SetHandler(func(simtime.Time, netem.Frame) {})
+	c := New("snap")
+	c.Attach(l)
+	big := make([]byte, 4000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	l.Send(netem.Frame{Payload: big})
+	s.Run()
+	for _, r := range c.Records() {
+		if len(r.Payload) != SnapLen {
+			t.Errorf("payload kept %d bytes, want %d", len(r.Payload), SnapLen)
+		}
+		if r.Size != 4000 {
+			t.Errorf("size %d, want full 4000", r.Size)
+		}
+	}
+}
+
+func TestPayloadIsCopied(t *testing.T) {
+	s := simtime.NewScheduler()
+	l := netem.NewLink(s, simrand.New(3), netem.Config{Name: "copy"})
+	l.SetHandler(func(simtime.Time, netem.Frame) {})
+	c := New("c")
+	c.Attach(l)
+	buf := []byte{1, 2, 3, 4}
+	l.Send(netem.Frame{Payload: buf})
+	buf[0] = 99 // mutate after capture
+	s.Run()
+	if c.Records()[0].Payload[0] != 1 {
+		t.Error("capture aliased the caller's buffer")
+	}
+}
+
+func TestResetAndReuse(t *testing.T) {
+	c, _ := runLink(t, netem.Config{Name: "r"}, 2)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("Reset left records")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"telepresence/internal/simtime"
+)
+
+func TestMultiServerAblation(t *testing.T) {
+	rows := MultiServerAblation(Quick(1))
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	byPolicy := map[ServerPolicy]MultiServerRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+		if r.MaxOneWayMs <= 0 || r.MeanOneWayMs <= 0 {
+			t.Errorf("%v: degenerate latencies %+v", r.Policy, r)
+		}
+		if r.MeanOneWayMs > r.MaxOneWayMs {
+			t.Errorf("%v: mean %.1f > max %.1f", r.Policy, r.MeanOneWayMs, r.MaxOneWayMs)
+		}
+	}
+	init := byPolicy[PolicyInitiator]
+	central := byPolicy[PolicyCentral]
+	dist := byPolicy[PolicyGeoDistributed]
+	// Implications 1: geo-distributed serving beats the measured
+	// initiator-nearest policy on worst-case latency.
+	if dist.MaxOneWayMs >= init.MaxOneWayMs {
+		t.Errorf("geo-distributed max %.1f not below initiator %.1f", dist.MaxOneWayMs, init.MaxOneWayMs)
+	}
+	// The central-US strategy caps the worst case versus coastal
+	// allocation (the paper's TX/IL observation)...
+	if central.MaxOneWayMs >= init.MaxOneWayMs {
+		t.Errorf("central max %.1f not below initiator %.1f", central.MaxOneWayMs, init.MaxOneWayMs)
+	}
+	// ...and geo-distributed wins on mean as well.
+	if dist.MeanOneWayMs >= init.MeanOneWayMs {
+		t.Errorf("geo-distributed mean %.1f not below initiator %.1f", dist.MeanOneWayMs, init.MeanOneWayMs)
+	}
+	// All policies keep US-internal one-way latency under the 100 ms QoE
+	// bar; the ordering is what matters.
+	if dist.FracUnder100 < init.FracUnder100 {
+		t.Errorf("geo-distributed QoE fraction %.2f below initiator %.2f", dist.FracUnder100, init.FracUnder100)
+	}
+}
+
+func TestServerPolicyString(t *testing.T) {
+	for p, want := range map[ServerPolicy]string{
+		PolicyInitiator: "initiator-nearest", PolicyCentral: "central-US",
+		PolicyGeoDistributed: "geo-distributed", ServerPolicy(9): "ServerPolicy(9)",
+	} {
+		if p.String() != want {
+			t.Errorf("%d -> %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestViewportDeliveryAblation(t *testing.T) {
+	opts := Quick(2)
+	opts.SessionDuration = 40 * simtime.Second
+	row := ViewportDeliveryAblation(opts)
+	if row.OutOfViewFrac <= 0.05 || row.OutOfViewFrac >= 0.8 {
+		t.Fatalf("out-of-view fraction %.2f implausible", row.OutOfViewFrac)
+	}
+	if row.GatedMbps >= row.BaselineMbps {
+		t.Errorf("gating saved nothing: %.2f vs %.2f", row.GatedMbps, row.BaselineMbps)
+	}
+	// Savings should track the out-of-view fraction, minus reaction lag
+	// and heartbeats.
+	if row.SavingsFrac < row.OutOfViewFrac*0.5 {
+		t.Errorf("savings %.2f too small for %.2f out-of-view time",
+			row.SavingsFrac, row.OutOfViewFrac)
+	}
+	if row.SavingsFrac > row.OutOfViewFrac {
+		t.Errorf("savings %.2f exceed out-of-view time %.2f", row.SavingsFrac, row.OutOfViewFrac)
+	}
+}
+
+func TestPassiveQoESweep(t *testing.T) {
+	opts := Quick(3)
+	opts.SessionDuration = 6 * simtime.Second
+	rows, err := PassiveQoESweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.InferredFPS <= 0 {
+			t.Errorf("%v: no FPS inferred", r.App)
+			continue
+		}
+		err := math.Abs(r.InferredFPS-r.TrueFPS) / r.TrueFPS
+		if err > 0.25 {
+			t.Errorf("%v: inferred %.1f FPS vs true %.0f (err %.0f%%)",
+				r.App, r.InferredFPS, r.TrueFPS, err*100)
+		}
+		if r.MeanFrameBytes <= 0 {
+			t.Errorf("%v: no frame size inferred", r.App)
+		}
+	}
+	// The passive fingerprint separates spatial (90 FPS) from video (30).
+	if rows[0].InferredFPS < rows[1].InferredFPS*2 {
+		t.Errorf("FaceTime spatial (%.0f FPS) vs Zoom (%.0f): 90-vs-30 fingerprint lost",
+			rows[0].InferredFPS, rows[1].InferredFPS)
+	}
+}

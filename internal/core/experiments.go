@@ -1,0 +1,288 @@
+// Package core assembles the substrates into the paper's experiments: one
+// runner per figure and per §4.3 analysis, each returning the rows the
+// paper plots. The bench harness (bench_test.go) and cmd/vpbench print
+// these next to the paper's numbers.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"telepresence/internal/geo"
+	"telepresence/internal/keypoints"
+	"telepresence/internal/mesh"
+	"telepresence/internal/meshcodec"
+	"telepresence/internal/semantic"
+	"telepresence/internal/simrand"
+	"telepresence/internal/simtime"
+	"telepresence/internal/stats"
+	"telepresence/internal/vca"
+)
+
+// Options tunes experiment scale. Quick mode shrinks durations and
+// repetition counts so the full suite runs in seconds; full mode approaches
+// the paper's 120-second, five-repetition methodology.
+type Options struct {
+	Seed int64
+	// SessionDuration is the simulated length of each throughput session.
+	SessionDuration simtime.Duration
+	// Reps is how many times each experiment repeats (paper: >=5).
+	Reps int
+}
+
+// Quick returns fast options for tests and CI.
+func Quick(seed int64) Options {
+	return Options{Seed: seed, SessionDuration: 6 * simtime.Second, Reps: 2}
+}
+
+// Full returns paper-scale options.
+func Full(seed int64) Options {
+	return Options{Seed: seed, SessionDuration: 120 * simtime.Second, Reps: 5}
+}
+
+func (o Options) normalized() Options {
+	if o.SessionDuration <= 0 {
+		o.SessionDuration = 6 * simtime.Second
+	}
+	if o.Reps <= 0 {
+		o.Reps = 2
+	}
+	return o
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+// Fig4Row is one CDF line of Figure 4.
+type Fig4Row struct {
+	Label  string
+	Sample *stats.Sample
+}
+
+// Fig4 measures RTTs from the nine vantage points to every provider server.
+func Fig4(opts Options) []Fig4Row {
+	opts = opts.normalized()
+	series := vca.Fig4Series(simrand.New(opts.Seed), 10*opts.Reps)
+	labels := make([]string, 0, len(series))
+	for l := range series {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := make([]Fig4Row, 0, len(labels))
+	for _, l := range labels {
+		out = append(out, Fig4Row{Label: l, Sample: series[l]})
+	}
+	return out
+}
+
+// AnycastAudit runs the §4.1 anycast check against every provider server.
+func AnycastAudit(opts Options) []vca.AnycastVerdict {
+	opts = opts.normalized()
+	probe := vca.NewRTTProbe()
+	rng := simrand.New(opts.Seed)
+	var out []vca.AnycastVerdict
+	for _, app := range vca.Apps() {
+		for _, srv := range vca.SpecFor(app).Servers {
+			m := probe.MinRTTMatrix(app, srv, rng.Split(app.String()+srv.Name), 5*opts.Reps)
+			out = append(out, vca.DetectAnycast(srv, m))
+		}
+	}
+	return out
+}
+
+// ------------------------------------------------------------ §4.1 matrix
+
+// ProtocolCase is one row of the §4.1 protocol/topology matrix.
+type ProtocolCase struct {
+	Desc      string
+	App       vca.App
+	Devices   []vca.Device
+	Media     vca.MediaKind
+	Transport vca.Transport
+	P2P       bool
+}
+
+// ProtocolMatrix evaluates the §4.1 decision matrix over the paper's device
+// mixes and returns observed plans.
+func ProtocolMatrix() []ProtocolCase {
+	mixes := []struct {
+		desc    string
+		app     vca.App
+		devices []vca.Device
+	}{
+		{"FaceTime VP+VP", vca.FaceTime, []vca.Device{vca.VisionPro, vca.VisionPro}},
+		{"FaceTime VP+MacBook", vca.FaceTime, []vca.Device{vca.VisionPro, vca.MacBook}},
+		{"FaceTime VP+iPad", vca.FaceTime, []vca.Device{vca.VisionPro, vca.IPad}},
+		{"FaceTime VP+iPhone", vca.FaceTime, []vca.Device{vca.VisionPro, vca.IPhone}},
+		{"Zoom VP+VP", vca.Zoom, []vca.Device{vca.VisionPro, vca.VisionPro}},
+		{"Zoom VP+VP+VP", vca.Zoom, []vca.Device{vca.VisionPro, vca.VisionPro, vca.VisionPro}},
+		{"Webex VP+VP", vca.Webex, []vca.Device{vca.VisionPro, vca.VisionPro}},
+		{"Teams VP+VP", vca.Teams, []vca.Device{vca.VisionPro, vca.VisionPro}},
+	}
+	locs := []geo.Location{geo.Ashburn, geo.NewYork, geo.Chicago}
+	var out []ProtocolCase
+	for _, m := range mixes {
+		parts := make([]vca.Participant, len(m.devices))
+		for i, d := range m.devices {
+			parts[i] = vca.Participant{ID: fmt.Sprintf("u%d", i+1), Loc: locs[i%len(locs)], Device: d}
+		}
+		plan, err := vca.PlanSession(m.app, parts, 0)
+		if err != nil {
+			continue
+		}
+		out = append(out, ProtocolCase{
+			Desc: m.desc, App: m.app, Devices: m.devices,
+			Media: plan.Media, Transport: plan.Transport, P2P: plan.P2P,
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Fig5Row is one box of Figure 5: per-app two-user uplink throughput.
+type Fig5Row struct {
+	Label string // F, F*, Z, W, T as in the paper
+	Box   stats.Box
+}
+
+// Fig5 measures two-user throughput for FaceTime spatial (F), FaceTime 2D
+// persona (F*, Vision Pro with a MacBook peer), Zoom, Webex and Teams.
+func Fig5(opts Options) ([]Fig5Row, error) {
+	opts = opts.normalized()
+	type cfg struct {
+		label  string
+		app    vca.App
+		peerTy vca.Device
+	}
+	cases := []cfg{
+		{"F", vca.FaceTime, vca.VisionPro},
+		{"F*", vca.FaceTime, vca.MacBook},
+		{"Z", vca.Zoom, vca.VisionPro},
+		{"W", vca.Webex, vca.VisionPro},
+		{"T", vca.Teams, vca.VisionPro},
+	}
+	var out []Fig5Row
+	for ci, c := range cases {
+		agg := &stats.Sample{}
+		for rep := 0; rep < opts.Reps; rep++ {
+			sc := vca.DefaultSessionConfig(c.app, []vca.Participant{
+				{ID: "u1", Loc: geo.Ashburn, Device: vca.VisionPro},
+				{ID: "u2", Loc: geo.NewYork, Device: c.peerTy},
+			})
+			sc.Duration = opts.SessionDuration
+			sc.Seed = opts.Seed + int64(ci*100+rep)
+			sess, err := vca.NewSession(sc)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s: %w", c.label, err)
+			}
+			res := sess.Run()
+			agg.Add(res.Users[0].Uplink.Values()...)
+		}
+		out = append(out, Fig5Row{Label: c.label, Box: agg.BoxStats()})
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------- §4.3 estimations
+
+// MeshStreamingResult is the direct-3D-streaming estimate of §4.3.
+type MeshStreamingResult struct {
+	// MbpsSample holds one bitrate estimate per head mesh.
+	MbpsSample *stats.Sample
+	// Triangles records each head's triangle count.
+	Triangles []int
+}
+
+// MeshStreaming reproduces the Draco estimate: ten human-head meshes with
+// 70-90K triangles, compressed and streamed at 90 FPS.
+func MeshStreaming(opts Options) (*MeshStreamingResult, error) {
+	opts = opts.normalized()
+	rng := simrand.New(opts.Seed)
+	res := &MeshStreamingResult{MbpsSample: &stats.Sample{}}
+	for i := 0; i < 10; i++ {
+		tris := 70000 + rng.Intn(20001)
+		m := mesh.GenerateHead(rng.Split(fmt.Sprintf("head%d", i)), mesh.HeadConfig{
+			TargetTriangles: tris, Radius: 0.1, Variation: 1,
+		})
+		enc, err := meshcodec.Encode(m, meshcodec.DefaultQuantBits)
+		if err != nil {
+			return nil, err
+		}
+		res.Triangles = append(res.Triangles, m.TriangleCount())
+		res.MbpsSample.Add(meshcodec.StreamBitrateBps(len(enc), 90) / 1e6)
+	}
+	return res, nil
+}
+
+// KeypointStreamingResult is the semantic-communication estimate of §4.3.
+type KeypointStreamingResult struct {
+	// MbpsSample holds one bitrate estimate per repetition.
+	MbpsSample *stats.Sample
+	// Keypoints is the transmitted keypoint count (74 in the paper).
+	Keypoints int
+}
+
+// KeypointStreaming reproduces the paper's estimate: 2,000 captured frames
+// of 74 keypoints, compressed (lzma-like) and streamed at 90 FPS.
+func KeypointStreaming(opts Options) *KeypointStreamingResult {
+	opts = opts.normalized()
+	res := &KeypointStreamingResult{
+		MbpsSample: &stats.Sample{},
+		Keypoints:  keypoints.TrackedTotal,
+	}
+	for rep := 0; rep < opts.Reps; rep++ {
+		gen := keypoints.NewGenerator(simrand.New(opts.Seed+int64(rep)), keypoints.DefaultMotionConfig())
+		enc := semantic.NewEncoder(semantic.ModeFloat32)
+		var total int
+		const frames = 2000
+		for i := 0; i < frames; i++ {
+			f := gen.Next()
+			total += len(enc.Encode(&f))
+		}
+		res.MbpsSample.Add(semantic.BitrateBps(float64(total)/frames, 90) / 1e6)
+	}
+	return res
+}
+
+// RateAdaptationRow is one point of the §4.3 bandwidth-cap sweep.
+type RateAdaptationRow struct {
+	CapMbps float64
+	// UnavailableFrac is how much of the session the receiver's persona
+	// was in "poor connection" state.
+	UnavailableFrac float64
+	// MeanLatencyMs is the mean frame age at decode.
+	MeanLatencyMs float64
+}
+
+// RateAdaptation sweeps uplink caps over a spatial session and reports
+// persona availability: semantic streams cannot shed rate, so availability
+// collapses once the cap bites (§4.3).
+func RateAdaptation(opts Options, capsMbps []float64) ([]RateAdaptationRow, error) {
+	opts = opts.normalized()
+	var out []RateAdaptationRow
+	for i, capMbps := range capsMbps {
+		sc := vca.DefaultSessionConfig(vca.FaceTime, []vca.Participant{
+			{ID: "u1", Loc: geo.Ashburn, Device: vca.VisionPro},
+			{ID: "u2", Loc: geo.NewYork, Device: vca.VisionPro},
+		})
+		sc.Duration = opts.SessionDuration
+		if sc.Duration < 12*simtime.Second {
+			sc.Duration = 12 * simtime.Second // queues need time to bite
+		}
+		sc.Seed = opts.Seed + int64(i)
+		sess, err := vca.NewSession(sc)
+		if err != nil {
+			return nil, err
+		}
+		if capMbps > 0 {
+			sess.UplinkShaper(0).RateBps = capMbps * 1e6
+		}
+		res := sess.Run()
+		out = append(out, RateAdaptationRow{
+			CapMbps:         capMbps,
+			UnavailableFrac: res.Users[1].UnavailableFrac,
+			MeanLatencyMs:   res.Users[1].MeanFrameLatencyMs,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"testing"
+
+	"telepresence/internal/simtime"
+)
+
+func TestProbeFig7Values(t *testing.T) {
+	opts := Quick(8)
+	opts.SessionDuration = 5 * simtime.Second
+	rows, err := Fig7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("n=%d tri p5/mean/p95=%.0f/%.0f/%.0f cpu=%.2f gpu=%.2f gpuP95=%.2f down=%.2f miss=%.3f",
+			r.Users, r.TriP5, r.TriMean, r.TriP95, r.CPUMean, r.GPUMean, r.GPUP95, r.DownMbps, r.DeadlineMissFrac)
+	}
+}

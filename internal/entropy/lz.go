@@ -1,0 +1,203 @@
+package entropy
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// LZ parameters. Window and match bounds are fixed for the whole repository;
+// the streams we compress (delta-coded keypoints, quantized mesh residuals)
+// are small per frame, so a 64 KiB window always covers them.
+const (
+	minMatch    = 3
+	maxMatch    = minMatch + 254 // length-minMatch fits the 8-bit tree
+	maxDistance = 1 << 16
+	hashBits    = 15
+)
+
+func hash3(b []byte) uint32 {
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16
+	return (v * 2654435761) >> (32 - hashBits)
+}
+
+type lzModels struct {
+	isMatch  Prob
+	lit      *BitTree
+	length   *BitTree
+	distSlot *BitTree
+}
+
+func newLZModels() *lzModels {
+	return &lzModels{
+		isMatch:  probInit,
+		lit:      NewBitTree(8),
+		length:   NewBitTree(8),
+		distSlot: NewBitTree(5),
+	}
+}
+
+// nbits returns the bit width of v (>=1 for v>=0; nbits(0)==0).
+func nbits(v uint32) int {
+	n := 0
+	for v != 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// worthIt reports whether a match of the given length and distance is
+// expected to beat coding the same bytes as adaptive literals. Long
+// distances cost more bits, so they need longer matches to pay off.
+func worthIt(length, dist int) bool {
+	switch {
+	case dist < 256:
+		return length >= minMatch
+	case dist < 4096:
+		return length >= minMatch+1
+	default:
+		return length >= minMatch+2
+	}
+}
+
+// Compress compresses src with LZ77 match finding and adaptive range coding
+// and appends the result to dst. The output embeds the uncompressed length.
+func Compress(dst, src []byte) []byte {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(src)))
+	dst = append(dst, hdr[:n]...)
+	if len(src) == 0 {
+		return dst
+	}
+
+	enc := NewRangeEncoder(dst)
+	m := newLZModels()
+
+	head := make([]int32, 1<<hashBits)
+	prev := make([]int32, len(src))
+	for i := range head {
+		head[i] = -1
+	}
+
+	emitLiteral := func(b byte) {
+		enc.EncodeBit(&m.isMatch, 0)
+		m.lit.Encode(enc, uint32(b))
+	}
+	emitMatch := func(length, dist int) {
+		enc.EncodeBit(&m.isMatch, 1)
+		m.length.Encode(enc, uint32(length-minMatch))
+		// Distance-1 coded as a bit-width slot plus the low bits directly:
+		// cheap for the short distances that dominate coherent streams.
+		d := uint32(dist - 1)
+		slot := nbits(d)
+		m.distSlot.Encode(enc, uint32(slot))
+		if slot > 1 {
+			enc.EncodeDirect(d&((1<<(slot-1))-1), slot-1)
+		}
+	}
+
+	insert := func(i int) {
+		if i+minMatch <= len(src) {
+			h := hash3(src[i:])
+			prev[i] = head[h]
+			head[h] = int32(i)
+		}
+	}
+
+	i := 0
+	for i < len(src) {
+		bestLen, bestDist := 0, 0
+		if i+minMatch <= len(src) {
+			h := hash3(src[i:])
+			cand := head[h]
+			tries := 32
+			limit := len(src) - i
+			if limit > maxMatch {
+				limit = maxMatch
+			}
+			for cand >= 0 && tries > 0 {
+				d := i - int(cand)
+				if d > maxDistance {
+					break
+				}
+				l := 0
+				for l < limit && src[int(cand)+l] == src[i+l] {
+					l++
+				}
+				if l > bestLen && worthIt(l, d) {
+					bestLen, bestDist = l, d
+					if l == limit {
+						break
+					}
+				}
+				cand = prev[cand]
+				tries--
+			}
+		}
+		if bestLen >= minMatch && worthIt(bestLen, bestDist) {
+			emitMatch(bestLen, bestDist)
+			for k := 0; k < bestLen; k++ {
+				insert(i + k)
+			}
+			i += bestLen
+		} else {
+			emitLiteral(src[i])
+			insert(i)
+			i++
+		}
+	}
+	return enc.Flush()
+}
+
+// Decompress decodes a Compress stream appended after dst. It fails loudly
+// on corrupt or truncated input.
+func Decompress(dst, src []byte) ([]byte, error) {
+	size, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad length header", ErrCorrupt)
+	}
+	if size == 0 {
+		return dst, nil
+	}
+	if size > 1<<31 {
+		return nil, fmt.Errorf("%w: implausible length %d", ErrCorrupt, size)
+	}
+	dec, err := NewRangeDecoder(src[n:])
+	if err != nil {
+		return nil, err
+	}
+	m := newLZModels()
+
+	base := len(dst)
+	out := dst
+	for uint64(len(out)-base) < size {
+		if dec.DecodeBit(&m.isMatch) == 0 {
+			out = append(out, byte(m.lit.Decode(dec)))
+		} else {
+			length := int(m.length.Decode(dec)) + minMatch
+			slot := int(m.distSlot.Decode(dec))
+			var d uint32
+			if slot > 0 {
+				d = 1 << (slot - 1)
+				if slot > 1 {
+					d |= dec.DecodeDirect(slot - 1)
+				}
+			}
+			dist := int(d) + 1
+			start := len(out) - dist
+			if start < base {
+				return nil, fmt.Errorf("%w: match before window start", ErrCorrupt)
+			}
+			if uint64(len(out)-base+length) > size {
+				return nil, fmt.Errorf("%w: match overruns declared size", ErrCorrupt)
+			}
+			for k := 0; k < length; k++ {
+				out = append(out, out[start+k])
+			}
+		}
+		if dec.Err() != nil {
+			return nil, dec.Err()
+		}
+	}
+	return out, nil
+}

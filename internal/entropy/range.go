@@ -1,0 +1,216 @@
+// Package entropy implements the compression machinery shared by the mesh
+// codec and the semantic (keypoint) codec: an adaptive binary range coder in
+// the LZMA style plus an LZ77 front end. The paper compresses keypoints with
+// LZMA (§4.3); stdlib Go has no LZMA, so this package is the documented
+// substitute — same architecture (match finding + adaptive range coding),
+// same behaviour class on the low-entropy delta streams we feed it.
+package entropy
+
+import (
+	"errors"
+)
+
+const (
+	probBits  = 11
+	probInit  = 1 << (probBits - 1) // 1024: p=0.5
+	moveBits  = 5
+	topValue  = 1 << 24
+	probTotal = 1 << probBits
+)
+
+// Prob is an adaptive binary probability state (11-bit, LZMA-style).
+type Prob uint16
+
+// NewProbs allocates n probability states initialized to p=0.5.
+func NewProbs(n int) []Prob {
+	ps := make([]Prob, n)
+	for i := range ps {
+		ps[i] = probInit
+	}
+	return ps
+}
+
+// RangeEncoder is a carry-handling binary range encoder.
+type RangeEncoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+}
+
+// NewRangeEncoder returns an encoder appending to out (may be nil).
+func NewRangeEncoder(out []byte) *RangeEncoder {
+	return &RangeEncoder{rng: 0xFFFFFFFF, cacheSize: 1, out: out}
+}
+
+func (e *RangeEncoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
+		carry := byte(e.low >> 32)
+		temp := e.cache
+		for {
+			e.out = append(e.out, temp+carry)
+			temp = 0xFF
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+// EncodeBit encodes bit under the adaptive probability p.
+func (e *RangeEncoder) EncodeBit(p *Prob, bit int) {
+	bound := (e.rng >> probBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (probTotal - *p) >> moveBits
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> moveBits
+	}
+	for e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// EncodeDirect encodes nbits of v (MSB first) at fixed probability 0.5.
+func (e *RangeEncoder) EncodeDirect(v uint32, nbits int) {
+	for i := nbits - 1; i >= 0; i-- {
+		e.rng >>= 1
+		if (v>>uint(i))&1 != 0 {
+			e.low += uint64(e.rng)
+		}
+		for e.rng < topValue {
+			e.rng <<= 8
+			e.shiftLow()
+		}
+	}
+}
+
+// Flush finalizes the stream and returns the encoded bytes.
+func (e *RangeEncoder) Flush() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// ErrCorrupt is returned when a compressed stream cannot be decoded.
+var ErrCorrupt = errors.New("entropy: corrupt stream")
+
+// RangeDecoder mirrors RangeEncoder.
+type RangeDecoder struct {
+	code uint32
+	rng  uint32
+	in   []byte
+	pos  int
+	err  bool
+}
+
+// NewRangeDecoder initializes a decoder over the encoder's output.
+func NewRangeDecoder(in []byte) (*RangeDecoder, error) {
+	if len(in) < 5 {
+		return nil, ErrCorrupt
+	}
+	d := &RangeDecoder{rng: 0xFFFFFFFF, in: in, pos: 1} // first byte is always 0
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return d, nil
+}
+
+func (d *RangeDecoder) next() byte {
+	if d.pos >= len(d.in) {
+		// Reading past the end is how truncation manifests; remember it so
+		// callers get a hard error instead of garbage.
+		d.err = true
+		return 0
+	}
+	b := d.in[d.pos]
+	d.pos++
+	return b
+}
+
+// Err reports whether the decoder ran off the end of its input.
+func (d *RangeDecoder) Err() error {
+	if d.err {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// DecodeBit decodes one bit under p.
+func (d *RangeDecoder) DecodeBit(p *Prob) int {
+	bound := (d.rng >> probBits) * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (probTotal - *p) >> moveBits
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> moveBits
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.rng <<= 8
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return bit
+}
+
+// DecodeDirect decodes nbits encoded with EncodeDirect.
+func (d *RangeDecoder) DecodeDirect(nbits int) uint32 {
+	var v uint32
+	for i := 0; i < nbits; i++ {
+		d.rng >>= 1
+		bit := uint32(0)
+		if d.code >= d.rng {
+			d.code -= d.rng
+			bit = 1
+		}
+		v = v<<1 | bit
+		for d.rng < topValue {
+			d.rng <<= 8
+			d.code = d.code<<8 | uint32(d.next())
+		}
+	}
+	return v
+}
+
+// BitTree codes fixed-width symbols bit by bit with per-node adaptive
+// probabilities (the standard LZMA building block).
+type BitTree struct {
+	probs []Prob
+	bits  int
+}
+
+// NewBitTree returns a tree for symbols of the given bit width.
+func NewBitTree(bits int) *BitTree {
+	return &BitTree{probs: NewProbs(1 << bits), bits: bits}
+}
+
+// Encode writes sym (must fit in the tree's width).
+func (t *BitTree) Encode(e *RangeEncoder, sym uint32) {
+	ctx := uint32(1)
+	for i := t.bits - 1; i >= 0; i-- {
+		bit := int((sym >> uint(i)) & 1)
+		e.EncodeBit(&t.probs[ctx], bit)
+		ctx = ctx<<1 | uint32(bit)
+	}
+}
+
+// Decode reads one symbol.
+func (t *BitTree) Decode(d *RangeDecoder) uint32 {
+	ctx := uint32(1)
+	for i := 0; i < t.bits; i++ {
+		ctx = ctx<<1 | uint32(d.DecodeBit(&t.probs[ctx]))
+	}
+	return ctx - 1<<t.bits
+}

@@ -1,0 +1,264 @@
+// Package mesh provides the 3D triangle-mesh substrate: the representation
+// RealityKit reports for spatial personas (§3.2: "the 3D model of a spatial
+// persona is represented as mesh"), procedural human-head generation
+// standing in for the paper's Sketchfab scans (§4.3), and an edge-collapse
+// simplifier that produces the exact LOD triangle counts the paper measured
+// (78,030 / 45,036 / 21,036 / 36).
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"telepresence/internal/simrand"
+)
+
+// Vec3 is a 3D point or vector in meters.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns a+b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a-b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns a*s.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+
+// Dot returns the dot product.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{a.Y*b.Z - a.Z*b.Y, a.Z*b.X - a.X*b.Z, a.X*b.Y - a.Y*b.X}
+}
+
+// Len returns the Euclidean norm.
+func (a Vec3) Len() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Mid returns the midpoint of a and b.
+func (a Vec3) Mid(b Vec3) Vec3 { return a.Add(b).Scale(0.5) }
+
+// Triangle indexes three vertices.
+type Triangle [3]int32
+
+// Mesh is an indexed triangle mesh.
+type Mesh struct {
+	Vertices  []Vec3
+	Triangles []Triangle
+}
+
+// TriangleCount returns the number of triangles.
+func (m *Mesh) TriangleCount() int { return len(m.Triangles) }
+
+// VertexCount returns the number of vertices.
+func (m *Mesh) VertexCount() int { return len(m.Vertices) }
+
+// Validate checks structural invariants: indices in range and no degenerate
+// triangles (repeated vertex indices).
+func (m *Mesh) Validate() error {
+	n := int32(len(m.Vertices))
+	for i, t := range m.Triangles {
+		for _, v := range t {
+			if v < 0 || v >= n {
+				return fmt.Errorf("mesh: triangle %d references vertex %d of %d", i, v, n)
+			}
+		}
+		if t[0] == t[1] || t[1] == t[2] || t[0] == t[2] {
+			return fmt.Errorf("mesh: triangle %d degenerate: %v", i, t)
+		}
+	}
+	return nil
+}
+
+// Bounds returns the axis-aligned bounding box.
+func (m *Mesh) Bounds() (min, max Vec3) {
+	if len(m.Vertices) == 0 {
+		return
+	}
+	min, max = m.Vertices[0], m.Vertices[0]
+	for _, v := range m.Vertices[1:] {
+		min.X = math.Min(min.X, v.X)
+		min.Y = math.Min(min.Y, v.Y)
+		min.Z = math.Min(min.Z, v.Z)
+		max.X = math.Max(max.X, v.X)
+		max.Y = math.Max(max.Y, v.Y)
+		max.Z = math.Max(max.Z, v.Z)
+	}
+	return
+}
+
+// SurfaceArea sums the triangle areas.
+func (m *Mesh) SurfaceArea() float64 {
+	var area float64
+	for _, t := range m.Triangles {
+		a := m.Vertices[t[0]]
+		b := m.Vertices[t[1]]
+		c := m.Vertices[t[2]]
+		area += b.Sub(a).Cross(c.Sub(a)).Len() / 2
+	}
+	return area
+}
+
+// Clone deep-copies the mesh.
+func (m *Mesh) Clone() *Mesh {
+	return &Mesh{
+		Vertices:  append([]Vec3(nil), m.Vertices...),
+		Triangles: append([]Triangle(nil), m.Triangles...),
+	}
+}
+
+// Sphere builds a closed UV sphere with lon longitudinal segments and lat
+// latitudinal bands. Triangle count is exactly 2*lon*(lat-1); vertex count
+// is lon*(lat-1)+2.
+func Sphere(lon, lat int, radius float64) *Mesh {
+	if lon < 3 || lat < 2 {
+		panic(fmt.Sprintf("mesh: sphere dims %dx%d too small", lon, lat))
+	}
+	m := &Mesh{}
+	top := int32(0)
+	m.Vertices = append(m.Vertices, Vec3{0, radius, 0})
+	// Interior rings: lat-1 rings of lon vertices.
+	for r := 1; r < lat; r++ {
+		phi := math.Pi * float64(r) / float64(lat)
+		for c := 0; c < lon; c++ {
+			theta := 2 * math.Pi * float64(c) / float64(lon)
+			m.Vertices = append(m.Vertices, Vec3{
+				X: radius * math.Sin(phi) * math.Cos(theta),
+				Y: radius * math.Cos(phi),
+				Z: radius * math.Sin(phi) * math.Sin(theta),
+			})
+		}
+	}
+	bottom := int32(len(m.Vertices))
+	m.Vertices = append(m.Vertices, Vec3{0, -radius, 0})
+
+	ring := func(r, c int) int32 { return int32(1 + (r-1)*lon + c%lon) }
+	// Top cap.
+	for c := 0; c < lon; c++ {
+		m.Triangles = append(m.Triangles, Triangle{top, ring(1, c+1), ring(1, c)})
+	}
+	// Bands.
+	for r := 1; r < lat-1; r++ {
+		for c := 0; c < lon; c++ {
+			a, b := ring(r, c), ring(r, c+1)
+			d, e := ring(r+1, c), ring(r+1, c+1)
+			m.Triangles = append(m.Triangles, Triangle{a, b, e}, Triangle{a, e, d})
+		}
+	}
+	// Bottom cap.
+	for c := 0; c < lon; c++ {
+		m.Triangles = append(m.Triangles, Triangle{bottom, ring(lat-1, c), ring(lat-1, c+1)})
+	}
+	return m
+}
+
+// PersonaTriangles is the triangle count RealityKit reports for a full-
+// quality spatial persona mesh (§4.3).
+const PersonaTriangles = 78030
+
+// SphereDimsFor returns (lon, lat) such that a Sphere built with them has
+// exactly the given triangle count, if an exact factorization exists with
+// a reasonable aspect ratio; otherwise it returns the closest achievable
+// dimensions. tris must be >= 12.
+func SphereDimsFor(tris int) (lon, lat int) {
+	if tris < 12 {
+		tris = 12
+	}
+	half := tris / 2
+	bestLon, bestRings, bestErr := 3, half/3, math.MaxFloat64
+	// Search lon around sqrt(half) for the factorization minimizing count
+	// error, preferring near-square aspect.
+	for l := 3; l*l <= half*4; l++ {
+		r := int(math.Round(float64(half) / float64(l)))
+		if r < 1 {
+			continue
+		}
+		count := 2 * l * r
+		errv := math.Abs(float64(count-tris)) + 0.001*math.Abs(float64(l)-math.Sqrt(float64(half)))
+		if errv < bestErr {
+			bestErr, bestLon, bestRings = errv, l, r
+		}
+	}
+	return bestLon, bestRings + 1
+}
+
+// HeadConfig controls procedural head generation.
+type HeadConfig struct {
+	// TargetTriangles is the approximate triangle budget; the paper's
+	// Sketchfab heads range from ~70K to ~90K.
+	TargetTriangles int
+	// Radius is the base head radius in meters (human heads ~0.09-0.11).
+	Radius float64
+	// Variation scales the random per-head shape differences.
+	Variation float64
+}
+
+// DefaultHeadConfig returns the full-quality persona head (78,030
+// triangles).
+func DefaultHeadConfig() HeadConfig {
+	return HeadConfig{TargetTriangles: PersonaTriangles, Radius: 0.10, Variation: 1}
+}
+
+// GenerateHead builds a human-head-like closed mesh: an ellipsoidal scalp
+// with chin, nose and brow displacement plus seeded low-frequency shape
+// variation so that every generated head differs (the paper's ten scans).
+func GenerateHead(rng *simrand.Source, cfg HeadConfig) *Mesh {
+	if cfg.TargetTriangles == 0 {
+		cfg = DefaultHeadConfig()
+	}
+	lon, lat := SphereDimsFor(cfg.TargetTriangles)
+	m := Sphere(lon, lat, cfg.Radius)
+
+	// Per-head random shape parameters.
+	elong := 1.25 + 0.1*cfg.Variation*rng.Normal(0, 1)*0.3
+	jawW := 0.85 + 0.05*rng.Normal(0, 1)*cfg.Variation
+	noseAmp := cfg.Radius * (0.25 + 0.05*rng.Normal(0, 1)*cfg.Variation)
+	browAmp := cfg.Radius * 0.08
+	// Low-frequency lumpiness: a few random spherical waves.
+	type wave struct{ kx, ky, kz, amp, phase float64 }
+	waves := make([]wave, 5)
+	for i := range waves {
+		waves[i] = wave{
+			kx:    rng.Uniform(1, 4),
+			ky:    rng.Uniform(1, 4),
+			kz:    rng.Uniform(1, 4),
+			amp:   cfg.Radius * 0.02 * cfg.Variation * rng.Float64(),
+			phase: rng.Uniform(0, 2*math.Pi),
+		}
+	}
+
+	for i, v := range m.Vertices {
+		dir := v.Scale(1 / cfg.Radius) // unit direction
+		p := v
+		// Ellipsoid elongation along Y (skull height).
+		p.Y *= elong
+		// Jaw narrowing below center.
+		if p.Y < 0 {
+			p.X *= jawW
+			p.Z *= jawW
+		}
+		// Nose: forward bump around (0, -0.1, +1) direction.
+		noseDir := Vec3{0, -0.15, 1}
+		noseDot := dir.Dot(noseDir.Scale(1 / noseDir.Len()))
+		if noseDot > 0.93 {
+			t := (noseDot - 0.93) / 0.07
+			p = p.Add(dir.Scale(noseAmp * t * t))
+		}
+		// Brow ridge.
+		browDir := Vec3{0, 0.35, 1}
+		browDot := dir.Dot(browDir.Scale(1 / browDir.Len()))
+		if browDot > 0.95 {
+			t := (browDot - 0.95) / 0.05
+			p = p.Add(dir.Scale(browAmp * t))
+		}
+		// Lumpiness.
+		var bump float64
+		for _, w := range waves {
+			bump += w.amp * math.Sin(w.kx*dir.X+w.ky*dir.Y+w.kz*dir.Z+w.phase)
+		}
+		p = p.Add(dir.Scale(bump))
+		m.Vertices[i] = p
+	}
+	return m
+}

@@ -1,0 +1,251 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"telepresence/internal/simrand"
+)
+
+func TestVec3Ops(t *testing.T) {
+	a, b := Vec3{1, 2, 3}, Vec3{4, 5, 6}
+	if a.Add(b) != (Vec3{5, 7, 9}) {
+		t.Error("Add")
+	}
+	if b.Sub(a) != (Vec3{3, 3, 3}) {
+		t.Error("Sub")
+	}
+	if a.Scale(2) != (Vec3{2, 4, 6}) {
+		t.Error("Scale")
+	}
+	if a.Dot(b) != 32 {
+		t.Error("Dot")
+	}
+	if (Vec3{1, 0, 0}).Cross(Vec3{0, 1, 0}) != (Vec3{0, 0, 1}) {
+		t.Error("Cross")
+	}
+	if (Vec3{3, 4, 0}).Len() != 5 {
+		t.Error("Len")
+	}
+	if a.Mid(b) != (Vec3{2.5, 3.5, 4.5}) {
+		t.Error("Mid")
+	}
+}
+
+func TestSphereCounts(t *testing.T) {
+	cases := []struct{ lon, lat int }{{3, 2}, {8, 6}, {153, 256}, {16, 16}}
+	for _, c := range cases {
+		m := Sphere(c.lon, c.lat, 1)
+		wantT := 2 * c.lon * (c.lat - 1)
+		wantV := c.lon*(c.lat-1) + 2
+		if m.TriangleCount() != wantT {
+			t.Errorf("Sphere(%d,%d): %d triangles, want %d", c.lon, c.lat, m.TriangleCount(), wantT)
+		}
+		if m.VertexCount() != wantV {
+			t.Errorf("Sphere(%d,%d): %d vertices, want %d", c.lon, c.lat, m.VertexCount(), wantV)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("Sphere(%d,%d) invalid: %v", c.lon, c.lat, err)
+		}
+	}
+}
+
+func TestSphereIsSpherical(t *testing.T) {
+	m := Sphere(24, 24, 2.5)
+	for i, v := range m.Vertices {
+		if math.Abs(v.Len()-2.5) > 1e-9 {
+			t.Fatalf("vertex %d at radius %v, want 2.5", i, v.Len())
+		}
+	}
+	// Surface area approaches 4*pi*r^2.
+	want := 4 * math.Pi * 2.5 * 2.5
+	if got := m.SurfaceArea(); math.Abs(got-want)/want > 0.05 {
+		t.Errorf("surface area %v, want ~%v", got, want)
+	}
+}
+
+func TestSphereEulerCharacteristic(t *testing.T) {
+	// Closed genus-0 surface: V - E + F = 2, and E = 3F/2.
+	m := Sphere(20, 15, 1)
+	V, F := m.VertexCount(), m.TriangleCount()
+	E := 3 * F / 2
+	if V-E+F != 2 {
+		t.Errorf("Euler characteristic = %d, want 2", V-E+F)
+	}
+}
+
+func TestSphereDimsForExactPersonaCounts(t *testing.T) {
+	// The full persona count must be achieved exactly.
+	lon, lat := SphereDimsFor(PersonaTriangles)
+	if got := 2 * lon * (lat - 1); got != PersonaTriangles {
+		t.Errorf("SphereDimsFor(78030) -> %d triangles", got)
+	}
+}
+
+func TestSphereDimsForApproximate(t *testing.T) {
+	for _, target := range []int{70000, 75000, 80000, 90000, 12, 500} {
+		lon, lat := SphereDimsFor(target)
+		got := 2 * lon * (lat - 1)
+		if math.Abs(float64(got-target)) > float64(target)*0.02+10 {
+			t.Errorf("SphereDimsFor(%d) -> %d (off by %d)", target, got, got-target)
+		}
+	}
+}
+
+func TestGenerateHeadFullQuality(t *testing.T) {
+	m := GenerateHead(simrand.New(1), DefaultHeadConfig())
+	if m.TriangleCount() != PersonaTriangles {
+		t.Errorf("head has %d triangles, want %d", m.TriangleCount(), PersonaTriangles)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Head-sized bounding box (~20 cm scale).
+	min, max := m.Bounds()
+	for _, d := range []float64{max.X - min.X, max.Y - min.Y, max.Z - min.Z} {
+		if d < 0.1 || d > 0.5 {
+			t.Errorf("head extent %v m implausible", d)
+		}
+	}
+	// Taller than wide (elongated skull).
+	if (max.Y - min.Y) <= (max.X - min.X) {
+		t.Error("head not elongated along Y")
+	}
+}
+
+func TestGenerateHeadsDiffer(t *testing.T) {
+	cfg := HeadConfig{TargetTriangles: 5000, Radius: 0.1, Variation: 1}
+	a := GenerateHead(simrand.New(1), cfg)
+	b := GenerateHead(simrand.New(2), cfg)
+	if a.TriangleCount() != b.TriangleCount() {
+		t.Fatal("same config, different counts")
+	}
+	diff := 0.0
+	for i := range a.Vertices {
+		diff += a.Vertices[i].Sub(b.Vertices[i]).Len()
+	}
+	if diff/float64(len(a.Vertices)) < 1e-5 {
+		t.Error("two seeded heads are identical")
+	}
+}
+
+func TestGenerateHeadDeterministic(t *testing.T) {
+	cfg := HeadConfig{TargetTriangles: 2000, Radius: 0.1, Variation: 1}
+	a := GenerateHead(simrand.New(7), cfg)
+	b := GenerateHead(simrand.New(7), cfg)
+	for i := range a.Vertices {
+		if a.Vertices[i] != b.Vertices[i] {
+			t.Fatal("head generation not deterministic")
+		}
+	}
+}
+
+func TestSimplifyExactCount(t *testing.T) {
+	m := Sphere(40, 40, 1) // 3120 triangles
+	for _, target := range []int{3120, 2000, 1001, 500, 36} {
+		s, err := Simplify(m, target)
+		if err != nil {
+			t.Fatalf("Simplify(%d): %v", target, err)
+		}
+		if got := s.TriangleCount(); got > target {
+			t.Errorf("Simplify(%d) -> %d triangles", target, got)
+		}
+		// Collapse removes 2 per step, so we can land at target or
+		// target-1... but on a closed mesh exactly target for even diff.
+		if got := s.TriangleCount(); target-got > 1 {
+			t.Errorf("Simplify(%d) undershot to %d", target, got)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("Simplify(%d) invalid: %v", target, err)
+		}
+	}
+}
+
+func TestSimplifyPreservesShapeRoughly(t *testing.T) {
+	m := Sphere(40, 40, 1)
+	s, err := Simplify(m, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertices should stay near the unit sphere.
+	for _, v := range s.Vertices {
+		if v.Len() < 0.8 || v.Len() > 1.1 {
+			t.Fatalf("simplified vertex at radius %v", v.Len())
+		}
+	}
+	// Surface area shrinks but stays within 25% of the sphere.
+	want := 4 * math.Pi
+	if got := s.SurfaceArea(); got < want*0.75 || got > want*1.05 {
+		t.Errorf("simplified area %v, want ~%v", got, want)
+	}
+}
+
+func TestSimplifyErrors(t *testing.T) {
+	m := Sphere(8, 8, 1)
+	if _, err := Simplify(m, 2); err == nil {
+		t.Error("target 2 accepted")
+	}
+	if _, err := Simplify(m, m.TriangleCount()+1); err == nil {
+		t.Error("target above input accepted")
+	}
+}
+
+func TestLODChainMatchesPaperCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full persona LOD chain is slow")
+	}
+	full := GenerateHead(simrand.New(3), DefaultHeadConfig())
+	lods, err := LODChain(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PersonaLODTriangles()
+	if len(lods) != len(want) {
+		t.Fatalf("%d LODs, want %d", len(lods), len(want))
+	}
+	for i, l := range lods {
+		if got := l.TriangleCount(); got != want[i] {
+			t.Errorf("LOD %d: %d triangles, want %d", i, got, want[i])
+		}
+		if err := l.Validate(); err != nil {
+			t.Errorf("LOD %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestBoundsEmpty(t *testing.T) {
+	var m Mesh
+	min, max := m.Bounds()
+	if min != (Vec3{}) || max != (Vec3{}) {
+		t.Error("empty mesh bounds nonzero")
+	}
+}
+
+func TestValidateCatchesBadMesh(t *testing.T) {
+	m := &Mesh{Vertices: []Vec3{{}, {}, {}}, Triangles: []Triangle{{0, 1, 5}}}
+	if err := m.Validate(); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	m2 := &Mesh{Vertices: []Vec3{{}, {}, {}}, Triangles: []Triangle{{0, 1, 1}}}
+	if err := m2.Validate(); err == nil {
+		t.Error("degenerate triangle accepted")
+	}
+}
+
+func BenchmarkGenerateHead(b *testing.B) {
+	rng := simrand.New(1)
+	cfg := DefaultHeadConfig()
+	for i := 0; i < b.N; i++ {
+		GenerateHead(rng, cfg)
+	}
+}
+
+func BenchmarkSimplifyHalve(b *testing.B) {
+	m := Sphere(60, 60, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simplify(m, m.TriangleCount()/2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package mesh
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Simplify reduces m to exactly targetTriangles using shortest-edge
+// collapse, the classic LOD-generation algorithm. On a closed manifold each
+// collapse removes exactly two triangles, which is what lets the persona LOD
+// chain hit the paper's exact counts (78,030 -> 45,036 -> 21,036 -> 36). The
+// input is not modified; the simplified mesh is returned.
+//
+// Simplify refuses targets below 4 (a closed surface needs at least a
+// tetrahedron) and targets of different parity than reachable.
+func Simplify(m *Mesh, targetTriangles int) (*Mesh, error) {
+	if targetTriangles < 4 {
+		return nil, fmt.Errorf("mesh: target %d below minimum closed surface", targetTriangles)
+	}
+	if targetTriangles > m.TriangleCount() {
+		return nil, fmt.Errorf("mesh: target %d above input %d", targetTriangles, m.TriangleCount())
+	}
+	if targetTriangles == m.TriangleCount() {
+		return m.Clone(), nil
+	}
+
+	verts := append([]Vec3(nil), m.Vertices...)
+	faces := append([]Triangle(nil), m.Triangles...)
+	alive := make([]bool, len(faces))
+	for i := range alive {
+		alive[i] = true
+	}
+	// parent implements union-find over collapsed vertices.
+	parent := make([]int32, len(verts))
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(v int32) int32
+	find = func(v int32) int32 {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+
+	// Vertex -> incident face ids.
+	vfaces := make([][]int32, len(verts))
+	for fi, f := range faces {
+		for _, v := range f {
+			vfaces[v] = append(vfaces[v], int32(fi))
+		}
+	}
+
+	// Edge heap keyed by squared length, lazily invalidated via vertex
+	// versions.
+	version := make([]int32, len(verts))
+	h := &edgeHeap{}
+	pushEdges := func(f Triangle) {
+		for e := 0; e < 3; e++ {
+			a, b := find(f[e]), find(f[(e+1)%3])
+			if a == b {
+				continue
+			}
+			d := verts[a].Sub(verts[b])
+			heap.Push(h, edge{a, b, version[a], version[b], d.Dot(d)})
+		}
+	}
+	for fi, f := range faces {
+		if alive[fi] {
+			pushEdges(f)
+		}
+	}
+
+	live := len(faces)
+	for live > targetTriangles && h.Len() > 0 {
+		e := heap.Pop(h).(edge)
+		a, b := find(e.a), find(e.b)
+		if a == b || e.va != version[a] || e.vb != version[b] {
+			continue // stale entry
+		}
+		// Collapse b into a at the midpoint.
+		verts[a] = verts[a].Mid(verts[b])
+		parent[b] = a
+		version[a]++
+
+		merged := append(vfaces[a], vfaces[b]...)
+		var keep []int32
+		for _, fi := range merged {
+			if !alive[fi] {
+				continue
+			}
+			f := faces[fi]
+			r0, r1, r2 := find(f[0]), find(f[1]), find(f[2])
+			if r0 == r1 || r1 == r2 || r0 == r2 {
+				alive[fi] = false
+				live--
+				continue
+			}
+			keep = append(keep, fi)
+		}
+		vfaces[a] = keep
+		vfaces[b] = nil
+		// Re-push edges around the merged vertex with fresh versions.
+		for _, fi := range keep {
+			f := faces[fi]
+			pushEdges(Triangle{find(f[0]), find(f[1]), find(f[2])})
+		}
+	}
+	if live > targetTriangles {
+		return nil, fmt.Errorf("mesh: simplification stalled at %d triangles (target %d)", live, targetTriangles)
+	}
+
+	// Compact: remap surviving vertices and faces.
+	remap := make(map[int32]int32)
+	out := &Mesh{}
+	for fi, f := range faces {
+		if !alive[fi] {
+			continue
+		}
+		var t Triangle
+		for k, v := range f {
+			r := find(v)
+			nv, ok := remap[r]
+			if !ok {
+				nv = int32(len(out.Vertices))
+				out.Vertices = append(out.Vertices, verts[r])
+				remap[r] = nv
+			}
+			t[k] = nv
+		}
+		out.Triangles = append(out.Triangles, t)
+	}
+	return out, nil
+}
+
+type edge struct {
+	a, b   int32
+	va, vb int32
+	len2   float64
+}
+
+type edgeHeap []edge
+
+func (h edgeHeap) Len() int           { return len(h) }
+func (h edgeHeap) Less(i, j int) bool { return h[i].len2 < h[j].len2 }
+func (h edgeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x any)        { *h = append(*h, x.(edge)) }
+func (h *edgeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// LODChain generates the persona's level-of-detail chain from a full-
+// quality mesh. The counts are the paper's measured LODs (Figure 6):
+// full, distance-reduced (-42%), foveated-peripheral (-73%), and the
+// out-of-viewport proxy (36 triangles).
+func LODChain(full *Mesh) ([]*Mesh, error) {
+	counts := PersonaLODTriangles()
+	out := make([]*Mesh, len(counts))
+	cur := full
+	for i, c := range counts {
+		if c > full.TriangleCount() {
+			return nil, fmt.Errorf("mesh: LOD %d wants %d > full %d", i, c, full.TriangleCount())
+		}
+		if c == full.TriangleCount() {
+			out[i] = full.Clone()
+			continue
+		}
+		// Simplify from the previous (finer) LOD for speed; collapse is
+		// monotone so this reaches the same counts.
+		s, err := Simplify(cur, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+		cur = s
+	}
+	return out, nil
+}
+
+// PersonaLODTriangles returns the paper's measured LOD triangle counts in
+// decreasing order: full quality, distance-aware, foveated-peripheral, and
+// out-of-viewport proxy.
+func PersonaLODTriangles() []int { return []int{78030, 45036, 21036, 36} }

@@ -1,0 +1,219 @@
+package meshcodec
+
+import (
+	"math"
+	"testing"
+
+	"telepresence/internal/mesh"
+	"telepresence/internal/simrand"
+	"telepresence/internal/stats"
+)
+
+func head(seed int64, tris int) *mesh.Mesh {
+	return mesh.GenerateHead(simrand.New(seed), mesh.HeadConfig{
+		TargetTriangles: tris, Radius: 0.1, Variation: 1,
+	})
+}
+
+func TestRoundTripTopologyExact(t *testing.T) {
+	m := head(1, 5000)
+	b, err := Encode(m, DefaultQuantBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TriangleCount() != m.TriangleCount() || got.VertexCount() != m.VertexCount() {
+		t.Fatalf("counts %d/%d, want %d/%d", got.TriangleCount(), got.VertexCount(),
+			m.TriangleCount(), m.VertexCount())
+	}
+	for i := range m.Triangles {
+		if got.Triangles[i] != m.Triangles[i] {
+			t.Fatalf("triangle %d changed: %v vs %v", i, got.Triangles[i], m.Triangles[i])
+		}
+	}
+}
+
+func TestRoundTripGeometryWithinQuantError(t *testing.T) {
+	m := head(2, 5000)
+	for _, bits := range []int{10, 14, 20} {
+		b, err := Encode(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, max := m.Bounds()
+		span := max.Sub(min)
+		maxSpan := math.Max(span.X, math.Max(span.Y, span.Z))
+		tol := MaxQuantError(maxSpan, bits) * 2.01 // rounding both ways
+		for i := range m.Vertices {
+			d := got.Vertices[i].Sub(m.Vertices[i])
+			for _, e := range []float64{d.X, d.Y, d.Z} {
+				if math.Abs(e) > tol {
+					t.Fatalf("bits=%d vertex %d error %v > %v", bits, i, e, tol)
+				}
+			}
+		}
+	}
+}
+
+func TestHigherBitsLowerError(t *testing.T) {
+	m := head(3, 3000)
+	errAt := func(bits int) float64 {
+		b, _ := Encode(m, bits)
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		for i := range m.Vertices {
+			if d := got.Vertices[i].Sub(m.Vertices[i]).Len(); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	if e10, e16 := errAt(10), errAt(16); e16 >= e10 {
+		t.Errorf("error did not shrink with more bits: %v @10 vs %v @16", e10, e16)
+	}
+}
+
+func TestCompressionBeatsRawFloats(t *testing.T) {
+	m := head(4, 20000)
+	b, err := Encode(m, DefaultQuantBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := m.VertexCount()*12 + m.TriangleCount()*12 // float32 + int32 indices
+	if len(b) >= raw/2 {
+		t.Errorf("encoded %d bytes vs raw %d; want at least 2x compression", len(b), raw)
+	}
+}
+
+// The paper's §4.3 estimate: ten 70-90K-triangle heads, Draco-compressed,
+// streamed at 90 FPS, need 108.4±16.7 Mbps. Architecture-equivalent
+// compression must land in the same band (tens of Mbps, two orders above
+// the 0.67 Mbps semantic stream).
+func TestMeshStreamingBitrateBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ten-head encode is slow")
+	}
+	rng := simrand.New(5)
+	sizes := &stats.Sample{}
+	for i := 0; i < 10; i++ {
+		tris := 70000 + rng.Intn(20001) // 70K-90K
+		m := head(int64(100+i), tris)
+		b, err := Encode(m, DefaultQuantBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes.Add(StreamBitrateBps(len(b), 90) / 1e6)
+	}
+	mean := sizes.Mean()
+	if mean < 40 || mean > 250 {
+		t.Errorf("mesh streaming = %.1f Mbps mean, want 40-250 (paper: 108.4±16.7)", mean)
+	}
+	// The core claim: vastly more than the semantic stream.
+	if mean < 0.67*50 {
+		t.Errorf("mesh streaming (%.1f Mbps) not >>0.67 Mbps semantic", mean)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	m := head(6, 1000)
+	if _, err := Encode(m, 0); err == nil {
+		t.Error("quantBits 0 accepted")
+	}
+	if _, err := Encode(m, 25); err == nil {
+		t.Error("quantBits 25 accepted")
+	}
+	bad := &mesh.Mesh{Vertices: []mesh.Vec3{{}}, Triangles: []mesh.Triangle{{0, 0, 0}}}
+	if _, err := Encode(bad, 14); err == nil {
+		t.Error("invalid mesh accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	m := head(7, 1000)
+	b, _ := Encode(m, 14)
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, err := Decode([]byte("XXXX....")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	for _, cut := range []int{4, 10, 40, len(b) / 2, len(b) - 1} {
+		if _, err := Decode(b[:cut]); err == nil {
+			t.Errorf("truncation to %d accepted", cut)
+		}
+	}
+	// Corrupt quantBits byte.
+	mut := append([]byte(nil), b...)
+	mut[4] = 99
+	if _, err := Decode(mut); err == nil {
+		t.Error("corrupt quantBits accepted")
+	}
+}
+
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	m := head(8, 500)
+	b, _ := Encode(m, 12)
+	rng := simrand.New(9)
+	for trial := 0; trial < 300; trial++ {
+		mut := append([]byte(nil), b...)
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		_, _ = Decode(mut) // must not panic
+	}
+}
+
+func TestDegenerateFlatMesh(t *testing.T) {
+	// All vertices in a plane: one axis has zero span.
+	m := &mesh.Mesh{
+		Vertices: []mesh.Vec3{
+			{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1},
+		},
+		Triangles: []mesh.Triangle{{0, 1, 2}, {1, 3, 2}},
+	}
+	b, err := Encode(m, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Vertices {
+		if got.Vertices[i].Sub(m.Vertices[i]).Len() > 1e-3 {
+			t.Fatalf("flat mesh vertex %d moved", i)
+		}
+	}
+}
+
+func BenchmarkEncodePersonaHead(b *testing.B) {
+	m := head(10, 78030)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m, DefaultQuantBits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodePersonaHead(b *testing.B) {
+	m := head(11, 78030)
+	enc, _ := Encode(m, DefaultQuantBits)
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package netem emulates network paths for the simulation: unidirectional
+// links with propagation delay, finite transmission rate, drop-tail queues,
+// random loss, and jitter, plus a mutable Shaper that plays the role of
+// Linux tc in the paper's delay-injection (§4.3) and bandwidth-cap
+// experiments.
+//
+// The emulation is event-driven on a simtime.Scheduler and models a link as
+// a serializer (rate) feeding a propagation pipe (delay): exactly the fluid
+// model tc-netem implements.
+package netem
+
+import (
+	"fmt"
+	"math"
+
+	"telepresence/internal/simrand"
+	"telepresence/internal/simtime"
+)
+
+// Frame is the unit transferred across links. Size is the virtual wire size
+// in bytes and is authoritative for serialization and throughput accounting;
+// Payload carries protocol bytes and may be shorter than Size when headers
+// or padding are modeled but not materialized.
+type Frame struct {
+	Src, Dst string
+	Size     int
+	Payload  []byte
+}
+
+// Handler receives frames that survive a link.
+type Handler func(now simtime.Time, f Frame)
+
+// Direction tags tapped frames.
+type Direction int
+
+// Tap directions.
+const (
+	Ingress Direction = iota // frame entering the link (pre-queue)
+	Egress                   // frame delivered at the far end
+	Dropped                  // frame lost to queue overflow or random loss
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Ingress:
+		return "ingress"
+	case Egress:
+		return "egress"
+	case Dropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Tap observes frames traversing a link; the capture package uses taps to
+// implement the paper's Wireshark-on-the-AP methodology.
+type Tap func(now simtime.Time, f Frame, dir Direction)
+
+// Config describes a unidirectional link.
+type Config struct {
+	// Name identifies the link in captures and error messages.
+	Name string
+	// DelayMs is the one-way propagation delay in milliseconds.
+	DelayMs float64
+	// JitterMs adds lognormal-ish positive jitter to each frame (0 = none).
+	JitterMs float64
+	// RateBps is the transmission rate in bits per second (0 = infinite).
+	RateBps float64
+	// QueueBytes bounds the serializer's drop-tail queue (0 = a sensible
+	// default of 256 KiB when the rate is finite).
+	QueueBytes int
+	// LossProb drops each frame independently with this probability.
+	LossProb float64
+	// ReorderProb, when >0, delivers a frame with an extra random delay,
+	// modeling occasional out-of-order arrival.
+	ReorderProb float64
+}
+
+// Link is a unidirectional emulated path. Create with NewLink; attach the
+// receiver with SetHandler.
+type Link struct {
+	cfg     Config
+	sched   *simtime.Scheduler
+	rng     *simrand.Source
+	handler Handler
+	taps    []Tap
+	shaper  *Shaper
+
+	// busyUntil is when the serializer finishes the current backlog.
+	busyUntil simtime.Time
+	queued    int // bytes currently in the serializer queue
+
+	stats LinkStats
+}
+
+// LinkStats counts traffic over the life of a link.
+type LinkStats struct {
+	SentFrames, SentBytes       int64
+	DeliveredFrames, DeliveredB int64
+	DroppedQueue, DroppedLoss   int64
+}
+
+// NewLink creates a link driven by sched. rng may not be nil.
+func NewLink(sched *simtime.Scheduler, rng *simrand.Source, cfg Config) *Link {
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = 256 << 10
+	}
+	if cfg.DelayMs < 0 || cfg.RateBps < 0 || cfg.LossProb < 0 || cfg.LossProb > 1 {
+		panic(fmt.Sprintf("netem: invalid config %+v", cfg))
+	}
+	return &Link{cfg: cfg, sched: sched, rng: rng}
+}
+
+// SetHandler installs the far-end receiver.
+func (l *Link) SetHandler(h Handler) { l.handler = h }
+
+// AddTap registers an observer for frames on this link.
+func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Name returns the configured link name.
+func (l *Link) Name() string { return l.cfg.Name }
+
+// Shaper returns the tc-like impairment stage attached to this link,
+// creating it on first use.
+func (l *Link) Shaper() *Shaper {
+	if l.shaper == nil {
+		l.shaper = &Shaper{}
+	}
+	return l.shaper
+}
+
+func (l *Link) tap(f Frame, dir Direction) {
+	for _, t := range l.taps {
+		t(l.sched.Now(), f, dir)
+	}
+}
+
+// Send enqueues a frame. It returns false if the frame was dropped at entry
+// (queue overflow or random loss); delivery itself is asynchronous.
+func (l *Link) Send(f Frame) bool {
+	if f.Size <= 0 {
+		f.Size = len(f.Payload)
+	}
+	if f.Size <= 0 {
+		f.Size = 1
+	}
+	now := l.sched.Now()
+	l.stats.SentFrames++
+	l.stats.SentBytes += int64(f.Size)
+	l.tap(f, Ingress)
+
+	// Shaper-imposed random loss (tc netem loss).
+	if sh := l.shaper; sh != nil && sh.LossProb > 0 && l.rng.Bernoulli(sh.LossProb) {
+		l.stats.DroppedLoss++
+		l.tap(f, Dropped)
+		return false
+	}
+	// Intrinsic random loss.
+	if l.cfg.LossProb > 0 && l.rng.Bernoulli(l.cfg.LossProb) {
+		l.stats.DroppedLoss++
+		l.tap(f, Dropped)
+		return false
+	}
+
+	// Effective rate: the slower of the link rate and the shaper cap.
+	rate := l.cfg.RateBps
+	if sh := l.shaper; sh != nil && sh.RateBps > 0 && (rate == 0 || sh.RateBps < rate) {
+		rate = sh.RateBps
+	}
+
+	txDone := now
+	if rate > 0 {
+		if l.busyUntil > now {
+			// Serializer busy: the frame queues.
+			if l.queued+f.Size > l.cfg.QueueBytes {
+				l.stats.DroppedQueue++
+				l.tap(f, Dropped)
+				return false
+			}
+			l.queued += f.Size
+			txDone = l.busyUntil
+		}
+		ser := simtime.Duration(float64(f.Size*8) / rate * float64(simtime.Second))
+		txDone = txDone.Add(ser)
+		l.busyUntil = txDone
+	}
+
+	delay := simtime.Duration(l.cfg.DelayMs * float64(simtime.Millisecond))
+	if sh := l.shaper; sh != nil && sh.ExtraDelayMs > 0 {
+		delay += simtime.Duration(sh.ExtraDelayMs * float64(simtime.Millisecond))
+	}
+	if l.cfg.JitterMs > 0 {
+		j := l.rng.LogNormal(math.Log(l.cfg.JitterMs), 0.5)
+		delay += simtime.Duration(j * float64(simtime.Millisecond))
+	}
+	if l.cfg.ReorderProb > 0 && l.rng.Bernoulli(l.cfg.ReorderProb) {
+		delay += simtime.Duration(l.rng.Uniform(0, 2*l.cfg.DelayMs+1) * float64(simtime.Millisecond))
+	}
+
+	size := f.Size
+	l.sched.At(txDone.Add(delay), func() {
+		if rate > 0 && l.queued >= size {
+			l.queued -= size
+		}
+		l.stats.DeliveredFrames++
+		l.stats.DeliveredB += int64(size)
+		l.tap(f, Egress)
+		if l.handler != nil {
+			l.handler(l.sched.Now(), f)
+		}
+	})
+	return true
+}
+
+// QueuedBytes reports the bytes waiting in the serializer queue.
+func (l *Link) QueuedBytes() int { return l.queued }
+
+// Shaper is the mutable impairment stage of a link — the simulation's stand-
+// in for Linux tc (§4.3: "We use Linux tc to introduce extra network delays
+// ranging from 0 to 1,000 ms" and "to constrain the bandwidth"). Fields may
+// be changed at any time and apply to subsequently sent frames.
+type Shaper struct {
+	// ExtraDelayMs adds fixed one-way delay.
+	ExtraDelayMs float64
+	// RateBps caps throughput (0 = uncapped).
+	RateBps float64
+	// LossProb drops frames with this probability.
+	LossProb float64
+}
+
+// Clear removes all impairments.
+func (s *Shaper) Clear() { *s = Shaper{} }
+
+// Pipe is a bidirectional pair of links between two named endpoints.
+type Pipe struct {
+	AB, BA *Link
+}
+
+// NewPipe builds two symmetric links using cfg (Name gets a direction
+// suffix).
+func NewPipe(sched *simtime.Scheduler, rng *simrand.Source, cfg Config) *Pipe {
+	ab, ba := cfg, cfg
+	ab.Name = cfg.Name + "/ab"
+	ba.Name = cfg.Name + "/ba"
+	return &Pipe{
+		AB: NewLink(sched, rng.Split(ab.Name), ab),
+		BA: NewLink(sched, rng.Split(ba.Name), ba),
+	}
+}

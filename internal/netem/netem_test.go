@@ -1,0 +1,242 @@
+package netem
+
+import (
+	"testing"
+
+	"telepresence/internal/simrand"
+	"telepresence/internal/simtime"
+)
+
+func newLink(t *testing.T, cfg Config) (*simtime.Scheduler, *Link) {
+	t.Helper()
+	s := simtime.NewScheduler()
+	return s, NewLink(s, simrand.New(1), cfg)
+}
+
+func TestPropagationDelay(t *testing.T) {
+	s, l := newLink(t, Config{DelayMs: 25})
+	var at simtime.Time
+	l.SetHandler(func(now simtime.Time, f Frame) { at = now })
+	l.Send(Frame{Size: 100})
+	s.Run()
+	if want := simtime.Time(25 * simtime.Millisecond); at != want {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	// 8000-bit frame at 1 Mbps = 8 ms serialization.
+	s, l := newLink(t, Config{RateBps: 1e6})
+	var at simtime.Time
+	l.SetHandler(func(now simtime.Time, f Frame) { at = now })
+	l.Send(Frame{Size: 1000})
+	s.Run()
+	if want := simtime.Time(8 * simtime.Millisecond); at != want {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestQueueingBackToBack(t *testing.T) {
+	// Two frames sent simultaneously at 1 Mbps: second waits for first.
+	s, l := newLink(t, Config{RateBps: 1e6})
+	var times []simtime.Time
+	l.SetHandler(func(now simtime.Time, f Frame) { times = append(times, now) })
+	l.Send(Frame{Size: 1000})
+	l.Send(Frame{Size: 1000})
+	s.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(times))
+	}
+	if times[0] != simtime.Time(8*simtime.Millisecond) || times[1] != simtime.Time(16*simtime.Millisecond) {
+		t.Errorf("delivery times %v, want [8ms 16ms]", times)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	s, l := newLink(t, Config{RateBps: 1e6, QueueBytes: 1500})
+	delivered := 0
+	l.SetHandler(func(simtime.Time, Frame) { delivered++ })
+	sent := 0
+	for i := 0; i < 10; i++ {
+		if l.Send(Frame{Size: 1000}) {
+			sent++
+		}
+	}
+	s.Run()
+	// First frame transmits immediately; one more fits in the 1500 B queue.
+	if sent != 2 {
+		t.Errorf("accepted %d frames, want 2", sent)
+	}
+	if delivered != sent {
+		t.Errorf("delivered %d, want %d", delivered, sent)
+	}
+	if got := l.Stats().DroppedQueue; got != 8 {
+		t.Errorf("DroppedQueue = %d, want 8", got)
+	}
+}
+
+func TestQueueDrainsOverTime(t *testing.T) {
+	s, l := newLink(t, Config{RateBps: 1e6, QueueBytes: 4000})
+	delivered := 0
+	l.SetHandler(func(simtime.Time, Frame) { delivered++ })
+	// Send 1000-byte frames at exactly link rate: all should survive.
+	for i := 0; i < 50; i++ {
+		i := i
+		s.At(simtime.Time(i*8*int(simtime.Millisecond)), func() {
+			_ = i
+			l.Send(Frame{Size: 1000})
+		})
+	}
+	s.Run()
+	if delivered != 50 {
+		t.Errorf("delivered %d/50 at exactly link rate", delivered)
+	}
+	if l.QueuedBytes() != 0 {
+		t.Errorf("queue not drained: %d bytes", l.QueuedBytes())
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	s, l := newLink(t, Config{LossProb: 0.3})
+	delivered := 0
+	l.SetHandler(func(simtime.Time, Frame) { delivered++ })
+	const n = 20000
+	for i := 0; i < n; i++ {
+		l.Send(Frame{Size: 100})
+	}
+	s.Run()
+	rate := float64(n-delivered) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("loss rate = %.3f, want ~0.30", rate)
+	}
+	st := l.Stats()
+	if st.DroppedLoss+int64(delivered) != n {
+		t.Errorf("accounting mismatch: %d lost + %d delivered != %d", st.DroppedLoss, delivered, n)
+	}
+}
+
+func TestShaperExtraDelay(t *testing.T) {
+	// The paper's tc experiment: add up to 1000 ms of delay mid-session.
+	s, l := newLink(t, Config{DelayMs: 10})
+	var times []simtime.Time
+	l.SetHandler(func(now simtime.Time, f Frame) { times = append(times, now) })
+	l.Send(Frame{Size: 100})
+	s.Run()
+	l.Shaper().ExtraDelayMs = 1000
+	l.Send(Frame{Size: 100})
+	s.Run()
+	if times[0] != simtime.Time(10*simtime.Millisecond) {
+		t.Errorf("unshaped delivery at %v", times[0])
+	}
+	want := times[0].Add(1010 * simtime.Millisecond)
+	if times[1] != want {
+		t.Errorf("shaped delivery at %v, want %v", times[1], want)
+	}
+}
+
+func TestShaperRateCap(t *testing.T) {
+	s, l := newLink(t, Config{}) // infinite intrinsic rate
+	l.Shaper().RateBps = 0.7e6   // the paper's 0.7 Mbps uplink cap
+	var last simtime.Time
+	n := 0
+	l.SetHandler(func(now simtime.Time, f Frame) { last, n = now, n+1 })
+	// 1 Mbps offered load for 1 second: 125 frames of 1000 B.
+	for i := 0; i < 125; i++ {
+		i := i
+		s.At(simtime.Time(i*8*int(simtime.Millisecond)), func() { l.Send(Frame{Size: 1000}) })
+	}
+	s.RunFor(5 * simtime.Second)
+	if n == 0 {
+		t.Fatal("nothing delivered")
+	}
+	gotRate := float64(n*1000*8) / last.Seconds()
+	if gotRate > 0.72e6 {
+		t.Errorf("delivered rate %.0f bps exceeds 0.7 Mbps cap", gotRate)
+	}
+}
+
+func TestShaperClear(t *testing.T) {
+	s, l := newLink(t, Config{DelayMs: 5})
+	l.Shaper().ExtraDelayMs = 500
+	l.Shaper().Clear()
+	var at simtime.Time
+	l.SetHandler(func(now simtime.Time, f Frame) { at = now })
+	l.Send(Frame{Size: 10})
+	s.Run()
+	if at != simtime.Time(5*simtime.Millisecond) {
+		t.Errorf("delivery after Clear at %v, want 5ms", at)
+	}
+}
+
+func TestTapsSeeAllDirections(t *testing.T) {
+	s, l := newLink(t, Config{LossProb: 1})
+	var dirs []Direction
+	l.AddTap(func(_ simtime.Time, _ Frame, d Direction) { dirs = append(dirs, d) })
+	l.Send(Frame{Size: 10})
+	s.Run()
+	if len(dirs) != 2 || dirs[0] != Ingress || dirs[1] != Dropped {
+		t.Errorf("tap saw %v, want [ingress dropped]", dirs)
+	}
+}
+
+func TestZeroSizeFrameNormalized(t *testing.T) {
+	s, l := newLink(t, Config{})
+	var got Frame
+	l.SetHandler(func(_ simtime.Time, f Frame) { got = f })
+	l.Send(Frame{Payload: []byte("abcd")})
+	s.Run()
+	if got.Size != 4 {
+		t.Errorf("Size = %d, want 4 (derived from payload)", got.Size)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay accepted")
+		}
+	}()
+	NewLink(simtime.NewScheduler(), simrand.New(1), Config{DelayMs: -1})
+}
+
+func TestPipeIsBidirectional(t *testing.T) {
+	s := simtime.NewScheduler()
+	p := NewPipe(s, simrand.New(3), Config{Name: "wan", DelayMs: 30})
+	gotAB, gotBA := false, false
+	p.AB.SetHandler(func(simtime.Time, Frame) { gotAB = true })
+	p.BA.SetHandler(func(simtime.Time, Frame) { gotBA = true })
+	p.AB.Send(Frame{Size: 1})
+	p.BA.Send(Frame{Size: 1})
+	s.Run()
+	if !gotAB || !gotBA {
+		t.Errorf("pipe delivery ab=%v ba=%v", gotAB, gotBA)
+	}
+	if p.AB.Name() == p.BA.Name() {
+		t.Error("pipe directions share a name")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Ingress.String() != "ingress" || Egress.String() != "egress" || Dropped.String() != "dropped" {
+		t.Error("direction strings wrong")
+	}
+	if Direction(42).String() == "" {
+		t.Error("unknown direction should still format")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s, l := newLink(t, Config{})
+	l.SetHandler(func(simtime.Time, Frame) {})
+	for i := 0; i < 10; i++ {
+		l.Send(Frame{Size: 500})
+	}
+	s.Run()
+	st := l.Stats()
+	if st.SentFrames != 10 || st.SentBytes != 5000 {
+		t.Errorf("sent %d/%d, want 10/5000", st.SentFrames, st.SentBytes)
+	}
+	if st.DeliveredFrames != 10 || st.DeliveredB != 5000 {
+		t.Errorf("delivered %d/%d, want 10/5000", st.DeliveredFrames, st.DeliveredB)
+	}
+}

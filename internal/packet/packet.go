@@ -1,0 +1,232 @@
+// Package packet implements the wire formats of the simulated stack:
+// IPv4-like and UDP-like headers with a layered decode model inspired by
+// gopacket. Captured frames are parsed with these decoders so that analysis
+// code works from bytes on the (virtual) wire, exactly like the paper's
+// Wireshark methodology.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Addr is a 4-byte network address, formatted like IPv4 dotted quads.
+type Addr [4]byte
+
+// String formats the address as a dotted quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// ParseAddr parses a dotted quad. It returns an error for malformed input.
+func ParseAddr(s string) (Addr, error) {
+	var a Addr
+	var parts [4]int
+	n, err := fmt.Sscanf(s, "%d.%d.%d.%d", &parts[0], &parts[1], &parts[2], &parts[3])
+	if err != nil || n != 4 {
+		return a, fmt.Errorf("packet: bad address %q", s)
+	}
+	for i, p := range parts {
+		if p < 0 || p > 255 {
+			return a, fmt.Errorf("packet: bad address octet %d in %q", p, s)
+		}
+		a[i] = byte(p)
+	}
+	return a, nil
+}
+
+// MustAddr parses a dotted quad and panics on error; for literals in tests
+// and topology construction.
+func MustAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Protocol numbers carried in the IPv4 header.
+type Protocol uint8
+
+// Supported protocols. Values match their real IANA counterparts where one
+// exists so captures read naturally.
+const (
+	ProtoUDP Protocol = 17
+	ProtoTCP Protocol = 6
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoUDP:
+		return "UDP"
+	case ProtoTCP:
+		return "TCP"
+	default:
+		return fmt.Sprintf("Proto(%d)", uint8(p))
+	}
+}
+
+// Errors returned by decoders.
+var (
+	ErrTruncated = errors.New("packet: truncated")
+	ErrBadHeader = errors.New("packet: malformed header")
+)
+
+// IPv4Header is the simulated network-layer header (20 bytes, no options).
+type IPv4Header struct {
+	TTL      uint8
+	Protocol Protocol
+	Src, Dst Addr
+	// TotalLen covers header plus payload.
+	TotalLen uint16
+}
+
+// IPv4HeaderLen is the encoded size of an IPv4Header.
+const IPv4HeaderLen = 20
+
+// Marshal appends the encoded header to b and returns the result.
+func (h *IPv4Header) Marshal(b []byte) []byte {
+	var w [IPv4HeaderLen]byte
+	w[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(w[2:], h.TotalLen)
+	w[8] = h.TTL
+	w[9] = byte(h.Protocol)
+	copy(w[12:16], h.Src[:])
+	copy(w[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(w[10:], checksum(w[:]))
+	return append(b, w[:]...)
+}
+
+// Unmarshal parses the header from b and returns the remaining payload.
+func (h *IPv4Header) Unmarshal(b []byte) ([]byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return nil, fmt.Errorf("%w: version %d", ErrBadHeader, b[0]>>4)
+	}
+	h.TotalLen = binary.BigEndian.Uint16(b[2:])
+	h.TTL = b[8]
+	h.Protocol = Protocol(b[9])
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	return b[IPv4HeaderLen:], nil
+}
+
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		if i == 10 { // skip the checksum field itself
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// UDPHeader is the simulated transport-layer header (8 bytes).
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	// Length covers header plus payload.
+	Length uint16
+}
+
+// UDPHeaderLen is the encoded size of a UDPHeader.
+const UDPHeaderLen = 8
+
+// Marshal appends the encoded header to b.
+func (h *UDPHeader) Marshal(b []byte) []byte {
+	var w [UDPHeaderLen]byte
+	binary.BigEndian.PutUint16(w[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(w[2:], h.DstPort)
+	binary.BigEndian.PutUint16(w[4:], h.Length)
+	return append(b, w[:]...)
+}
+
+// Unmarshal parses the header from b and returns the remaining payload.
+func (h *UDPHeader) Unmarshal(b []byte) ([]byte, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, ErrTruncated
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:])
+	h.DstPort = binary.BigEndian.Uint16(b[2:])
+	h.Length = binary.BigEndian.Uint16(b[4:])
+	return b[UDPHeaderLen:], nil
+}
+
+// Datagram is a fully decoded IP/UDP packet.
+type Datagram struct {
+	IP      IPv4Header
+	UDP     UDPHeader
+	Payload []byte
+}
+
+// Encode builds the wire bytes for a UDP datagram from src:sport to
+// dst:dport carrying payload. TotalLen/Length fields are filled in.
+func Encode(src Addr, sport uint16, dst Addr, dport uint16, payload []byte) []byte {
+	udp := UDPHeader{SrcPort: sport, DstPort: dport, Length: uint16(UDPHeaderLen + len(payload))}
+	ip := IPv4Header{
+		TTL: 64, Protocol: ProtoUDP, Src: src, Dst: dst,
+		TotalLen: uint16(IPv4HeaderLen + UDPHeaderLen + len(payload)),
+	}
+	b := make([]byte, 0, int(ip.TotalLen))
+	b = ip.Marshal(b)
+	b = udp.Marshal(b)
+	return append(b, payload...)
+}
+
+// Decode parses wire bytes into a Datagram. The payload aliases b.
+func Decode(b []byte) (*Datagram, error) {
+	var d Datagram
+	rest, err := d.IP.Unmarshal(b)
+	if err != nil {
+		return nil, err
+	}
+	if d.IP.Protocol != ProtoUDP {
+		return nil, fmt.Errorf("%w: protocol %v not UDP", ErrBadHeader, d.IP.Protocol)
+	}
+	rest, err = d.UDP.Unmarshal(rest)
+	if err != nil {
+		return nil, err
+	}
+	want := int(d.UDP.Length) - UDPHeaderLen
+	if want < 0 || want > len(rest) {
+		return nil, fmt.Errorf("%w: UDP length %d vs %d available", ErrTruncated, d.UDP.Length, len(rest)+UDPHeaderLen)
+	}
+	d.Payload = rest[:want]
+	return &d, nil
+}
+
+// OverheadBytes is the per-packet cost of the simulated IP+UDP encapsulation
+// used for throughput accounting when payloads are modeled virtually.
+const OverheadBytes = IPv4HeaderLen + UDPHeaderLen
+
+// FiveTuple identifies a flow.
+type FiveTuple struct {
+	Src, Dst         Addr
+	SrcPort, DstPort uint16
+	Proto            Protocol
+}
+
+// Tuple extracts the flow five-tuple of a datagram.
+func (d *Datagram) Tuple() FiveTuple {
+	return FiveTuple{
+		Src: d.IP.Src, Dst: d.IP.Dst,
+		SrcPort: d.UDP.SrcPort, DstPort: d.UDP.DstPort,
+		Proto: d.IP.Protocol,
+	}
+}
+
+// Reverse returns the tuple of the opposite direction.
+func (t FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{Src: t.Dst, Dst: t.Src, SrcPort: t.DstPort, DstPort: t.SrcPort, Proto: t.Proto}
+}
+
+// String formats the tuple as "src:sport->dst:dport/proto".
+func (t FiveTuple) String() string {
+	return fmt.Sprintf("%v:%d->%v:%d/%v", t.Src, t.SrcPort, t.Dst, t.DstPort, t.Proto)
+}

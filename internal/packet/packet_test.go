@@ -1,0 +1,173 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrRoundTrip(t *testing.T) {
+	for _, s := range []string{"0.0.0.0", "10.1.2.3", "255.255.255.255"} {
+		a, err := ParseAddr(s)
+		if err != nil {
+			t.Fatalf("ParseAddr(%q): %v", s, err)
+		}
+		if a.String() != s {
+			t.Errorf("round trip %q -> %q", s, a.String())
+		}
+	}
+}
+
+func TestParseAddrErrors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "256.0.0.1", "a.b.c.d", "-1.0.0.0"} {
+		if _, err := ParseAddr(s); err == nil {
+			t.Errorf("ParseAddr(%q) accepted", s)
+		}
+	}
+}
+
+func TestMustAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddr on garbage did not panic")
+		}
+	}()
+	MustAddr("not-an-addr")
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	src, dst := MustAddr("10.0.0.1"), MustAddr("10.0.0.2")
+	payload := []byte("spatial persona semantic frame")
+	wire := Encode(src, 5000, dst, 443, payload)
+	d, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.IP.Src != src || d.IP.Dst != dst {
+		t.Errorf("addresses: %v->%v", d.IP.Src, d.IP.Dst)
+	}
+	if d.UDP.SrcPort != 5000 || d.UDP.DstPort != 443 {
+		t.Errorf("ports: %d->%d", d.UDP.SrcPort, d.UDP.DstPort)
+	}
+	if !bytes.Equal(d.Payload, payload) {
+		t.Errorf("payload mismatch")
+	}
+	if int(d.IP.TotalLen) != len(wire) {
+		t.Errorf("TotalLen = %d, wire = %d", d.IP.TotalLen, len(wire))
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	wire := Encode(Addr{1}, 1, Addr{2}, 2, []byte("hello"))
+	for cut := 0; cut < len(wire); cut++ {
+		if _, err := Decode(wire[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	wire := Encode(Addr{1}, 1, Addr{2}, 2, nil)
+	wire[0] = 0x65 // version 6
+	if _, err := Decode(wire); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("bad version error = %v", err)
+	}
+}
+
+func TestDecodeNonUDP(t *testing.T) {
+	wire := Encode(Addr{1}, 1, Addr{2}, 2, nil)
+	wire[9] = byte(ProtoTCP)
+	if _, err := Decode(wire); err == nil {
+		t.Error("TCP datagram decoded as UDP")
+	}
+}
+
+func TestFiveTuple(t *testing.T) {
+	wire := Encode(MustAddr("1.1.1.1"), 10, MustAddr("2.2.2.2"), 20, nil)
+	d, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := d.Tuple()
+	rev := tup.Reverse()
+	if rev.Src != tup.Dst || rev.SrcPort != tup.DstPort || rev.Reverse() != tup {
+		t.Errorf("Reverse broken: %v / %v", tup, rev)
+	}
+	if tup.String() != "1.1.1.1:10->2.2.2.2:20/UDP" {
+		t.Errorf("String = %q", tup.String())
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if ProtoUDP.String() != "UDP" || ProtoTCP.String() != "TCP" {
+		t.Error("known protocol strings wrong")
+	}
+	if Protocol(99).String() != "Proto(99)" {
+		t.Errorf("unknown protocol string = %q", Protocol(99).String())
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary payloads and endpoints.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(src, dst [4]byte, sport, dport uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		wire := Encode(Addr(src), sport, Addr(dst), dport, payload)
+		d, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return d.IP.Src == Addr(src) && d.IP.Dst == Addr(dst) &&
+			d.UDP.SrcPort == sport && d.UDP.DstPort == dport &&
+			bytes.Equal(d.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flipping any single header byte never panics the decoder.
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	wire := Encode(MustAddr("9.9.9.9"), 1234, MustAddr("8.8.8.8"), 4321, bytes.Repeat([]byte{0xAB}, 64))
+	for i := 0; i < len(wire); i++ {
+		for _, v := range []byte{0x00, 0xFF, wire[i] ^ 0x80} {
+			mut := append([]byte(nil), wire...)
+			mut[i] = v
+			_, _ = Decode(mut) // must not panic
+		}
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	var h IPv4Header
+	h.TTL, h.Protocol = 64, ProtoUDP
+	h.Src, h.Dst = MustAddr("1.2.3.4"), MustAddr("5.6.7.8")
+	h.TotalLen = 100
+	w := h.Marshal(nil)
+	orig := checksum(w)
+	w[12] ^= 0xFF // corrupt source address
+	if checksum(w) == orig {
+		t.Error("checksum unchanged after corruption")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	payload := bytes.Repeat([]byte{1}, 900)
+	src, dst := MustAddr("10.0.0.1"), MustAddr("10.0.0.2")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(src, 5000, dst, 443, payload)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	wire := Encode(MustAddr("10.0.0.1"), 5000, MustAddr("10.0.0.2"), 443, bytes.Repeat([]byte{1}, 900))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,572 @@
+// Package quic implements a faithful miniature of QUIC (RFC 9000) for the
+// simulation: variable-length integers, long/short header packets, stream
+// frames with offsets and FIN, cumulative+range ACKs, timer-based loss
+// recovery, and a keyed payload scrambler standing in for TLS 1.3 (§5:
+// spatial-persona trafic is end-to-end encrypted, so the capture layer can
+// classify but not read it).
+//
+// The paper found FaceTime delivers spatial personas over QUIC when all
+// participants wear Vision Pro (§4.1); the vca package selects this
+// transport in exactly that case.
+package quic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"telepresence/internal/netem"
+	"telepresence/internal/simtime"
+)
+
+// Wire constants.
+const (
+	headerLong  = 0xC0 // long header: handshake packets
+	headerShort = 0x40 // short header: 1-RTT application packets
+	// Version mimics QUICv1.
+	version = 0x00000001
+	// MTU is the maximum QUIC packet payload carried per UDP datagram.
+	MTU = 1200
+	// udpIPOverhead is the IP+UDP encapsulation cost added to every
+	// packet's wire size.
+	udpIPOverhead = 28
+)
+
+// Frame types (subset of RFC 9000).
+const (
+	frameAck    = 0x02
+	frameCrypto = 0x06
+	frameStream = 0x08 // with OFF|LEN|FIN bits -> 0x08..0x0F
+)
+
+// Errors.
+var (
+	ErrClosed    = errors.New("quic: connection closed")
+	ErrMalformed = errors.New("quic: malformed packet")
+)
+
+// Message is a fully reassembled stream payload delivered to the
+// application.
+type Message struct {
+	StreamID uint64
+	Data     []byte
+	// At is the delivery time.
+	At simtime.Time
+}
+
+// Stats counts connection activity.
+type Stats struct {
+	PacketsSent, PacketsReceived int64
+	BytesSent                    int64
+	Retransmissions              int64
+	MessagesDelivered            int64
+	AcksSent                     int64
+}
+
+// Conn is one QUIC endpoint. Two Conns are joined by netem links (out is
+// this endpoint's egress; the peer's out is our ingress, wired by the
+// caller via Deliver or a Demux).
+type Conn struct {
+	sched *simtime.Scheduler
+	out   *netem.Link
+	// connID identifies this endpoint; packets it SENDS carry the peer's
+	// ID as destination connection ID (DCID), like real QUIC.
+	connID    uint64
+	peerID    uint64
+	key       byte // toy AEAD key (XOR keystream seed)
+	handshook bool
+	closed    bool
+
+	nextPN       uint64
+	nextStreamID uint64
+
+	// Send-side stream state, kept until fully acknowledged.
+	sendStreams map[uint64]*sendStream
+	// Receive-side reassembly.
+	recvStreams map[uint64]*recvStream
+
+	// ACK state: received packet numbers pending acknowledgment.
+	pendingAcks []uint64
+	ackTimer    *simtime.Event
+
+	// Unacked packets for loss recovery.
+	unacked map[uint64]*sentPacket
+
+	onMessage func(Message)
+	stats     Stats
+
+	// RTO is the retransmission timeout; adapted crudely from observed
+	// ACK delay.
+	rto simtime.Duration
+}
+
+type sendStream struct {
+	id    uint64
+	data  []byte
+	fin   bool
+	acked map[uint64]bool // offsets acked (per fragment start)
+}
+
+type recvStream struct {
+	segs   map[uint64][]byte
+	finOff int64 // -1 until FIN seen
+	done   bool
+}
+
+type sentPacket struct {
+	pn      uint64
+	frames  []streamFrag
+	timer   *simtime.Event
+	retries int
+}
+
+type streamFrag struct {
+	streamID uint64
+	offset   uint64
+	data     []byte
+	fin      bool
+}
+
+// Config for a connection.
+type Config struct {
+	// ConnID is this endpoint's connection ID (must be nonzero and unique
+	// per direction).
+	ConnID uint64
+	// PeerID is the remote endpoint's connection ID, written as the DCID
+	// of every packet this endpoint sends. Zero is allowed only when a
+	// single conn owns the link (the peer then accepts any DCID).
+	PeerID uint64
+	// Key is the toy encryption key shared by both endpoints.
+	Key byte
+	// IsClient marks the handshake initiator.
+	IsClient bool
+	// SrcPort/DstPort and addressing are carried by the caller's frames;
+	// the Conn itself is address-agnostic.
+}
+
+// NewConn creates an endpoint sending over out.
+func NewConn(sched *simtime.Scheduler, out *netem.Link, cfg Config) *Conn {
+	if cfg.ConnID == 0 {
+		panic("quic: zero connection id")
+	}
+	return &Conn{
+		sched:       sched,
+		out:         out,
+		connID:      cfg.ConnID,
+		peerID:      cfg.PeerID,
+		key:         cfg.Key,
+		sendStreams: map[uint64]*sendStream{},
+		recvStreams: map[uint64]*recvStream{},
+		unacked:     map[uint64]*sentPacket{},
+		rto:         100 * simtime.Millisecond,
+		nextStreamID: func() uint64 {
+			if cfg.IsClient {
+				return 0 // client-initiated bidi streams: 0, 4, 8...
+			}
+			return 1
+		}(),
+	}
+}
+
+// OnMessage registers the application callback for reassembled messages.
+func (c *Conn) OnMessage(fn func(Message)) { c.onMessage = fn }
+
+// Stats returns a copy of the counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// Handshook reports whether the 1-RTT keys are established.
+func (c *Conn) Handshook() bool { return c.handshook }
+
+// Close stops all retransmission activity.
+func (c *Conn) Close() {
+	c.closed = true
+	for _, sp := range c.unacked {
+		sp.timer.Cancel()
+	}
+	if c.ackTimer != nil {
+		c.ackTimer.Cancel()
+	}
+}
+
+// StartHandshake sends the client Initial. The peer responds via its
+// Deliver path; after one round trip both sides mark themselves handshook.
+func (c *Conn) StartHandshake() {
+	pkt := c.longHeader()
+	pkt = append(pkt, frameCrypto)
+	pkt = AppendVarint(pkt, 0)                           // offset
+	pkt = AppendVarint(pkt, uint64(len("CLIENT_HELLO"))) // length
+	pkt = append(pkt, "CLIENT_HELLO"...)
+	c.sendRaw(pkt, MTU) // Initials are padded to full MTU per RFC 9000
+}
+
+func (c *Conn) longHeader() []byte {
+	b := []byte{headerLong}
+	b = binary.BigEndian.AppendUint32(b, version)
+	b = binary.BigEndian.AppendUint64(b, c.peerID) // DCID
+	b = binary.BigEndian.AppendUint64(b, c.connID) // SCID
+	return b
+}
+
+func (c *Conn) shortHeader(pn uint64) []byte {
+	b := []byte{headerShort}
+	b = binary.BigEndian.AppendUint64(b, c.peerID) // DCID
+	b = AppendVarint(b, pn)
+	return b
+}
+
+// scramble is the toy AEAD: a keyed keystream XOR. It makes 1-RTT payloads
+// opaque to the capture layer while remaining trivially invertible for the
+// peer that shares the key.
+func (c *Conn) scramble(b []byte) {
+	state := uint32(c.key) * 2654435761
+	for i := range b {
+		state = state*1664525 + 1013904223
+		b[i] ^= byte(state >> 24)
+	}
+}
+
+// SendMessage opens a new stream, writes data, and FINs it — the
+// stream-per-media-frame pattern. It returns the stream ID.
+func (c *Conn) SendMessage(data []byte) uint64 {
+	id := c.nextStreamID
+	c.nextStreamID += 4
+	ss := &sendStream{id: id, data: append([]byte(nil), data...), fin: true, acked: map[uint64]bool{}}
+	c.sendStreams[id] = ss
+	// Fragment into MTU-sized stream frames, one packet each.
+	for off := 0; off == 0 || off < len(ss.data); {
+		end := off + MTU - 64 // header + frame overhead headroom
+		if end > len(ss.data) {
+			end = len(ss.data)
+		}
+		fin := end == len(ss.data)
+		c.sendStreamFrame(streamFrag{streamID: id, offset: uint64(off), data: ss.data[off:end], fin: fin})
+		if end == len(ss.data) {
+			break
+		}
+		off = end
+	}
+	return id
+}
+
+func (c *Conn) sendStreamFrame(fr streamFrag) {
+	if c.closed {
+		return
+	}
+	pn := c.nextPN
+	c.nextPN++
+	pkt := c.shortHeader(pn)
+
+	ftype := byte(frameStream | 0x04 | 0x02) // OFF|LEN bits set
+	if fr.fin {
+		ftype |= 0x01
+	}
+	payload := []byte{ftype}
+	payload = AppendVarint(payload, fr.streamID)
+	payload = AppendVarint(payload, fr.offset)
+	payload = AppendVarint(payload, uint64(len(fr.data)))
+	payload = append(payload, fr.data...)
+	c.scramble(payload)
+	pkt = append(pkt, payload...)
+
+	sp := &sentPacket{pn: pn, frames: []streamFrag{fr}}
+	c.unacked[pn] = sp
+	sp.timer = c.sched.After(c.rto, func() { c.retransmit(sp) })
+	c.sendRaw(pkt, 0)
+}
+
+func (c *Conn) retransmit(sp *sentPacket) {
+	if c.closed {
+		return
+	}
+	if _, still := c.unacked[sp.pn]; !still {
+		return
+	}
+	delete(c.unacked, sp.pn)
+	sp.retries++
+	if sp.retries > 10 {
+		return // give up; the application-level integrity layer will notice
+	}
+	c.stats.Retransmissions++
+	for _, fr := range sp.frames {
+		c.sendStreamFrame(fr)
+	}
+	// Exponential-ish backoff.
+	if c.rto < simtime.Second {
+		c.rto = c.rto * 3 / 2
+	}
+}
+
+func (c *Conn) sendRaw(pkt []byte, padTo int) {
+	size := len(pkt)
+	if padTo > size {
+		size = padTo
+	}
+	size += udpIPOverhead
+	c.stats.PacketsSent++
+	c.stats.BytesSent += int64(size)
+	c.out.Send(netem.Frame{Size: size, Payload: pkt})
+}
+
+// Deliver is the ingress path: the caller wires the peer link's handler to
+// this method.
+func (c *Conn) Deliver(now simtime.Time, f netem.Frame) {
+	if c.closed || len(f.Payload) == 0 {
+		return
+	}
+	b := f.Payload
+	c.stats.PacketsReceived++
+	switch {
+	case b[0] == headerLong:
+		c.handleLong(b)
+	case b[0] == headerShort:
+		c.handleShort(now, b)
+	}
+}
+
+func (c *Conn) handleLong(b []byte) {
+	if len(b) < 21 {
+		return
+	}
+	dcid := binary.BigEndian.Uint64(b[5:13])
+	if dcid != 0 && c.peerID != 0 && dcid != c.connID {
+		return // not addressed to us
+	}
+	// Any CRYPTO round trip completes our toy handshake: client Initial ->
+	// server response -> both handshook.
+	if !c.handshook {
+		c.handshook = true
+		// Respond once so the initiator also completes.
+		resp := c.longHeader()
+		resp = append(resp, frameCrypto)
+		resp = AppendVarint(resp, 0)
+		resp = AppendVarint(resp, uint64(len("SERVER_HELLO")))
+		resp = append(resp, "SERVER_HELLO"...)
+		c.sendRaw(resp, MTU)
+	}
+}
+
+func (c *Conn) handleShort(now simtime.Time, b []byte) {
+	if len(b) < 10 {
+		return
+	}
+	dcid := binary.BigEndian.Uint64(b[1:9])
+	if dcid != 0 && dcid != c.connID {
+		return // not addressed to us
+	}
+	pn, n, err := Varint(b[9:])
+	if err != nil {
+		return
+	}
+	payload := append([]byte(nil), b[9+n:]...)
+	c.scramble(payload)
+	c.parseFrames(now, pn, payload)
+}
+
+func (c *Conn) parseFrames(now simtime.Time, pn uint64, p []byte) {
+	ackEliciting := false
+	for len(p) > 0 {
+		ft := p[0]
+		p = p[1:]
+		switch {
+		case ft == 0: // padding
+		case ft == frameAck:
+			var ok bool
+			p, ok = c.parseAck(p)
+			if !ok {
+				return
+			}
+		case ft&0xF8 == frameStream:
+			ackEliciting = true
+			var ok bool
+			p, ok = c.parseStream(now, ft, p)
+			if !ok {
+				return
+			}
+		default:
+			return // unknown frame: drop rest
+		}
+	}
+	if ackEliciting {
+		c.queueAck(pn)
+	}
+}
+
+func (c *Conn) parseStream(now simtime.Time, ftype byte, p []byte) ([]byte, bool) {
+	id, n, err := Varint(p)
+	if err != nil {
+		return nil, false
+	}
+	p = p[n:]
+	var off uint64
+	if ftype&0x04 != 0 {
+		off, n, err = Varint(p)
+		if err != nil {
+			return nil, false
+		}
+		p = p[n:]
+	}
+	length := uint64(len(p))
+	if ftype&0x02 != 0 {
+		length, n, err = Varint(p)
+		if err != nil {
+			return nil, false
+		}
+		p = p[n:]
+	}
+	if length > uint64(len(p)) {
+		return nil, false
+	}
+	data := p[:length]
+	fin := ftype&0x01 != 0
+
+	rs := c.recvStreams[id]
+	if rs == nil {
+		rs = &recvStream{segs: map[uint64][]byte{}, finOff: -1}
+		c.recvStreams[id] = rs
+	}
+	if !rs.done {
+		if _, dup := rs.segs[off]; !dup {
+			rs.segs[off] = append([]byte(nil), data...)
+		}
+		if fin {
+			rs.finOff = int64(off + length)
+		}
+		c.tryDeliver(now, id, rs)
+	}
+	return p[length:], true
+}
+
+func (c *Conn) tryDeliver(now simtime.Time, id uint64, rs *recvStream) {
+	if rs.finOff < 0 || rs.done {
+		return
+	}
+	// Walk contiguous segments from 0.
+	var buf []byte
+	off := uint64(0)
+	for int64(off) < rs.finOff {
+		seg, ok := rs.segs[off]
+		if !ok {
+			return // gap
+		}
+		buf = append(buf, seg...)
+		off += uint64(len(seg))
+	}
+	rs.done = true
+	rs.segs = nil
+	c.stats.MessagesDelivered++
+	if c.onMessage != nil {
+		c.onMessage(Message{StreamID: id, Data: buf, At: now})
+	}
+}
+
+// queueAck registers pn for acknowledgment, flushing immediately every
+// second packet or after max_ack_delay.
+func (c *Conn) queueAck(pn uint64) {
+	c.pendingAcks = append(c.pendingAcks, pn)
+	if len(c.pendingAcks) >= 2 {
+		c.flushAcks()
+		return
+	}
+	if c.ackTimer == nil {
+		c.ackTimer = c.sched.After(25*simtime.Millisecond, func() {
+			c.ackTimer = nil
+			c.flushAcks()
+		})
+	}
+}
+
+func (c *Conn) flushAcks() {
+	if len(c.pendingAcks) == 0 || c.closed {
+		return
+	}
+	pkt := c.shortHeader(c.nextPN)
+	c.nextPN++
+	payload := []byte{frameAck}
+	payload = AppendVarint(payload, uint64(len(c.pendingAcks)))
+	for _, pn := range c.pendingAcks {
+		payload = AppendVarint(payload, pn)
+	}
+	c.pendingAcks = c.pendingAcks[:0]
+	c.scramble(payload)
+	pkt = append(pkt, payload...)
+	c.stats.AcksSent++
+	c.sendRaw(pkt, 0)
+}
+
+func (c *Conn) parseAck(p []byte) ([]byte, bool) {
+	count, n, err := Varint(p)
+	if err != nil || count > 1<<20 {
+		return nil, false
+	}
+	p = p[n:]
+	for i := uint64(0); i < count; i++ {
+		pn, n, err := Varint(p)
+		if err != nil {
+			return nil, false
+		}
+		p = p[n:]
+		if sp, ok := c.unacked[pn]; ok {
+			sp.timer.Cancel()
+			delete(c.unacked, pn)
+		}
+	}
+	return p, true
+}
+
+// IsQUIC classifies a UDP payload as QUIC by its header form bits — the
+// heuristic the paper's Wireshark analysis relies on.
+func IsQUIC(payload []byte) bool {
+	if len(payload) == 0 {
+		return false
+	}
+	b := payload[0]
+	if b&0xC0 == 0xC0 { // long header with fixed bit
+		return len(payload) >= 5 && binary.BigEndian.Uint32(payload[1:5]) == version
+	}
+	return b&0xC0 == 0x40 // short header: fixed bit set, long bit clear
+}
+
+// String renders stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("sent=%d recv=%d bytes=%d rtx=%d msgs=%d",
+		s.PacketsSent, s.PacketsReceived, s.BytesSent, s.Retransmissions, s.MessagesDelivered)
+}
+
+// DCID extracts the destination connection ID of a QUIC packet, or 0 if the
+// packet is unparseable.
+func DCID(payload []byte) uint64 {
+	if len(payload) == 0 {
+		return 0
+	}
+	switch payload[0] {
+	case headerLong:
+		if len(payload) >= 13 {
+			return binary.BigEndian.Uint64(payload[5:13])
+		}
+	case headerShort:
+		if len(payload) >= 9 {
+			return binary.BigEndian.Uint64(payload[1:9])
+		}
+	}
+	return 0
+}
+
+// Demux routes packets arriving on a shared link to the Conn whose ID
+// matches the packet's DCID — how one UDP socket hosts many QUIC
+// connections.
+type Demux struct {
+	conns map[uint64]*Conn
+}
+
+// NewDemux returns an empty demultiplexer.
+func NewDemux() *Demux { return &Demux{conns: map[uint64]*Conn{}} }
+
+// Add registers a connection by its local ID.
+func (d *Demux) Add(c *Conn) { d.conns[c.connID] = c }
+
+// Handler is the netem link handler that dispatches by DCID.
+func (d *Demux) Handler(now simtime.Time, f netem.Frame) {
+	if c, ok := d.conns[DCID(f.Payload)]; ok {
+		c.Deliver(now, f)
+	}
+}

@@ -1,0 +1,43 @@
+package quic
+
+import "errors"
+
+// ErrVarint reports a malformed variable-length integer.
+var ErrVarint = errors.New("quic: bad varint")
+
+// maxVarint is the largest value a QUIC varint can carry (2^62-1).
+const maxVarint = 1<<62 - 1
+
+// AppendVarint appends v in RFC 9000 variable-length encoding (2-bit length
+// prefix, big endian). v must be < 2^62.
+func AppendVarint(b []byte, v uint64) []byte {
+	switch {
+	case v < 1<<6:
+		return append(b, byte(v))
+	case v < 1<<14:
+		return append(b, 0x40|byte(v>>8), byte(v))
+	case v < 1<<30:
+		return append(b, 0x80|byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	case v <= maxVarint:
+		return append(b, 0xC0|byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	default:
+		panic("quic: varint overflow")
+	}
+}
+
+// Varint decodes a varint from b, returning the value and encoded length.
+func Varint(b []byte) (uint64, int, error) {
+	if len(b) == 0 {
+		return 0, 0, ErrVarint
+	}
+	n := 1 << (b[0] >> 6)
+	if len(b) < n {
+		return 0, 0, ErrVarint
+	}
+	v := uint64(b[0] & 0x3F)
+	for i := 1; i < n; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, n, nil
+}

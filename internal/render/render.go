@@ -1,0 +1,323 @@
+// Package render models the Vision Pro rendering pipeline for spatial
+// personas: viewport culling, foveated rendering, distance-aware LOD, and
+// (as an extension the paper found FaceTime does NOT implement) occlusion
+// culling, together with a calibrated per-frame GPU/CPU cost model.
+//
+// The paper's Figure 6 measurements anchor the model: a full persona is
+// 78,030 triangles and 6.55 ms GPU at half a meter; out-of-viewport drops to
+// 36 triangles / 2.68 ms (-59%); foveated periphery renders 21,036 triangles
+// / 3.97 ms (-39%); beyond three meters 45,036 triangles / 3.91 ms (-40%).
+// The cost model decomposes GPU time into a fixed pass (passthrough +
+// compositor), a per-triangle vertex term, and a fragment term proportional
+// to screen coverage and shading quality; the constants below are the unique
+// solution fitting all four anchor points. The claims the repository
+// reproduces (which optimization wins, by what factor, why five users breach
+// the 11.1 ms deadline) emerge from this mechanism rather than table
+// lookups.
+package render
+
+import (
+	"fmt"
+	"math"
+
+	"telepresence/internal/mesh"
+	"telepresence/internal/simrand"
+)
+
+// Optimizations selects which visibility-aware optimizations the renderer
+// applies (§4.4).
+type Optimizations struct {
+	Viewport      bool // cull personas outside the field of view
+	Foveated      bool // reduce LOD/shading in peripheral vision
+	DistanceAware bool // reduce LOD beyond DistanceCutoff
+	Occlusion     bool // skip personas hidden behind others (NOT in FaceTime)
+}
+
+// FaceTimeOptimizations returns the set the paper measured on FaceTime:
+// viewport, foveated and distance-aware enabled, occlusion absent.
+func FaceTimeOptimizations() Optimizations {
+	return Optimizations{Viewport: true, Foveated: true, DistanceAware: true}
+}
+
+// NoOptimizations disables everything (the paper's baseline).
+func NoOptimizations() Optimizations { return Optimizations{} }
+
+// CostModel holds the calibrated constants of the per-frame cost
+// decomposition. Values are documented where they are anchored to paper
+// measurements.
+type CostModel struct {
+	// FixedGPUMs is the passthrough/compositor floor: the GPU time with a
+	// persona present but fully culled (Figure 6b, "V": 2.68 ms) minus the
+	// per-persona overhead.
+	FixedGPUMs float64
+	// PerPersonaGPUMs is scene-graph and skinning overhead per visible
+	// remote persona.
+	PerPersonaGPUMs float64
+	// TriangleGPUMs is the vertex-pipeline cost per triangle.
+	TriangleGPUMs float64
+	// FragmentGPUMs is the shading cost of one persona at full screen
+	// coverage and full quality.
+	FragmentGPUMs float64
+	// PeripheralShade is the average shading-quality factor of a persona
+	// in peripheral vision under foveated rendering.
+	PeripheralShade float64
+	// RefDistanceM is the distance at which a persona fills the viewport
+	// (the paper's half-meter baseline).
+	RefDistanceM float64
+	// DistanceCutoffM is where distance-aware LOD engages (paper: 3 m).
+	DistanceCutoffM float64
+	// FovealAngleRad is the eccentricity beyond which a persona counts as
+	// peripheral.
+	FovealAngleRad float64
+	// HalfFOVRad is the half field-of-view for viewport culling.
+	HalfFOVRad float64
+	// CPUBaseMs and CPUPerPersonaMs model the CPU frame cost, which the
+	// paper finds insensitive to visibility optimizations (§4.4) and
+	// rising with user count (Figure 7b).
+	CPUBaseMs       float64
+	CPUPerPersonaMs float64
+	// NoiseFrac is the relative std dev of frame-time noise.
+	NoiseFrac float64
+}
+
+// DefaultCostModel returns constants calibrated to Figure 6b/7b:
+//
+//	V:  fixed + perPersona                      = 2.68 ms
+//	BL: 2.68 + tri*78030 + frag*1.00            = 6.55 ms
+//	F:  2.68 + tri*21036 + frag*0.42            = 3.97 ms
+//	D:  2.68 + tri*45036 + frag*~0.03           = 3.91 ms
+//
+// which solves to tri = 2.73e-5 ms and frag = 1.74 ms.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		FixedGPUMs:      2.28,
+		PerPersonaGPUMs: 0.40,
+		TriangleGPUMs:   2.731e-5,
+		FragmentGPUMs:   1.739,
+		PeripheralShade: 0.42,
+		RefDistanceM:    0.5,
+		DistanceCutoffM: 3.0,
+		FovealAngleRad:  18 * math.Pi / 180,
+		HalfFOVRad:      50 * math.Pi / 180,
+		CPUBaseMs:       5.31,
+		CPUPerPersonaMs: 0.36,
+		NoiseFrac:       0.11,
+	}
+}
+
+// DeadlineMs is the per-frame budget for 90 FPS rendering on Vision Pro
+// (§3.2: ~11.1 ms).
+const DeadlineMs = 1000.0 / 90
+
+// Camera is the local user's viewpoint: head position, head orientation
+// (viewport) and eye gaze direction.
+type Camera struct {
+	Pos     mesh.Vec3
+	Forward mesh.Vec3 // head/viewport direction (unit)
+	Gaze    mesh.Vec3 // eye direction (unit); foveation follows this
+}
+
+// LookAt aims both head and gaze at target.
+func (c *Camera) LookAt(target mesh.Vec3) {
+	d := target.Sub(c.Pos)
+	if l := d.Len(); l > 0 {
+		c.Forward = d.Scale(1 / l)
+		c.Gaze = c.Forward
+	}
+}
+
+// Persona is a remote participant's renderable in the local scene.
+type Persona struct {
+	ID  string
+	Pos mesh.Vec3
+	// RadiusM is the bounding radius used for occlusion tests.
+	RadiusM float64
+	// LODTriangles holds the LOD chain triangle counts in decreasing
+	// order: full, distance, peripheral, proxy. Defaults to the paper's
+	// persona chain when nil.
+	LODTriangles []int
+}
+
+func (p *Persona) lods() []int {
+	if p.LODTriangles != nil {
+		return p.LODTriangles
+	}
+	return mesh.PersonaLODTriangles()
+}
+
+func (p *Persona) radius() float64 {
+	if p.RadiusM > 0 {
+		return p.RadiusM
+	}
+	return 0.30
+}
+
+// LODLevel identifies which mesh of the chain was selected.
+type LODLevel int
+
+// LOD levels in decreasing quality.
+const (
+	LODFull LODLevel = iota
+	LODDistance
+	LODPeripheral
+	LODProxy
+	LODCulled // occluded: not rendered at all
+)
+
+func (l LODLevel) String() string {
+	switch l {
+	case LODFull:
+		return "full"
+	case LODDistance:
+		return "distance"
+	case LODPeripheral:
+		return "peripheral"
+	case LODProxy:
+		return "proxy"
+	case LODCulled:
+		return "culled"
+	default:
+		return fmt.Sprintf("LOD(%d)", int(l))
+	}
+}
+
+// PersonaCost is the per-persona render outcome for one frame.
+type PersonaCost struct {
+	ID        string
+	LOD       LODLevel
+	Triangles int
+	// Coverage is the fraction of the viewport the persona covers.
+	Coverage float64
+	// Shade is the foveation shading-quality factor applied.
+	Shade float64
+	// GPUMs is this persona's share of the frame GPU time (excluding the
+	// fixed floor).
+	GPUMs float64
+}
+
+// FrameCost is the cost of rendering one frame.
+type FrameCost struct {
+	Personas  []PersonaCost
+	Triangles int
+	GPUMs     float64
+	CPUMs     float64
+	// MissedDeadline is set when GPU or CPU time exceeds the 90 FPS
+	// budget.
+	MissedDeadline bool
+}
+
+// Renderer evaluates frame costs for a scene. It is deterministic given its
+// random source.
+type Renderer struct {
+	Model CostModel
+	Opts  Optimizations
+	rng   *simrand.Source
+}
+
+// NewRenderer builds a renderer; rng may be nil for a noise-free model
+// (useful in calibration tests).
+func NewRenderer(model CostModel, opts Optimizations, rng *simrand.Source) *Renderer {
+	return &Renderer{Model: model, Opts: opts, rng: rng}
+}
+
+func angleBetween(a, b mesh.Vec3) float64 {
+	la, lb := a.Len(), b.Len()
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	c := a.Dot(b) / (la * lb)
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// selectLOD applies the optimization cascade for one persona and returns the
+// level plus the shading factor.
+func (r *Renderer) selectLOD(cam Camera, p *Persona, others []*Persona) (LODLevel, float64) {
+	toP := p.Pos.Sub(cam.Pos)
+	dist := toP.Len()
+	m := &r.Model
+
+	if r.Opts.Viewport && angleBetween(cam.Forward, toP) > m.HalfFOVRad {
+		return LODProxy, 0
+	}
+	if r.Opts.Occlusion {
+		for _, o := range others {
+			if o == p {
+				continue
+			}
+			toO := o.Pos.Sub(cam.Pos)
+			dO := toO.Len()
+			if dO >= dist || dO == 0 {
+				continue // occluder must be nearer
+			}
+			// Angular radius of the occluder vs angular separation.
+			sep := angleBetween(toP, toO)
+			occR := math.Atan(o.radius() / dO)
+			selfR := math.Atan(p.radius() / dist)
+			if sep+selfR*0.5 < occR {
+				return LODCulled, 0
+			}
+		}
+	}
+	peripheral := r.Opts.Foveated && angleBetween(cam.Gaze, toP) > m.FovealAngleRad
+	far := r.Opts.DistanceAware && dist > m.DistanceCutoffM
+	switch {
+	case peripheral && far:
+		return LODPeripheral, m.PeripheralShade // smaller of the two LODs
+	case peripheral:
+		return LODPeripheral, m.PeripheralShade
+	case far:
+		return LODDistance, 1
+	default:
+		return LODFull, 1
+	}
+}
+
+// RenderFrame computes the cost of one frame of the scene: the camera plus
+// all remote personas.
+func (r *Renderer) RenderFrame(cam Camera, personas []*Persona) FrameCost {
+	m := &r.Model
+	out := FrameCost{}
+	gpu := m.FixedGPUMs
+	for _, p := range personas {
+		lvl, shade := r.selectLOD(cam, p, personas)
+		pc := PersonaCost{ID: p.ID, LOD: lvl, Shade: shade}
+		if lvl != LODCulled {
+			lods := p.lods()
+			idx := int(lvl)
+			if idx >= len(lods) {
+				idx = len(lods) - 1
+			}
+			pc.Triangles = lods[idx]
+			dist := p.Pos.Sub(cam.Pos).Len()
+			if dist < m.RefDistanceM {
+				dist = m.RefDistanceM
+			}
+			cov := (m.RefDistanceM / dist) * (m.RefDistanceM / dist)
+			if lvl == LODProxy {
+				cov = 0
+			}
+			pc.Coverage = cov
+			pc.GPUMs = m.PerPersonaGPUMs +
+				m.TriangleGPUMs*float64(pc.Triangles) +
+				m.FragmentGPUMs*cov*shade
+		}
+		gpu += pc.GPUMs
+		out.Triangles += pc.Triangles
+		out.Personas = append(out.Personas, pc)
+	}
+	cpu := m.CPUBaseMs + m.CPUPerPersonaMs*float64(len(personas))
+	if r.rng != nil {
+		gpu *= math.Exp(r.rng.Normal(0, m.NoiseFrac))
+		cpu *= math.Exp(r.rng.Normal(0, m.NoiseFrac))
+	}
+	out.GPUMs = gpu
+	out.CPUMs = cpu
+	out.MissedDeadline = gpu > DeadlineMs || cpu > DeadlineMs
+	return out
+}

@@ -1,0 +1,304 @@
+package render
+
+import (
+	"math"
+	"testing"
+
+	"telepresence/internal/mesh"
+	"telepresence/internal/simrand"
+)
+
+// noiseless returns a renderer with the default model and no frame noise.
+func noiseless(opts Optimizations) *Renderer {
+	return NewRenderer(DefaultCostModel(), opts, nil)
+}
+
+func camAtOrigin() Camera {
+	return Camera{Forward: mesh.Vec3{Z: 1}, Gaze: mesh.Vec3{Z: 1}}
+}
+
+// Figure 6 anchor scenarios. Paper values: BL 78,030 tris / 6.55 ms;
+// V 36 / 2.68 ms; F 21,036 / 3.97 ms; D 45,036 / 3.91 ms.
+func fig6Scenario(name string) (Camera, *Persona) {
+	cam := camAtOrigin()
+	p := &Persona{ID: "u2"}
+	switch name {
+	case "baseline":
+		p.Pos = mesh.Vec3{Z: 0.5}
+	case "viewport":
+		p.Pos = mesh.Vec3{Z: -0.5} // behind the user
+	case "foveated":
+		// Still at half a meter, but ~40 deg off gaze (persona in the
+		// corner of the viewport while the user looks elsewhere).
+		p.Pos = mesh.Vec3{X: 0.321, Z: 0.383}
+	case "distance":
+		p.Pos = mesh.Vec3{Z: 3.5}
+	}
+	return cam, p
+}
+
+func TestFig6TriangleCounts(t *testing.T) {
+	r := noiseless(FaceTimeOptimizations())
+	want := map[string]int{
+		"baseline": 78030,
+		"viewport": 36,
+		"foveated": 21036,
+		"distance": 45036,
+	}
+	for name, tris := range want {
+		cam, p := fig6Scenario(name)
+		fc := r.RenderFrame(cam, []*Persona{p})
+		if fc.Triangles != tris {
+			t.Errorf("%s: %d triangles, want %d", name, fc.Triangles, tris)
+		}
+	}
+}
+
+func TestFig6GPUTimes(t *testing.T) {
+	r := noiseless(FaceTimeOptimizations())
+	want := map[string]float64{
+		"baseline": 6.55,
+		"viewport": 2.68,
+		"foveated": 3.97,
+		"distance": 3.91,
+	}
+	for name, ms := range want {
+		cam, p := fig6Scenario(name)
+		fc := r.RenderFrame(cam, []*Persona{p})
+		if math.Abs(fc.GPUMs-ms) > 0.15 {
+			t.Errorf("%s: GPU %.2f ms, want %.2f±0.15 (paper Fig.6b)", name, fc.GPUMs, ms)
+		}
+	}
+}
+
+func TestFig6ReductionFactors(t *testing.T) {
+	r := noiseless(FaceTimeOptimizations())
+	camBL, pBL := fig6Scenario("baseline")
+	bl := r.RenderFrame(camBL, []*Persona{pBL})
+	cases := []struct {
+		name      string
+		gpuRed    float64 // paper-reported GPU reduction
+		triRed    float64 // paper-reported triangle reduction
+		tolerance float64
+	}{
+		{"viewport", 0.59, 0.999, 0.05},
+		{"foveated", 0.39, 0.73, 0.05},
+		{"distance", 0.40, 0.42, 0.05},
+	}
+	for _, c := range cases {
+		cam, p := fig6Scenario(c.name)
+		fc := r.RenderFrame(cam, []*Persona{p})
+		gpuRed := 1 - fc.GPUMs/bl.GPUMs
+		triRed := 1 - float64(fc.Triangles)/float64(bl.Triangles)
+		if math.Abs(gpuRed-c.gpuRed) > c.tolerance {
+			t.Errorf("%s: GPU reduction %.2f, want %.2f", c.name, gpuRed, c.gpuRed)
+		}
+		if math.Abs(triRed-c.triRed) > c.tolerance {
+			t.Errorf("%s: triangle reduction %.2f, want %.2f", c.name, triRed, c.triRed)
+		}
+	}
+}
+
+func TestOptimizationsOffMeansFullQuality(t *testing.T) {
+	r := noiseless(NoOptimizations())
+	for _, name := range []string{"baseline", "viewport", "foveated", "distance"} {
+		cam, p := fig6Scenario(name)
+		fc := r.RenderFrame(cam, []*Persona{p})
+		if fc.Triangles != 78030 {
+			t.Errorf("%s with opts off: %d triangles, want 78030", name, fc.Triangles)
+		}
+	}
+}
+
+// The paper's occlusion experiment (§4.4): five users, U2-U5 in a line, U1
+// viewing from the front. FaceTime does not cull occluded personas.
+func occlusionScene() (Camera, []*Persona) {
+	cam := camAtOrigin()
+	var ps []*Persona
+	for i := 0; i < 4; i++ {
+		ps = append(ps, &Persona{
+			ID:  string(rune('a' + i)),
+			Pos: mesh.Vec3{Z: 1.0 + 0.8*float64(i)},
+		})
+	}
+	return cam, ps
+}
+
+func TestOcclusionNotAdoptedByFaceTime(t *testing.T) {
+	cam, ps := occlusionScene()
+	r := noiseless(FaceTimeOptimizations())
+	fc := r.RenderFrame(cam, ps)
+	// All four personas rendered with real LODs: no reduction from the
+	// occluded arrangement.
+	for _, pc := range fc.Personas {
+		if pc.LOD == LODCulled {
+			t.Errorf("persona %s culled although occlusion is off", pc.ID)
+		}
+		if pc.Triangles == 0 {
+			t.Errorf("persona %s has zero triangles", pc.ID)
+		}
+	}
+}
+
+func TestOcclusionExtensionCulls(t *testing.T) {
+	cam, ps := occlusionScene()
+	opts := FaceTimeOptimizations()
+	opts.Occlusion = true
+	r := noiseless(opts)
+	fc := r.RenderFrame(cam, ps)
+	culled := 0
+	for _, pc := range fc.Personas {
+		if pc.LOD == LODCulled {
+			culled++
+		}
+	}
+	if culled == 0 {
+		t.Fatal("occlusion enabled but nothing culled in a single-file arrangement")
+	}
+	if fc.Personas[0].LOD == LODCulled {
+		t.Error("nearest persona culled; only hidden ones should be")
+	}
+	// Cost drops vs FaceTime's configuration.
+	base := noiseless(FaceTimeOptimizations()).RenderFrame(cam, ps)
+	if fc.GPUMs >= base.GPUMs {
+		t.Errorf("occlusion culling did not reduce GPU time: %.2f vs %.2f", fc.GPUMs, base.GPUMs)
+	}
+}
+
+func TestDeadlineDetection(t *testing.T) {
+	r := noiseless(NoOptimizations())
+	cam := camAtOrigin()
+	// Many full-quality personas blow the 11.1 ms budget.
+	var ps []*Persona
+	for i := 0; i < 5; i++ {
+		ps = append(ps, &Persona{ID: "p", Pos: mesh.Vec3{X: float64(i) * 0.2, Z: 0.8}})
+	}
+	fc := r.RenderFrame(cam, ps)
+	if !fc.MissedDeadline {
+		t.Errorf("5 unoptimized personas: GPU %.2f ms did not miss the %.1f ms deadline", fc.GPUMs, DeadlineMs)
+	}
+}
+
+func TestGazeIndependentOfHead(t *testing.T) {
+	// Persona inside the viewport but away from the gaze: foveated LOD.
+	cam := camAtOrigin()
+	cam.Gaze = mesh.Vec3{X: 0.5, Z: 0.86} // looking ~30 deg right
+	p := &Persona{ID: "u2", Pos: mesh.Vec3{Z: 0.5}}
+	r := noiseless(FaceTimeOptimizations())
+	fc := r.RenderFrame(cam, []*Persona{p})
+	if fc.Personas[0].LOD != LODPeripheral {
+		t.Errorf("LOD = %v, want peripheral when gaze is averted", fc.Personas[0].LOD)
+	}
+}
+
+func TestCPUInsensitiveToOptimizations(t *testing.T) {
+	// §4.4: CPU time does not change with visibility optimizations.
+	camBL, pBL := fig6Scenario("baseline")
+	camV, pV := fig6Scenario("viewport")
+	on := noiseless(FaceTimeOptimizations())
+	off := noiseless(NoOptimizations())
+	cpus := []float64{
+		on.RenderFrame(camBL, []*Persona{pBL}).CPUMs,
+		on.RenderFrame(camV, []*Persona{pV}).CPUMs,
+		off.RenderFrame(camBL, []*Persona{pBL}).CPUMs,
+	}
+	for i := 1; i < len(cpus); i++ {
+		if cpus[i] != cpus[0] {
+			t.Errorf("CPU time varies with optimizations: %v", cpus)
+		}
+	}
+}
+
+func TestCPUScalesWithUsers(t *testing.T) {
+	r := noiseless(FaceTimeOptimizations())
+	cam := camAtOrigin()
+	cpuAt := func(n int) float64 {
+		var ps []*Persona
+		for i := 0; i < n; i++ {
+			ps = append(ps, &Persona{Pos: mesh.Vec3{X: float64(i)*0.5 - 1, Z: 1.2}})
+		}
+		return r.RenderFrame(cam, ps).CPUMs
+	}
+	// Paper Fig.7b: ~5.67 ms at 2 users (1 persona), ~6.76 ms at 5 users
+	// (4 personas).
+	if got := cpuAt(1); math.Abs(got-5.67) > 0.3 {
+		t.Errorf("CPU at 2 users = %.2f ms, want ~5.67", got)
+	}
+	if got := cpuAt(4); math.Abs(got-6.76) > 0.4 {
+		t.Errorf("CPU at 5 users = %.2f ms, want ~6.76", got)
+	}
+}
+
+func TestTwoUserGPUNearPaper(t *testing.T) {
+	// Fig.7b at 2 users: GPU 5.65±0.69 ms with the persona at
+	// conversational distance.
+	r := noiseless(FaceTimeOptimizations())
+	cam := camAtOrigin()
+	p := &Persona{Pos: mesh.Vec3{Z: 1.2}}
+	fc := r.RenderFrame(cam, []*Persona{p})
+	if fc.GPUMs < 4.9 || fc.GPUMs > 6.4 {
+		t.Errorf("2-user GPU = %.2f ms, want within 5.65±0.7", fc.GPUMs)
+	}
+}
+
+func TestNoiseIsLognormalAroundModel(t *testing.T) {
+	cam, p := fig6Scenario("baseline")
+	det := noiseless(FaceTimeOptimizations()).RenderFrame(cam, []*Persona{p})
+	r := NewRenderer(DefaultCostModel(), FaceTimeOptimizations(), simrand.New(1))
+	var sum float64
+	const n = 3000
+	for i := 0; i < n; i++ {
+		sum += r.RenderFrame(cam, []*Persona{p}).GPUMs
+	}
+	mean := sum / n
+	if math.Abs(mean-det.GPUMs)/det.GPUMs > 0.05 {
+		t.Errorf("noisy mean %.2f vs model %.2f", mean, det.GPUMs)
+	}
+}
+
+func TestLODLevelString(t *testing.T) {
+	for lvl, want := range map[LODLevel]string{
+		LODFull: "full", LODDistance: "distance", LODPeripheral: "peripheral",
+		LODProxy: "proxy", LODCulled: "culled", LODLevel(9): "LOD(9)",
+	} {
+		if lvl.String() != want {
+			t.Errorf("LODLevel(%d).String() = %q, want %q", int(lvl), lvl.String(), want)
+		}
+	}
+}
+
+func TestLookAt(t *testing.T) {
+	c := Camera{Pos: mesh.Vec3{X: 1, Y: 2, Z: 3}}
+	c.LookAt(mesh.Vec3{X: 1, Y: 2, Z: 5})
+	if c.Forward.Sub(mesh.Vec3{Z: 1}).Len() > 1e-12 {
+		t.Errorf("Forward = %+v, want +Z", c.Forward)
+	}
+	// LookAt self is a no-op, not NaN.
+	c.LookAt(c.Pos)
+	if math.IsNaN(c.Forward.X) {
+		t.Error("LookAt self produced NaN")
+	}
+}
+
+func TestCustomLODChain(t *testing.T) {
+	r := noiseless(FaceTimeOptimizations())
+	cam := camAtOrigin()
+	p := &Persona{Pos: mesh.Vec3{Z: 0.5}, LODTriangles: []int{100, 50, 25, 4}}
+	fc := r.RenderFrame(cam, []*Persona{p})
+	if fc.Triangles != 100 {
+		t.Errorf("custom LOD chain ignored: %d triangles", fc.Triangles)
+	}
+}
+
+func BenchmarkRenderFrameFiveUsers(b *testing.B) {
+	r := NewRenderer(DefaultCostModel(), FaceTimeOptimizations(), simrand.New(1))
+	cam := camAtOrigin()
+	var ps []*Persona
+	for i := 0; i < 4; i++ {
+		ps = append(ps, &Persona{Pos: mesh.Vec3{X: float64(i)*0.6 - 1, Z: 1.4}})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.RenderFrame(cam, ps)
+	}
+}

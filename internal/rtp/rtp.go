@@ -1,0 +1,309 @@
+// Package rtp implements the RTP subset (RFC 3550/3551) the simulated VCAs
+// use: the 12-byte header with payload type, sequence number, timestamp and
+// SSRC; a packetizer that fragments media frames with the marker bit on the
+// final packet; a reordering jitter buffer; and RTCP-style receiver
+// statistics. The paper observed that Zoom, Webex and Teams always use RTP,
+// and that FaceTime reverts to RTP (with unchanged payload types) whenever a
+// non-Vision-Pro device joins (§4.1).
+package rtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HeaderLen is the fixed RTP header size.
+const HeaderLen = 12
+
+// PayloadType identifies the codec, mirroring RFC 3551's dynamic range.
+type PayloadType uint8
+
+// Payload types used by the simulated applications. FaceTime keeps the same
+// PT for 2D video whether or not a Vision Pro is involved (§4.1), which is
+// how the paper inferred pre-rendering.
+const (
+	PTFaceTimeVideo PayloadType = 97
+	PTFaceTimeAudio PayloadType = 104
+	PTGenericVideo  PayloadType = 96
+	PTGenericAudio  PayloadType = 111
+)
+
+// Header is the fixed RTP header.
+type Header struct {
+	PayloadType PayloadType
+	Marker      bool
+	Seq         uint16
+	Timestamp   uint32
+	SSRC        uint32
+}
+
+// ErrMalformed reports an undecodable RTP packet.
+var ErrMalformed = errors.New("rtp: malformed packet")
+
+// Marshal appends the encoded header to b.
+func (h *Header) Marshal(b []byte) []byte {
+	first := byte(2 << 6) // version 2, no padding/extension/CSRC
+	second := byte(h.PayloadType) & 0x7F
+	if h.Marker {
+		second |= 0x80
+	}
+	b = append(b, first, second)
+	b = binary.BigEndian.AppendUint16(b, h.Seq)
+	b = binary.BigEndian.AppendUint32(b, h.Timestamp)
+	b = binary.BigEndian.AppendUint32(b, h.SSRC)
+	return b
+}
+
+// Unmarshal parses the header, returning the payload.
+func (h *Header) Unmarshal(b []byte) ([]byte, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrMalformed
+	}
+	if b[0]>>6 != 2 {
+		return nil, fmt.Errorf("%w: version %d", ErrMalformed, b[0]>>6)
+	}
+	h.Marker = b[1]&0x80 != 0
+	h.PayloadType = PayloadType(b[1] & 0x7F)
+	h.Seq = binary.BigEndian.Uint16(b[2:])
+	h.Timestamp = binary.BigEndian.Uint32(b[4:])
+	h.SSRC = binary.BigEndian.Uint32(b[8:])
+	return b[HeaderLen:], nil
+}
+
+// IsRTP classifies a UDP payload as RTP the way passive measurement tools
+// do: version 2 plus a plausible payload type.
+func IsRTP(payload []byte) bool {
+	if len(payload) < HeaderLen {
+		return false
+	}
+	if payload[0]>>6 != 2 {
+		return false
+	}
+	pt := payload[1] & 0x7F
+	return pt >= 96 && pt <= 127 // dynamic PT range used by VCAs
+}
+
+// MTU is the media payload budget per RTP packet.
+const MTU = 1200
+
+// Packetizer fragments media frames into RTP packets.
+type Packetizer struct {
+	PT    PayloadType
+	SSRC  uint32
+	seq   uint16
+	clock uint32
+	// ClockRate is the RTP timestamp rate (90 kHz for video per RFC
+	// 3551).
+	ClockRate uint32
+}
+
+// NewPacketizer returns a packetizer for one stream.
+func NewPacketizer(pt PayloadType, ssrc uint32) *Packetizer {
+	return &Packetizer{PT: pt, SSRC: ssrc, ClockRate: 90000}
+}
+
+// Packetize fragments one media frame captured at time tSec into RTP
+// packets; the marker bit is set on the last packet of the frame.
+func (p *Packetizer) Packetize(frame []byte, tSec float64) [][]byte {
+	ts := uint32(tSec * float64(p.ClockRate))
+	var out [][]byte
+	for off := 0; off == 0 || off < len(frame); {
+		end := off + MTU
+		if end > len(frame) {
+			end = len(frame)
+		}
+		h := Header{
+			PayloadType: p.PT,
+			Marker:      end == len(frame),
+			Seq:         p.seq,
+			Timestamp:   ts,
+			SSRC:        p.SSRC,
+		}
+		p.seq++
+		pkt := h.Marshal(make([]byte, 0, HeaderLen+end-off))
+		pkt = append(pkt, frame[off:end]...)
+		out = append(out, pkt)
+		if end == len(frame) {
+			break
+		}
+		off = end
+	}
+	return out
+}
+
+// Depacketizer reassembles frames from RTP packets, tolerating arbitrary
+// reordering. A frame's end is the marker packet; its start is anchored on
+// the previous frame's marker (seq continuity), so a late first packet can
+// never cause mis-framing. Frames are delivered in order; frames with
+// missing packets stall until GC drops them (video decoders then conceal
+// via the next keyframe; the vca layer models that).
+type Depacketizer struct {
+	frames map[uint32][][]byte // timestamp -> fragments in arrival order
+	seqs   map[uint32][]uint16
+	marker map[uint32]uint16 // timestamp -> seq of marker packet
+	first  map[uint32]uint16 // timestamp -> lowest seq seen
+
+	haveStart bool
+	nextSeq   uint16 // expected first seq of the next frame
+
+	// Stats.
+	Received, FramesOut, FramesDropped int64
+}
+
+// NewDepacketizer returns an empty reassembler.
+func NewDepacketizer() *Depacketizer {
+	return &Depacketizer{
+		frames: map[uint32][][]byte{},
+		seqs:   map[uint32][]uint16{},
+		marker: map[uint32]uint16{},
+		first:  map[uint32]uint16{},
+	}
+}
+
+// Push consumes one RTP packet; it returns every frame that completes as a
+// result, in presentation order (usually zero or one; more when a stalled
+// earlier frame unblocks queued successors).
+func (d *Depacketizer) Push(pkt []byte) ([][]byte, error) {
+	var h Header
+	payload, err := h.Unmarshal(pkt)
+	if err != nil {
+		return nil, err
+	}
+	d.Received++
+	ts := h.Timestamp
+	d.frames[ts] = append(d.frames[ts], append([]byte(nil), payload...))
+	d.seqs[ts] = append(d.seqs[ts], h.Seq)
+	if h.Marker {
+		d.marker[ts] = h.Seq
+	}
+	if f, ok := d.first[ts]; !ok || seqLess(h.Seq, f) {
+		d.first[ts] = h.Seq
+	}
+	// Complete as many in-order frames as possible: finishing one frame
+	// can unblock the next (already fully buffered) one.
+	var out [][]byte
+	for {
+		frame := d.tryComplete(ts)
+		if frame == nil {
+			// The packet's own frame may not be next in order; try every
+			// pending frame once.
+			for pending := range d.marker {
+				if frame = d.tryComplete(pending); frame != nil {
+					break
+				}
+			}
+		}
+		if frame == nil {
+			return out, nil
+		}
+		out = append(out, frame)
+	}
+}
+
+func seqLess(a, b uint16) bool { return int16(a-b) < 0 }
+
+func (d *Depacketizer) tryComplete(ts uint32) []byte {
+	mseq, ok := d.marker[ts]
+	if !ok {
+		return nil
+	}
+	// Anchor the frame start on seq continuity with the previous frame's
+	// marker; the lowest observed seq is only trusted for the very first
+	// frame of the stream.
+	first := d.first[ts]
+	if d.haveStart {
+		if first != d.nextSeq {
+			// Either an earlier packet of this frame is still in flight
+			// (first > nextSeq) or this frame is not next in order.
+			if seqLess(first, d.nextSeq) {
+				// Stale overlap: drop the frame state.
+				d.drop(ts)
+				d.FramesDropped++
+			}
+			return nil
+		}
+	}
+	want := int(mseq-first) + 1
+	if want <= 0 || len(d.seqs[ts]) < want {
+		return nil
+	}
+	// Order fragments by sequence number.
+	ordered := make([][]byte, want)
+	for i, seq := range d.seqs[ts] {
+		idx := int(seq - first)
+		if idx < 0 || idx >= want {
+			return nil // stray fragment from another frame
+		}
+		ordered[idx] = d.frames[ts][i]
+	}
+	var out []byte
+	for _, seg := range ordered {
+		if seg == nil {
+			return nil
+		}
+		out = append(out, seg...)
+	}
+	d.drop(ts)
+	d.haveStart = true
+	d.nextSeq = mseq + 1
+	d.FramesOut++
+	return out
+}
+
+func (d *Depacketizer) drop(ts uint32) {
+	delete(d.frames, ts)
+	delete(d.seqs, ts)
+	delete(d.marker, ts)
+	delete(d.first, ts)
+}
+
+// GC drops incomplete frames older than the given timestamp horizon,
+// counting them as lost, and advances the in-order anchor past them so
+// later frames can deliver.
+func (d *Depacketizer) GC(beforeTS uint32) {
+	for ts := range d.frames {
+		if ts < beforeTS {
+			// Skip the anchor past this frame if it was next in line.
+			if m, ok := d.marker[ts]; ok && d.haveStart && !seqLess(m, d.nextSeq) {
+				d.nextSeq = m + 1
+			}
+			d.drop(ts)
+			d.FramesDropped++
+		}
+	}
+}
+
+// ReceiverReport summarizes reception quality, RTCP RR style.
+type ReceiverReport struct {
+	SSRC          uint32
+	HighestSeq    uint16
+	PacketsRecv   int64
+	PacketsLost   int64
+	FractionLost  float64
+	JitterSamples int64
+}
+
+// ReportFor derives a receiver report from observed sequence numbers.
+func ReportFor(ssrc uint32, seqs []uint16, received int64) ReceiverReport {
+	rr := ReceiverReport{SSRC: ssrc, PacketsRecv: received}
+	if len(seqs) == 0 {
+		return rr
+	}
+	lo, hi := seqs[0], seqs[0]
+	for _, s := range seqs {
+		if seqLess(s, lo) {
+			lo = s
+		}
+		if seqLess(hi, s) {
+			hi = s
+		}
+	}
+	rr.HighestSeq = hi
+	expected := int64(hi-lo) + 1
+	if expected > received {
+		rr.PacketsLost = expected - received
+		rr.FractionLost = float64(rr.PacketsLost) / float64(expected)
+	}
+	return rr
+}

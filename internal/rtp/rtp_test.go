@@ -1,0 +1,344 @@
+package rtp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"telepresence/internal/simrand"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{PayloadType: PTFaceTimeVideo, Marker: true, Seq: 4242, Timestamp: 900123, SSRC: 0xDEADBEEF}
+	b := h.Marshal(nil)
+	if len(b) != HeaderLen {
+		t.Fatalf("header length %d, want %d", len(b), HeaderLen)
+	}
+	var got Header
+	rest, err := got.Unmarshal(append(b, 1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip %+v != %+v", got, h)
+	}
+	if !bytes.Equal(rest, []byte{1, 2, 3}) {
+		t.Error("payload not returned")
+	}
+}
+
+func TestHeaderProperty(t *testing.T) {
+	f := func(pt uint8, marker bool, seq uint16, ts, ssrc uint32) bool {
+		h := Header{PayloadType: PayloadType(pt & 0x7F), Marker: marker, Seq: seq, Timestamp: ts, SSRC: ssrc}
+		var got Header
+		_, err := got.Unmarshal(h.Marshal(nil))
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var h Header
+	if _, err := h.Unmarshal(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := h.Unmarshal(make([]byte, 5)); err == nil {
+		t.Error("short packet accepted")
+	}
+	bad := make([]byte, HeaderLen)
+	bad[0] = 0x00 // version 0
+	if _, err := h.Unmarshal(bad); err == nil {
+		t.Error("version 0 accepted")
+	}
+}
+
+func TestIsRTP(t *testing.T) {
+	h := Header{PayloadType: PTGenericVideo, Seq: 1, SSRC: 2}
+	pkt := h.Marshal(nil)
+	if !IsRTP(pkt) {
+		t.Error("valid RTP not classified")
+	}
+	if IsRTP(nil) || IsRTP([]byte{0x40, 0x01}) {
+		t.Error("non-RTP classified as RTP")
+	}
+	// QUIC short header must not classify as RTP.
+	quicish := append([]byte{0x40}, make([]byte, 20)...)
+	if IsRTP(quicish) {
+		t.Error("QUIC short header classified as RTP")
+	}
+	// Static PT outside the dynamic range is not a VCA stream.
+	low := Header{PayloadType: 8, Seq: 1}
+	if IsRTP(low.Marshal(nil)) {
+		t.Error("PT 8 classified as VCA RTP")
+	}
+}
+
+func TestPacketizeSingle(t *testing.T) {
+	p := NewPacketizer(PTFaceTimeVideo, 7)
+	pkts := p.Packetize([]byte("small frame"), 0.1)
+	if len(pkts) != 1 {
+		t.Fatalf("%d packets, want 1", len(pkts))
+	}
+	var h Header
+	payload, err := h.Unmarshal(pkts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Marker {
+		t.Error("single packet missing marker")
+	}
+	if string(payload) != "small frame" {
+		t.Error("payload mismatch")
+	}
+	if h.Timestamp != 9000 { // 0.1s * 90kHz
+		t.Errorf("timestamp %d, want 9000", h.Timestamp)
+	}
+}
+
+func TestPacketizeFragments(t *testing.T) {
+	p := NewPacketizer(PTGenericVideo, 9)
+	frame := bytes.Repeat([]byte{0xAB}, MTU*3+10)
+	pkts := p.Packetize(frame, 0)
+	if len(pkts) != 4 {
+		t.Fatalf("%d packets, want 4", len(pkts))
+	}
+	for i, pkt := range pkts {
+		var h Header
+		if _, err := h.Unmarshal(pkt); err != nil {
+			t.Fatal(err)
+		}
+		if wantMarker := i == len(pkts)-1; h.Marker != wantMarker {
+			t.Errorf("packet %d marker=%v", i, h.Marker)
+		}
+		if h.Seq != uint16(i) {
+			t.Errorf("packet %d seq=%d", i, h.Seq)
+		}
+	}
+}
+
+func TestDepacketizeInOrder(t *testing.T) {
+	p := NewPacketizer(PTGenericVideo, 1)
+	d := NewDepacketizer()
+	frame := bytes.Repeat([]byte("video"), 1000)
+	var got []byte
+	for _, pkt := range p.Packetize(frame, 0.5) {
+		outs, err := d.Push(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, out := range outs {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatalf("reassembly mismatch: %d vs %d bytes", len(got), len(frame))
+	}
+	if d.FramesOut != 1 {
+		t.Errorf("FramesOut = %d", d.FramesOut)
+	}
+}
+
+func TestDepacketizeReordered(t *testing.T) {
+	p := NewPacketizer(PTGenericVideo, 1)
+	d := NewDepacketizer()
+	frame := bytes.Repeat([]byte{1, 2, 3}, 2000)
+	pkts := p.Packetize(frame, 1.0)
+	rng := simrand.New(1)
+	rng.Shuffle(len(pkts), func(i, j int) { pkts[i], pkts[j] = pkts[j], pkts[i] })
+	var got []byte
+	for _, pkt := range pkts {
+		outs, _ := d.Push(pkt)
+		for _, out := range outs {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatal("reordered reassembly failed")
+	}
+}
+
+func TestDepacketizeLossDropsFrame(t *testing.T) {
+	p := NewPacketizer(PTGenericVideo, 1)
+	d := NewDepacketizer()
+	frame := bytes.Repeat([]byte{9}, MTU*4)
+	pkts := p.Packetize(frame, 2.0)
+	// Drop one middle packet.
+	for i, pkt := range pkts {
+		if i == 2 {
+			continue
+		}
+		if outs, _ := d.Push(pkt); len(outs) != 0 {
+			t.Fatal("incomplete frame delivered")
+		}
+	}
+	d.GC(90000 * 3)
+	if d.FramesDropped != 1 {
+		t.Errorf("FramesDropped = %d, want 1", d.FramesDropped)
+	}
+}
+
+func TestDepacketizeInterleavedFrames(t *testing.T) {
+	p := NewPacketizer(PTGenericVideo, 1)
+	d := NewDepacketizer()
+	f1 := bytes.Repeat([]byte{1}, MTU*2)
+	f2 := bytes.Repeat([]byte{2}, MTU*2)
+	p1 := p.Packetize(f1, 1.0)
+	p2 := p.Packetize(f2, 2.0)
+	// Interleave.
+	var done [][]byte
+	for i := 0; i < len(p1); i++ {
+		outs, _ := d.Push(p1[i])
+		done = append(done, outs...)
+		outs, _ = d.Push(p2[i])
+		done = append(done, outs...)
+	}
+	if len(done) != 2 {
+		t.Fatalf("completed %d frames, want 2", len(done))
+	}
+	if !bytes.Equal(done[0], f1) || !bytes.Equal(done[1], f2) {
+		t.Error("interleaved frames corrupted")
+	}
+}
+
+func TestSeqWraparound(t *testing.T) {
+	p := NewPacketizer(PTGenericVideo, 1)
+	p.seq = 65534 // force wrap inside a frame
+	d := NewDepacketizer()
+	frame := bytes.Repeat([]byte{7}, MTU*4)
+	var got []byte
+	for _, pkt := range p.Packetize(frame, 3.0) {
+		outs, _ := d.Push(pkt)
+		for _, out := range outs {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatal("reassembly across seq wraparound failed")
+	}
+}
+
+func TestReceiverReport(t *testing.T) {
+	// 10 packets expected (seq 100..109), 8 received.
+	seqs := []uint16{100, 101, 103, 104, 105, 106, 108, 109}
+	rr := ReportFor(42, seqs, int64(len(seqs)))
+	if rr.PacketsLost != 2 {
+		t.Errorf("PacketsLost = %d, want 2", rr.PacketsLost)
+	}
+	if rr.FractionLost != 0.2 {
+		t.Errorf("FractionLost = %v, want 0.2", rr.FractionLost)
+	}
+	if rr.HighestSeq != 109 {
+		t.Errorf("HighestSeq = %d", rr.HighestSeq)
+	}
+	empty := ReportFor(1, nil, 0)
+	if empty.PacketsLost != 0 {
+		t.Error("empty report lost packets")
+	}
+}
+
+func TestFaceTimePTUnchangedAcrossModes(t *testing.T) {
+	// §4.1: FaceTime's PT field for Vision Pro <-> non-Vision Pro calls is
+	// the same as in traditional 2D calls. The constant encodes that.
+	if PTFaceTimeVideo != 97 {
+		t.Error("FaceTime video PT drifted from its 2D-call value")
+	}
+}
+
+func BenchmarkPacketize(b *testing.B) {
+	p := NewPacketizer(PTGenericVideo, 1)
+	frame := bytes.Repeat([]byte{1}, 8000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Packetize(frame, float64(i)/30)
+	}
+}
+
+func BenchmarkDepacketize(b *testing.B) {
+	p := NewPacketizer(PTGenericVideo, 1)
+	frame := bytes.Repeat([]byte{1}, 8000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDepacketizer()
+		for _, pkt := range p.Packetize(frame, float64(i)/30) {
+			if _, err := d.Push(pkt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestDepacketizeLateFirstPacketNoMisframe(t *testing.T) {
+	// Regression: if the FIRST packet of a frame arrives after the
+	// marker, the frame must still assemble completely (anchored on the
+	// previous frame's marker), never as a truncated prefix-less blob.
+	p := NewPacketizer(PTGenericVideo, 1)
+	d := NewDepacketizer()
+	f1 := bytes.Repeat([]byte{1}, MTU*2)
+	f2 := append([]byte{0xAA, 0xBB}, bytes.Repeat([]byte{2}, MTU*3)...)
+	p1 := p.Packetize(f1, 1.0)
+	p2 := p.Packetize(f2, 2.0)
+	var got [][]byte
+	push := func(pkt []byte) {
+		outs, err := d.Push(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, outs...)
+	}
+	// Frame 1 in order; frame 2 with its first packet LAST.
+	for _, pkt := range p1 {
+		push(pkt)
+	}
+	for _, pkt := range p2[1:] {
+		push(pkt)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d frames before frame 2 complete, want 1", len(got))
+	}
+	push(p2[0])
+	if len(got) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(got))
+	}
+	if !bytes.Equal(got[1], f2) {
+		t.Fatalf("frame 2 mis-assembled: %d bytes vs %d", len(got[1]), len(f2))
+	}
+}
+
+func TestDepacketizeGCUnblocksLaterFrames(t *testing.T) {
+	p := NewPacketizer(PTGenericVideo, 1)
+	d := NewDepacketizer()
+	f0 := bytes.Repeat([]byte{0}, MTU)
+	f1 := bytes.Repeat([]byte{1}, MTU*3)
+	f2 := bytes.Repeat([]byte{2}, MTU*2)
+	p0 := p.Packetize(f0, 0.5)
+	p1 := p.Packetize(f1, 1.0)
+	p2 := p.Packetize(f2, 2.0)
+	// Frame 0 establishes the in-order anchor.
+	outs, _ := d.Push(p0[0])
+	if len(outs) != 1 {
+		t.Fatal("anchor frame not delivered")
+	}
+	// Frame 1 loses a packet; frame 2 arrives complete but must wait.
+	d.Push(p1[0])
+	d.Push(p1[2])
+	var got [][]byte
+	for _, pkt := range p2 {
+		outs, _ := d.Push(pkt)
+		got = append(got, outs...)
+	}
+	if len(got) != 0 {
+		t.Fatal("frame 2 delivered out of order past an incomplete frame")
+	}
+	// GC drops the stalled frame and advances the anchor.
+	d.GC(90000 * 2)                 // horizon covers frame 1's ts only
+	outs, _ = d.Push(p2[len(p2)-1]) // duplicate marker re-triggers
+	got = append(got, outs...)
+	if len(got) != 1 || !bytes.Equal(got[0], f2) {
+		t.Fatalf("frame 2 not recovered after GC: %d frames", len(got))
+	}
+	if d.FramesDropped != 1 {
+		t.Errorf("FramesDropped = %d, want 1", d.FramesDropped)
+	}
+}

@@ -1,0 +1,122 @@
+// Package simrand provides seeded random-variate generators used across the
+// simulation: normal/lognormal draws for network jitter, Ornstein-Uhlenbeck
+// processes for natural head/hand motion, and helpers for deriving
+// independent sub-streams from one experiment seed.
+package simrand
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random stream. It wraps math/rand with the
+// distribution helpers the simulation needs.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent sub-stream identified by label. Deriving the
+// same label twice yields identical streams; different labels yield
+// decorrelated streams. This lets one experiment seed fan out to many
+// subsystems without shared-stream coupling.
+func (s *Source) Split(label string) *Source {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(s.r.Int63())
+	return New(int64(splitmix64(h)))
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Float64 returns a uniform draw in [0,1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform int in [0,n).
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 { return s.r.Int63() }
+
+// Uniform returns a uniform draw in [lo,hi).
+func (s *Source) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*s.r.Float64() }
+
+// Normal returns a normal draw with the given mean and standard deviation.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.r.NormFloat64()
+}
+
+// LogNormal returns a lognormal draw parameterized by the mean and stddev of
+// the underlying normal. Used for heavy-ish-tailed network jitter.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Exponential returns an exponential draw with the given mean.
+func (s *Source) Exponential(mean float64) float64 {
+	return s.r.ExpFloat64() * mean
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool { return s.r.Float64() < p }
+
+// Perm returns a random permutation of [0,n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// OU is a discretized Ornstein-Uhlenbeck (mean-reverting) process. It is the
+// canonical model for "natural" continuous motion: head pose drift, gaze
+// wander, and conversational hand movement all use it.
+type OU struct {
+	// Mean is the long-run value the process reverts to.
+	Mean float64
+	// Theta is the mean-reversion rate (1/s). Larger = snappier return.
+	Theta float64
+	// Sigma is the diffusion (noise) magnitude.
+	Sigma float64
+
+	x   float64
+	src *Source
+}
+
+// NewOU returns an OU process started at its mean.
+func NewOU(src *Source, mean, theta, sigma float64) *OU {
+	return &OU{Mean: mean, Theta: theta, Sigma: sigma, x: mean, src: src}
+}
+
+// Step advances the process by dt seconds and returns the new value, using
+// the exact discretization of the OU SDE (valid for any dt).
+func (o *OU) Step(dt float64) float64 {
+	if dt <= 0 {
+		return o.x
+	}
+	decay := math.Exp(-o.Theta * dt)
+	var v float64
+	if o.Theta > 0 {
+		v = o.Sigma * o.Sigma / (2 * o.Theta) * (1 - decay*decay)
+	} else {
+		v = o.Sigma * o.Sigma * dt
+	}
+	o.x = o.Mean + (o.x-o.Mean)*decay + math.Sqrt(v)*o.src.r.NormFloat64()
+	return o.x
+}
+
+// Value returns the current process value without advancing it.
+func (o *OU) Value() float64 { return o.x }
+
+// Reset moves the process to x.
+func (o *OU) Reset(x float64) { o.x = x }

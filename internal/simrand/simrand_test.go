@@ -1,0 +1,170 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same-seed sources diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDeterministicAndDecorrelated(t *testing.T) {
+	a1 := New(7).Split("net")
+	a2 := New(7).Split("net")
+	b := New(7).Split("render")
+	same, diff := 0, 0
+	for i := 0; i < 100; i++ {
+		x1, x2, y := a1.Float64(), a2.Float64(), b.Float64()
+		if x1 == x2 {
+			same++
+		}
+		if x1 != y {
+			diff++
+		}
+	}
+	if same != 100 {
+		t.Errorf("same-label splits matched %d/100 draws", same)
+	}
+	if diff < 99 {
+		t.Errorf("different-label splits agreed too often: %d/100 differ", diff)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(1)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := s.Normal(5, 2)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("mean = %v, want ~5", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Errorf("std = %v, want ~2", std)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 10000; i++ {
+		if v := s.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("lognormal draw %v <= 0", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(3)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(10)
+	}
+	if m := sum / n; math.Abs(m-10) > 0.2 {
+		t.Errorf("exponential mean = %v, want ~10", m)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(4)
+	check := func(a, b float64) bool {
+		// Constrain to a sane magnitude so hi-lo cannot overflow; the
+		// simulation only ever draws physical quantities.
+		lo := math.Mod(a, 1e6)
+		hi := lo + 1 + math.Abs(math.Mod(b, 1e6))
+		v := s.Uniform(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(5)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("bernoulli rate = %v, want ~0.3", rate)
+	}
+}
+
+func TestOUMeanReversion(t *testing.T) {
+	s := New(6)
+	ou := NewOU(s, 1.0, 4.0, 0.5)
+	ou.Reset(10)
+	// After many mean-reversion time constants the process should hover
+	// near its mean with stationary std sigma/sqrt(2 theta) ~ 0.177.
+	var sum float64
+	const n = 50000
+	for i := 0; i < 2000; i++ { // burn-in
+		ou.Step(0.01)
+	}
+	for i := 0; i < n; i++ {
+		sum += ou.Step(0.01)
+	}
+	if m := sum / n; math.Abs(m-1.0) > 0.05 {
+		t.Errorf("OU long-run mean = %v, want ~1", m)
+	}
+}
+
+func TestOUStationaryVariance(t *testing.T) {
+	s := New(7)
+	theta, sigma := 2.0, 0.8
+	ou := NewOU(s, 0, theta, sigma)
+	var sum2 float64
+	const n = 100000
+	for i := 0; i < 1000; i++ {
+		ou.Step(0.02)
+	}
+	for i := 0; i < n; i++ {
+		x := ou.Step(0.02)
+		sum2 += x * x
+	}
+	want := sigma * sigma / (2 * theta)
+	got := sum2 / n
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("stationary variance = %v, want ~%v", got, want)
+	}
+}
+
+func TestOUZeroDtNoChange(t *testing.T) {
+	ou := NewOU(New(8), 0, 1, 1)
+	ou.Reset(3.5)
+	if got := ou.Step(0); got != 3.5 {
+		t.Errorf("Step(0) = %v, want 3.5", got)
+	}
+	if ou.Value() != 3.5 {
+		t.Errorf("Value() = %v, want 3.5", ou.Value())
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(9)
+	p := s.Perm(64)
+	seen := make([]bool, 64)
+	for _, v := range p {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

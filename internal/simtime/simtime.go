@@ -1,0 +1,221 @@
+// Package simtime provides a deterministic virtual clock and a
+// discrete-event scheduler. Every simulated subsystem in this repository
+// (network links, codecs, render loops) advances on this clock rather than
+// the wall clock, so experiments are exactly reproducible from a seed.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp measured in nanoseconds since the start of the
+// simulation. It is deliberately a distinct type from time.Time so that
+// wall-clock values cannot leak into simulated code paths.
+type Time int64
+
+// Duration re-exports time.Duration for convenience; virtual durations use
+// the same unit (nanoseconds) as real ones.
+type Duration = time.Duration
+
+// Common duration constants, re-exported so callers need not import time.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Never is a sentinel Time later than every reachable simulation instant.
+const Never = Time(math.MaxInt64)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as floating-point seconds since simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns the time as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the virtual time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("t+%.3fs", t.Seconds()) }
+
+// Event is a scheduled callback. Events fire in timestamp order; ties are
+// broken by scheduling order (FIFO), which keeps runs deterministic.
+type Event struct {
+	At       Time
+	Run      func()
+	seq      uint64
+	index    int // heap index; -1 once popped or cancelled
+	canceled bool
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event simulator. The zero value is
+// ready to use. Schedulers are not safe for concurrent use; simulations in
+// this repository are single-goroutine by design.
+type Scheduler struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	nsteps uint64
+}
+
+// NewScheduler returns a scheduler whose clock starts at zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Steps reports how many events have been executed so far.
+func (s *Scheduler) Steps() uint64 { return s.nsteps }
+
+// Pending reports how many events are queued (including cancelled ones that
+// have not yet been reaped).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in the
+// past panics: that is always a logic error in a discrete-event simulation.
+func (s *Scheduler) At(at Time, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("simtime: scheduling at %v which is before now %v", at, s.now))
+	}
+	e := &Event{At: at, Run: fn, seq: s.seq}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Duration, fn func()) *Event { return s.At(s.now.Add(d), fn) }
+
+// Step executes the single next event, advancing the clock to its timestamp.
+// It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.At
+		s.nsteps++
+		e.Run()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is empty or the next event is
+// after deadline. The clock is left at the later of its current value and
+// deadline (a drained queue still advances the clock, so periodic metrics
+// windows line up).
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.queue) > 0 {
+		// Peek: queue[0] is the earliest event.
+		next := s.queue[0]
+		if next.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.At > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Run executes every pending event until the queue drains. Use with care:
+// simulations with self-rescheduling loops (render loops, periodic senders)
+// never drain and must use RunUntil.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// Ticker invokes fn every interval until stop is called, starting one
+// interval from now. It is the building block for frame loops and periodic
+// probes.
+type Ticker struct {
+	s        *Scheduler
+	interval Duration
+	fn       func(Time)
+	ev       *Event
+	stopped  bool
+}
+
+// NewTicker schedules fn to run every interval on s. fn receives the virtual
+// time of each tick.
+func NewTicker(s *Scheduler, interval Duration, fn func(Time)) *Ticker {
+	if interval <= 0 {
+		panic("simtime: non-positive ticker interval")
+	}
+	t := &Ticker{s: s, interval: interval, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.s.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.s.Now())
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels the ticker. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}

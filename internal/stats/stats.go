@@ -1,0 +1,250 @@
+// Package stats implements the descriptive statistics the paper reports:
+// means with standard deviations, percentiles, CDFs (Figure 4), and the
+// five-number box summaries (5th/25th/median/75th/95th, Figure 5).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample is an accumulating collection of float64 observations. The zero
+// value is an empty sample ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns a sample pre-populated with xs (copied).
+func NewSample(xs ...float64) *Sample {
+	s := &Sample{xs: append([]float64(nil), xs...)}
+	return s
+}
+
+// Add appends observations to the sample.
+func (s *Sample) Add(xs ...float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns the raw observations (not a copy; callers must not mutate).
+func (s *Sample) Values() []float64 { return s.xs }
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Std returns the population standard deviation, or NaN for an empty sample.
+func (s *Sample) Std() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Min returns the smallest observation, or NaN for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or NaN for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// Sum returns the total of all observations.
+func (s *Sample) Sum() float64 {
+	var t float64
+	for _, x := range s.xs {
+		t += x
+	}
+	return t
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between order statistics, or NaN for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return s.Min()
+	}
+	if p >= 100 {
+		return s.Max()
+	}
+	s.sort()
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// FractionBelow returns the empirical CDF evaluated at x: the fraction of
+// observations strictly less than or equal to x.
+func (s *Sample) FractionBelow(x float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	i := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.xs))
+}
+
+// Box is the five-number summary plus mean used by the paper's whisker
+// plots: 5th, 25th, median, 75th and 95th percentiles.
+type Box struct {
+	P5, P25, Median, P75, P95, Mean float64
+	N                               int
+}
+
+// BoxStats computes the Box summary of the sample.
+func (s *Sample) BoxStats() Box {
+	return Box{
+		P5:     s.Percentile(5),
+		P25:    s.Percentile(25),
+		Median: s.Median(),
+		P75:    s.Percentile(75),
+		P95:    s.Percentile(95),
+		Mean:   s.Mean(),
+		N:      s.N(),
+	}
+}
+
+// String renders the box summary in a compact single line.
+func (b Box) String() string {
+	return fmt.Sprintf("n=%d p5=%.3f p25=%.3f med=%.3f p75=%.3f p95=%.3f mean=%.3f",
+		b.N, b.P5, b.P25, b.Median, b.P75, b.P95, b.Mean)
+}
+
+// MeanStd formats the sample as "mean±std" with the given decimal places,
+// matching how the paper reports e.g. 108.4±16.7 Mbps.
+func (s *Sample) MeanStd(decimals int) string {
+	return fmt.Sprintf("%.*f±%.*f", decimals, s.Mean(), decimals, s.Std())
+}
+
+// CDFPoint is one (value, cumulative fraction) point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns the full empirical CDF as a step function sampled at each
+// distinct observation.
+func (s *Sample) CDF() []CDFPoint {
+	if len(s.xs) == 0 {
+		return nil
+	}
+	s.sort()
+	n := float64(len(s.xs))
+	var out []CDFPoint
+	for i := 0; i < len(s.xs); i++ {
+		// Collapse runs of equal values to the last index.
+		if i+1 < len(s.xs) && s.xs[i+1] == s.xs[i] {
+			continue
+		}
+		out = append(out, CDFPoint{Value: s.xs[i], Fraction: float64(i+1) / n})
+	}
+	return out
+}
+
+// Histogram bins the observations into nbins equal-width bins over
+// [min,max] and returns the bin counts.
+func (s *Sample) Histogram(nbins int) (edges []float64, counts []int) {
+	if len(s.xs) == 0 || nbins <= 0 {
+		return nil, nil
+	}
+	lo, hi := s.Min(), s.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	w := (hi - lo) / float64(nbins)
+	edges = make([]float64, nbins+1)
+	for i := range edges {
+		edges[i] = lo + w*float64(i)
+	}
+	counts = make([]int, nbins)
+	for _, x := range s.xs {
+		i := int((x - lo) / w)
+		if i >= nbins {
+			i = nbins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		counts[i]++
+	}
+	return edges, counts
+}
+
+// ASCIICDF renders the CDF as a small text plot (for CLI output), width
+// columns wide and height rows tall.
+func (s *Sample) ASCIICDF(width, height int) string {
+	pts := s.CDF()
+	if len(pts) == 0 || width < 2 || height < 2 {
+		return ""
+	}
+	lo, hi := pts[0].Value, pts[len(pts)-1].Value
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		col := int((p.Value - lo) / (hi - lo) * float64(width-1))
+		row := height - 1 - int(p.Fraction*float64(height-1))
+		grid[row][col] = '*'
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "[%.1f .. %.1f]\n", lo, hi)
+	return b.String()
+}

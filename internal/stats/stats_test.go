@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStd(t *testing.T) {
+	s := NewSample(2, 4, 4, 4, 5, 5, 7, 9)
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if !almost(s.Std(), 2, 1e-12) {
+		t.Errorf("Std = %v, want 2", s.Std())
+	}
+	if s.MeanStd(1) != "5.0±2.0" {
+		t.Errorf("MeanStd = %q", s.MeanStd(1))
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	for name, v := range map[string]float64{
+		"Mean": s.Mean(), "Std": s.Std(), "Min": s.Min(), "Max": s.Max(),
+		"Median": s.Median(), "FractionBelow": s.FractionBelow(1),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s on empty sample = %v, want NaN", name, v)
+		}
+	}
+	if s.CDF() != nil {
+		t.Error("CDF on empty sample should be nil")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	s := NewSample(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {75, 7.75},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); !almost(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingleValue(t *testing.T) {
+	s := NewSample(42)
+	for _, p := range []float64{0, 5, 50, 95, 100} {
+		if got := s.Percentile(p); got != 42 {
+			t.Errorf("Percentile(%v) = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestAddInvalidatesSortCache(t *testing.T) {
+	s := NewSample(5, 1)
+	_ = s.Min() // forces sort
+	s.Add(0)
+	if s.Min() != 0 {
+		t.Errorf("Min after Add = %v, want 0", s.Min())
+	}
+	if s.Max() != 5 {
+		t.Errorf("Max after Add = %v, want 5", s.Max())
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	s := NewSample(10, 20, 30, 40)
+	cases := []struct{ x, want float64 }{
+		{5, 0}, {10, 0.25}, {25, 0.5}, {40, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := s.FractionBelow(c.x); !almost(got, c.want, 1e-12) {
+			t.Errorf("FractionBelow(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestCDFMonotoneAndComplete(t *testing.T) {
+	s := NewSample(3, 1, 4, 1, 5, 9, 2, 6, 5, 3)
+	pts := s.CDF()
+	if pts[len(pts)-1].Fraction != 1 {
+		t.Errorf("CDF does not reach 1: %v", pts[len(pts)-1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value <= pts[i-1].Value || pts[i].Fraction <= pts[i-1].Fraction {
+			t.Errorf("CDF not strictly increasing at %d: %v -> %v", i, pts[i-1], pts[i])
+		}
+	}
+	// Duplicates collapse: 10 values, 7 distinct (1,2,3,4,5,6,9).
+	if len(pts) != 7 {
+		t.Errorf("CDF has %d points, want 7", len(pts))
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	s := &Sample{}
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	b := s.BoxStats()
+	if !almost(b.Median, 50.5, 1e-9) || !almost(b.Mean, 50.5, 1e-9) {
+		t.Errorf("median/mean = %v/%v, want 50.5", b.Median, b.Mean)
+	}
+	if b.P5 >= b.P25 || b.P25 >= b.Median || b.Median >= b.P75 || b.P75 >= b.P95 {
+		t.Errorf("box quantiles not ordered: %+v", b)
+	}
+	if b.N != 100 {
+		t.Errorf("N = %d, want 100", b.N)
+	}
+	if b.String() == "" {
+		t.Error("Box.String empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	s := NewSample(0, 1, 2, 3, 4, 5, 6, 7, 8, 10)
+	edges, counts := s.Histogram(5)
+	if len(edges) != 6 || len(counts) != 5 {
+		t.Fatalf("histogram shape: %d edges, %d counts", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != s.N() {
+		t.Errorf("histogram total = %d, want %d", total, s.N())
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	s := NewSample(5, 5, 5)
+	_, counts := s.Histogram(4)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("degenerate histogram lost observations: %v", counts)
+	}
+}
+
+func TestASCIICDF(t *testing.T) {
+	s := NewSample(1, 2, 3, 4, 5)
+	out := s.ASCIICDF(20, 5)
+	if out == "" {
+		t.Fatal("empty ASCII CDF")
+	}
+}
+
+// Property: percentile is monotone in p, bounded by min/max, and the median
+// of a sample equals the median of its reverse.
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 = math.Mod(math.Abs(p1), 100)
+		p2 = math.Mod(math.Abs(p2), 100)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		s := NewSample(xs...)
+		lo, hi := s.Percentile(p1), s.Percentile(p2)
+		if lo > hi {
+			return false
+		}
+		if lo < s.Min() || hi > s.Max() {
+			return false
+		}
+		rev := make([]float64, len(xs))
+		for i, x := range xs {
+			rev[len(xs)-1-i] = x
+		}
+		return NewSample(rev...).Median() == s.Median()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FractionBelow agrees with a brute-force count.
+func TestFractionBelowProperty(t *testing.T) {
+	f := func(raw []float64, x float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 || math.IsNaN(x) {
+			return true
+		}
+		n := 0
+		for _, v := range xs {
+			if v <= x {
+				n++
+			}
+		}
+		want := float64(n) / float64(len(xs))
+		return almost(NewSample(xs...).FractionBelow(x), want, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF values are exactly the sorted distinct inputs.
+func TestCDFValuesProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		distinct := map[float64]bool{}
+		for _, v := range xs {
+			distinct[v] = true
+		}
+		pts := NewSample(xs...).CDF()
+		if len(pts) != len(distinct) {
+			return false
+		}
+		vals := make([]float64, 0, len(distinct))
+		for v := range distinct {
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		for i, p := range pts {
+			if p.Value != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,532 @@
+package vca
+
+import (
+	"fmt"
+
+	"telepresence/internal/analysis"
+	"telepresence/internal/capture"
+	"telepresence/internal/geo"
+	"telepresence/internal/keypoints"
+	"telepresence/internal/netem"
+	"telepresence/internal/quic"
+	"telepresence/internal/rtp"
+	"telepresence/internal/semantic"
+	"telepresence/internal/simrand"
+	"telepresence/internal/simtime"
+	"telepresence/internal/stats"
+	"telepresence/internal/video"
+)
+
+// SessionConfig describes one telepresence session to simulate.
+type SessionConfig struct {
+	App          App
+	Participants []Participant
+	// Initiator indexes Participants; server allocation follows it.
+	Initiator int
+	Seed      int64
+	// Duration is the simulated session length (the paper uses >=120 s;
+	// tests use less).
+	Duration simtime.Duration
+	// SpatialFPS is the persona frame rate (90 on Vision Pro).
+	SpatialFPS float64
+	// VideoFPS is the 2D-persona frame rate.
+	VideoFPS float64
+	// PathModel converts geography to delays.
+	PathModel geo.PathModel
+	// FreshnessLimit is how stale the newest decoded persona frame may be
+	// before the UI shows "poor connection" (persona unavailable).
+	FreshnessLimit simtime.Duration
+	// LatencyLimit is the end-to-end media age beyond which a delivered
+	// frame no longer counts as live (queueing delay under a bandwidth
+	// cap drives frames past this and the persona goes unavailable).
+	LatencyLimit simtime.Duration
+	// SemanticMode selects the spatial-persona encoding (default:
+	// paper-faithful float32).
+	SemanticMode semantic.Mode
+}
+
+// DefaultSessionConfig returns a ready-to-run two-user configuration.
+func DefaultSessionConfig(app App, parts []Participant) SessionConfig {
+	return SessionConfig{
+		App:            app,
+		Participants:   parts,
+		Duration:       10 * simtime.Second,
+		SpatialFPS:     90,
+		VideoFPS:       30,
+		PathModel:      geo.DefaultPathModel(),
+		FreshnessLimit: 500 * simtime.Millisecond,
+	}
+}
+
+// UserStats is the per-participant measurement outcome.
+type UserStats struct {
+	ID string
+	// Uplink and Downlink are 1-second throughput samples in Mbps, as an
+	// observer at the user's AP measures them.
+	Uplink, Downlink *stats.Sample
+	// Protocol is the majority classification of this user's traffic.
+	Protocol analysis.Protocol
+	// FramesSent counts media frames emitted.
+	FramesSent int
+	// FramesDecoded counts media frames successfully decoded from all
+	// remote senders.
+	FramesDecoded int
+	// FramesUndecodable counts frames that arrived but failed the
+	// all-or-nothing semantic check.
+	FramesUndecodable int
+	// UnavailableFrac is the fraction of session time the spatial persona
+	// was unavailable ("poor connection").
+	UnavailableFrac float64
+	// MeanFrameLatencyMs is the capture-to-decode latency of delivered
+	// media frames.
+	MeanFrameLatencyMs float64
+}
+
+// Results is the outcome of a session run.
+type Results struct {
+	Plan  Plan
+	Users []UserStats
+}
+
+// Session is a fully wired simulated telepresence call.
+type Session struct {
+	cfg   SessionConfig
+	plan  Plan
+	sched *simtime.Scheduler
+	rng   *simrand.Source
+
+	// Per participant: access pipes (to server, or directly to the peer
+	// in P2P mode).
+	up, down []*netem.Link
+	caps     []*capture.Capture
+
+	// Spatial state.
+	quicUp   []*quic.Conn   // user -> server (or peer in theory; spatial is never P2P)
+	quicDown [][]*quic.Conn // [sender][receiver] server -> receiver conns
+	decoders [][]*semantic.Decoder
+
+	// Video state.
+	encoders []*video.Encoder
+	scenes   []*video.Scene
+	packers  []*rtp.Packetizer
+	depacks  [][]*rtp.Depacketizer
+	vdecs    [][]*video.Decoder
+
+	stats      []UserStats
+	lastDecode []simtime.Time // per receiver: time of last decoded frame
+	staleNs    []int64        // per receiver: accumulated unavailable time
+	latSum     []float64
+	latN       []int
+}
+
+// NewSession plans and wires a session.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	plan, err := PlanSession(cfg.App, cfg.Participants, cfg.Initiator)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("vca: non-positive duration")
+	}
+	if cfg.SpatialFPS <= 0 {
+		cfg.SpatialFPS = 90
+	}
+	if cfg.VideoFPS <= 0 {
+		cfg.VideoFPS = 30
+	}
+	if cfg.FreshnessLimit <= 0 {
+		cfg.FreshnessLimit = 500 * simtime.Millisecond
+	}
+	if cfg.LatencyLimit <= 0 {
+		cfg.LatencyLimit = 250 * simtime.Millisecond
+	}
+	s := &Session{
+		cfg:   cfg,
+		plan:  plan,
+		sched: simtime.NewScheduler(),
+		rng:   simrand.New(cfg.Seed),
+	}
+	n := len(cfg.Participants)
+	s.up = make([]*netem.Link, n)
+	s.down = make([]*netem.Link, n)
+	s.caps = make([]*capture.Capture, n)
+	s.stats = make([]UserStats, n)
+	s.lastDecode = make([]simtime.Time, n)
+	s.staleNs = make([]int64, n)
+	s.latSum = make([]float64, n)
+	s.latN = make([]int, n)
+
+	spec := SpecFor(cfg.App)
+	mkPipe := func(i int, a, b geo.Location, extraMs float64) {
+		oneWay := cfg.PathModel.BaseRTTMs(a, b)/2 + extraMs
+		p := netem.NewPipe(s.sched, s.rng.Split(fmt.Sprintf("pipe%d", i)), netem.Config{
+			Name:     fmt.Sprintf("ap-%s", cfg.Participants[i].ID),
+			DelayMs:  oneWay,
+			JitterMs: 0.3,
+		})
+		s.up[i], s.down[i] = p.AB, p.BA
+		s.caps[i] = capture.New(cfg.Participants[i].ID)
+		s.caps[i].Attach(p.AB, p.BA)
+	}
+	if plan.P2P {
+		// One pipe between the two users; each user's "uplink" is their
+		// sending direction.
+		oneWay := cfg.PathModel.BaseRTTMs(cfg.Participants[0].Loc, cfg.Participants[1].Loc) / 2
+		p := netem.NewPipe(s.sched, s.rng.Split("p2p"), netem.Config{
+			Name: "p2p", DelayMs: oneWay, JitterMs: 0.3,
+		})
+		s.up[0], s.down[0] = p.AB, p.BA
+		s.up[1], s.down[1] = p.BA, p.AB
+		s.caps[0] = capture.New(cfg.Participants[0].ID)
+		s.caps[0].Attach(p.AB, p.BA)
+		s.caps[1] = capture.New(cfg.Participants[1].ID)
+		s.caps[1].Attach(p.BA, p.AB)
+	} else {
+		for i := range cfg.Participants {
+			mkPipe(i, cfg.Participants[i].Loc, plan.Server, spec.ServerProcMs/2)
+		}
+	}
+
+	switch plan.Media {
+	case MediaSpatialPersona:
+		s.wireSpatial()
+	case Media2DVideo:
+		if err := s.wireVideo(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Plan returns the session's connectivity decision.
+func (s *Session) Plan() Plan { return s.plan }
+
+// UplinkShaper exposes the tc-equivalent impairment stage on user i's
+// uplink (§4.3's delay and bandwidth-cap experiments).
+func (s *Session) UplinkShaper(i int) *netem.Shaper { return s.up[i].Shaper() }
+
+// DownlinkShaper exposes the shaper on user i's downlink.
+func (s *Session) DownlinkShaper(i int) *netem.Shaper { return s.down[i].Shaper() }
+
+// Capture returns the AP capture of user i.
+func (s *Session) Capture(i int) *capture.Capture { return s.caps[i] }
+
+// UplinkRecords returns the delivered frames of user i's uplink only — the
+// direction a passive observer attributes to this user's sending.
+func (s *Session) UplinkRecords(i int) []capture.Record {
+	return s.caps[i].Filter(func(r capture.Record) bool {
+		return r.Dir == netem.Egress && r.Link == s.up[i].Name()
+	})
+}
+
+// DownlinkRecords returns the delivered frames of user i's downlink only.
+func (s *Session) DownlinkRecords(i int) []capture.Record {
+	return s.caps[i].Filter(func(r capture.Record) bool {
+		return r.Dir == netem.Egress && r.Link == s.down[i].Name()
+	})
+}
+
+// wireSpatial sets up the all-Vision-Pro FaceTime path: semantic frames
+// over QUIC, always relayed by the server (§4.1). Connection IDs follow a
+// scheme: user i's uplink conn is 100+i (server side 200+i); the server's
+// downlink conn for sender i toward receiver j is 1000+i*16+j (user side
+// 2000+i*16+j), so receivers know which sender each frame came from.
+func (s *Session) wireSpatial() {
+	n := len(s.cfg.Participants)
+	s.quicUp = make([]*quic.Conn, n)
+	s.quicDown = make([][]*quic.Conn, n)
+	s.decoders = make([][]*semantic.Decoder, n)
+	for i := 0; i < n; i++ {
+		s.quicDown[i] = make([]*quic.Conn, n)
+		s.decoders[i] = make([]*semantic.Decoder, n)
+	}
+	upDemux := make([]*quic.Demux, n)   // server side of up[i]
+	downDemux := make([]*quic.Demux, n) // user side of down[i]
+	for i := 0; i < n; i++ {
+		upDemux[i] = quic.NewDemux()
+		downDemux[i] = quic.NewDemux()
+		i := i
+		s.up[i].SetHandler(func(now simtime.Time, f netem.Frame) { upDemux[i].Handler(now, f) })
+		s.down[i].SetHandler(func(now simtime.Time, f netem.Frame) { downDemux[i].Handler(now, f) })
+	}
+
+	for i := 0; i < n; i++ {
+		i := i
+		// User i's uplink conn and its server-side peer.
+		up := quic.NewConn(s.sched, s.up[i], quic.Config{
+			ConnID: uint64(100 + i), PeerID: uint64(200 + i), Key: 0x5A, IsClient: true,
+		})
+		s.quicUp[i] = up
+		downDemux[i].Add(up) // ACKs from the server arrive on down[i]
+		srv := quic.NewConn(s.sched, s.down[i], quic.Config{
+			ConnID: uint64(200 + i), PeerID: uint64(100 + i), Key: 0x5A,
+		})
+		upDemux[i].Add(srv)
+		srv.OnMessage(func(m quic.Message) {
+			for j := 0; j < n; j++ {
+				if j != i {
+					s.quicDown[i][j].SendMessage(m.Data)
+				}
+			}
+		})
+	}
+	// Per (sender i, receiver j): server->receiver conn pair.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			i, j := i, j
+			srvSide := quic.NewConn(s.sched, s.down[j], quic.Config{
+				ConnID: uint64(1000 + i*16 + j), PeerID: uint64(2000 + i*16 + j), Key: 0x5A, IsClient: true,
+			})
+			s.quicDown[i][j] = srvSide
+			upDemux[j].Add(srvSide) // receiver ACKs travel on up[j]
+			userSide := quic.NewConn(s.sched, s.up[j], quic.Config{
+				ConnID: uint64(2000 + i*16 + j), PeerID: uint64(1000 + i*16 + j), Key: 0x5A,
+			})
+			downDemux[j].Add(userSide)
+			s.decoders[i][j] = semantic.NewDecoder()
+			userSide.OnMessage(func(m quic.Message) {
+				s.onSpatialFrame(i, j, m.Data, s.sched.Now())
+			})
+		}
+	}
+
+	// Senders: keypoint generators at SpatialFPS plus 24 kbps audio.
+	interval := simtime.Duration(float64(simtime.Second) / s.cfg.SpatialFPS)
+	for i := 0; i < n; i++ {
+		i := i
+		gen := keypoints.NewGenerator(s.rng.Split(fmt.Sprintf("kp%d", i)), keypoints.MotionConfig{
+			FPS: s.cfg.SpatialFPS, Expressiveness: 1, SpeakingFraction: 1 / float64(n),
+			SensorNoise: 0.0004,
+		})
+		enc := semantic.NewEncoder(s.cfg.SemanticMode)
+		simtime.NewTicker(s.sched, interval, func(now simtime.Time) {
+			f := gen.Next()
+			s.stats[i].FramesSent++
+			wire := enc.Encode(&f)
+			stamped := make([]byte, 8+len(wire))
+			putTime(stamped, now)
+			copy(stamped[8:], wire)
+			s.quicUp[i].SendMessage(stamped)
+		})
+		// Audio: 60-byte frames every 20 ms ~ 24 kbps.
+		simtime.NewTicker(s.sched, 20*simtime.Millisecond, func(simtime.Time) {
+			s.quicUp[i].SendMessage(make([]byte, 60))
+		})
+	}
+}
+
+func putTime(b []byte, t simtime.Time) {
+	v := uint64(t)
+	for k := 0; k < 8; k++ {
+		b[k] = byte(v >> (8 * (7 - k)))
+	}
+}
+
+func getTime(b []byte) simtime.Time {
+	var v uint64
+	for k := 0; k < 8; k++ {
+		v = v<<8 | uint64(b[k])
+	}
+	return simtime.Time(v)
+}
+
+// onSpatialFrame handles a reassembled message from sender i at receiver j.
+func (s *Session) onSpatialFrame(i, j int, data []byte, now simtime.Time) {
+	if len(data) < 72 {
+		return // audio frame
+	}
+	sent := getTime(data[:8])
+	wire := data[8:]
+	if _, err := s.decoders[i][j].Decode(wire); err != nil {
+		s.stats[j].FramesUndecodable++
+		return
+	}
+	s.stats[j].FramesDecoded++
+	lat := now.Sub(sent)
+	s.latSum[j] += float64(lat) / float64(simtime.Millisecond)
+	s.latN[j]++
+	if lat > s.cfg.LatencyLimit {
+		// Decoded but too old to animate a live persona: does not refresh
+		// availability.
+		return
+	}
+	if s.lastDecode[j] != 0 {
+		gap := now.Sub(s.lastDecode[j])
+		if gap > s.cfg.FreshnessLimit {
+			s.staleNs[j] += int64(gap - s.cfg.FreshnessLimit)
+		}
+	}
+	s.lastDecode[j] = now
+}
+
+// wireVideo sets up the RTP 2D-persona path used by Zoom/Webex/Teams and
+// non-all-Vision-Pro FaceTime.
+func (s *Session) wireVideo() error {
+	n := len(s.cfg.Participants)
+	spec := SpecFor(s.cfg.App)
+	s.encoders = make([]*video.Encoder, n)
+	s.scenes = make([]*video.Scene, n)
+	s.packers = make([]*rtp.Packetizer, n)
+	s.depacks = make([][]*rtp.Depacketizer, n)
+	s.vdecs = make([][]*video.Decoder, n)
+	for i := 0; i < n; i++ {
+		enc, err := video.NewEncoder(video.Config{
+			W: spec.VideoW, H: spec.VideoH, FPS: s.cfg.VideoFPS,
+			TargetBps: spec.VideoTargetBps, Quality: 1,
+			GOP: int(s.cfg.VideoFPS) * 2, SkipThreshold: 2,
+		})
+		if err != nil {
+			return err
+		}
+		s.encoders[i] = enc
+		s.scenes[i] = video.NewScene(s.rng.Split(fmt.Sprintf("scene%d", i)), spec.VideoW, spec.VideoH, s.cfg.VideoFPS)
+		pt := rtp.PTGenericVideo
+		if s.cfg.App == FaceTime {
+			pt = rtp.PTFaceTimeVideo
+		}
+		s.packers[i] = rtp.NewPacketizer(pt, uint32(7000+i))
+		s.depacks[i] = make([]*rtp.Depacketizer, n)
+		s.vdecs[i] = make([]*video.Decoder, n)
+		for j := 0; j < n; j++ {
+			if j != i {
+				s.depacks[i][j] = rtp.NewDepacketizer()
+				s.vdecs[i][j] = video.NewDecoder()
+			}
+		}
+	}
+
+	// Wiring: uplink handler forwards RTP packets to other users'
+	// downlinks (SFU) or, in P2P, straight to the peer.
+	deliverTo := func(i, j int, pkt []byte, now simtime.Time) {
+		var h rtp.Header
+		if _, err := h.Unmarshal(pkt); err != nil {
+			return
+		}
+		if h.PayloadType == rtp.PTGenericAudio || h.PayloadType == rtp.PTFaceTimeAudio {
+			return // audio contributes to throughput, not frame decode
+		}
+		// Receiver-side reassembly and decode accounting.
+		frames, err := s.depacks[i][j].Push(pkt)
+		if err != nil {
+			return
+		}
+		for _, frame := range frames {
+			if len(frame) < 9 {
+				continue
+			}
+			sent := getTime(frame[:8])
+			if _, err := s.vdecs[i][j].Decode(frame[8:]); err != nil {
+				s.stats[j].FramesUndecodable++
+				continue
+			}
+			s.stats[j].FramesDecoded++
+			s.latSum[j] += float64(now.Sub(sent)) / float64(simtime.Millisecond)
+			s.latN[j]++
+			s.lastDecode[j] = now
+		}
+	}
+
+	if s.plan.P2P {
+		// In P2P the pipe endpoints are shared; one handler per direction.
+		s.up[0].SetHandler(func(now simtime.Time, f netem.Frame) { deliverTo(0, 1, f.Payload, now) })
+		s.up[1].SetHandler(func(now simtime.Time, f netem.Frame) { deliverTo(1, 0, f.Payload, now) })
+	} else {
+		procDelay := simtime.Duration(SpecFor(s.cfg.App).ServerProcMs * float64(simtime.Millisecond))
+		for i := 0; i < n; i++ {
+			i := i
+			s.up[i].SetHandler(func(now simtime.Time, f netem.Frame) {
+				pkt := append([]byte(nil), f.Payload...)
+				size := f.Size
+				s.sched.After(procDelay, func() {
+					for j := 0; j < n; j++ {
+						if j == i {
+							continue
+						}
+						s.down[j].Send(netem.Frame{Size: size, Payload: pkt})
+					}
+				})
+			})
+			s.down[i].SetHandler(func(now simtime.Time, f netem.Frame) {
+				var h rtp.Header
+				if _, err := h.Unmarshal(f.Payload); err != nil {
+					return
+				}
+				sender := int(h.SSRC - 7000)
+				if sender >= 0 && sender < n && sender != i && s.depacks[sender][i] != nil {
+					deliverTo(sender, i, f.Payload, now)
+				}
+			})
+		}
+	}
+
+	// Senders.
+	interval := simtime.Duration(float64(simtime.Second) / s.cfg.VideoFPS)
+	for i := 0; i < n; i++ {
+		i := i
+		audio := rtp.NewPacketizer(rtp.PTGenericAudio, uint32(8000+i))
+		if s.cfg.App == FaceTime {
+			audio.PT = rtp.PTFaceTimeAudio
+		}
+		simtime.NewTicker(s.sched, interval, func(now simtime.Time) {
+			frame := s.scenes[i].Next()
+			ef, err := s.encoders[i].Encode(frame)
+			if err != nil {
+				return
+			}
+			s.stats[i].FramesSent++
+			stamped := make([]byte, 8+len(ef.Data))
+			putTime(stamped, now)
+			copy(stamped[8:], ef.Data)
+			for _, pkt := range s.packers[i].Packetize(stamped, now.Seconds()) {
+				s.up[i].Send(netem.Frame{Size: len(pkt) + 28, Payload: pkt}) // +IP/UDP overhead
+			}
+		})
+		simtime.NewTicker(s.sched, 20*simtime.Millisecond, func(now simtime.Time) {
+			for _, pkt := range audio.Packetize(make([]byte, 60), now.Seconds()) {
+				s.up[i].Send(netem.Frame{Size: len(pkt) + 28, Payload: pkt})
+			}
+		})
+	}
+	return nil
+}
+
+// Run executes the session and collects results.
+func (s *Session) Run() *Results {
+	s.sched.RunFor(s.cfg.Duration)
+	n := len(s.cfg.Participants)
+	res := &Results{Plan: s.plan, Users: make([]UserStats, n)}
+	for i := 0; i < n; i++ {
+		st := s.stats[i]
+		st.ID = s.cfg.Participants[i].ID
+		upRecs := s.caps[i].Filter(func(r capture.Record) bool {
+			return r.Dir == netem.Egress && r.Link == s.up[i].Name()
+		})
+		downRecs := s.caps[i].Filter(func(r capture.Record) bool {
+			return r.Dir == netem.Egress && r.Link == s.down[i].Name()
+		})
+		st.Uplink = analysis.ThroughputSample(upRecs, simtime.Second)
+		st.Downlink = analysis.ThroughputSample(downRecs, simtime.Second)
+		proto, _ := analysis.ClassifyCapture(append(upRecs, downRecs...))
+		st.Protocol = proto
+		if s.latN[i] > 0 {
+			st.MeanFrameLatencyMs = s.latSum[i] / float64(s.latN[i])
+		}
+		// Unavailability: stale gaps plus never-having-decoded time.
+		total := float64(s.cfg.Duration)
+		stale := float64(s.staleNs[i])
+		if s.lastDecode[i] == 0 && s.plan.Media == MediaSpatialPersona {
+			stale = total
+		} else if s.lastDecode[i] != 0 {
+			// Tail gap after the last decode.
+			if gap := s.sched.Now().Sub(s.lastDecode[i]); gap > s.cfg.FreshnessLimit {
+				stale += float64(gap - s.cfg.FreshnessLimit)
+			}
+		}
+		st.UnavailableFrac = stale / total
+		res.Users[i] = st
+	}
+	return res
+}

@@ -1,0 +1,504 @@
+// Package video implements the 2D-persona path: a block-transform video
+// codec (8x8 DCT, JPEG-style quantization, inter-frame prediction, adaptive
+// range coding) with closed-loop rate control, plus a synthetic talking-head
+// scene generator. Zoom/Webex/Teams and FaceTime's 2D persona all deliver
+// this kind of stream (§4.2); per-app resolution and target bitrate come
+// from the vca package.
+package video
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"telepresence/internal/entropy"
+)
+
+// Frame is a grayscale (luma) image. Chroma would add a roughly constant
+// factor and is not needed for any of the paper's findings.
+type Frame struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewFrame allocates a zeroed frame.
+func NewFrame(w, h int) *Frame {
+	return &Frame{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x,y), clamping out-of-range coordinates to the
+// edge (convenient for block fetches at image borders).
+func (f *Frame) At(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= f.W {
+		x = f.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= f.H {
+		y = f.H - 1
+	}
+	return f.Pix[y*f.W+x]
+}
+
+// Set writes the pixel at (x,y); out-of-range writes are ignored.
+func (f *Frame) Set(x, y int, v uint8) {
+	if x >= 0 && x < f.W && y >= 0 && y < f.H {
+		f.Pix[y*f.W+x] = v
+	}
+}
+
+// Clone deep-copies the frame.
+func (f *Frame) Clone() *Frame {
+	return &Frame{W: f.W, H: f.H, Pix: append([]uint8(nil), f.Pix...)}
+}
+
+// PSNR computes peak signal-to-noise ratio between two equally sized frames.
+func PSNR(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		return 0
+	}
+	var mse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+// --- 8x8 DCT ---
+
+var dctCos [8][8]float64
+
+func init() {
+	for k := 0; k < 8; k++ {
+		for n := 0; n < 8; n++ {
+			dctCos[k][n] = math.Cos(math.Pi / 8 * (float64(n) + 0.5) * float64(k))
+		}
+	}
+}
+
+func fdct8(block *[64]float64) {
+	var tmp [64]float64
+	for y := 0; y < 8; y++ { // rows
+		for k := 0; k < 8; k++ {
+			var s float64
+			for n := 0; n < 8; n++ {
+				s += block[y*8+n] * dctCos[k][n]
+			}
+			c := 0.5
+			if k == 0 {
+				c = 1 / (2 * math.Sqrt2)
+			}
+			tmp[y*8+k] = s * c
+		}
+	}
+	for x := 0; x < 8; x++ { // cols
+		for k := 0; k < 8; k++ {
+			var s float64
+			for n := 0; n < 8; n++ {
+				s += tmp[n*8+x] * dctCos[k][n]
+			}
+			c := 0.5
+			if k == 0 {
+				c = 1 / (2 * math.Sqrt2)
+			}
+			block[k*8+x] = s * c
+		}
+	}
+}
+
+func idct8(block *[64]float64) {
+	var tmp [64]float64
+	for x := 0; x < 8; x++ { // cols
+		for n := 0; n < 8; n++ {
+			var s float64
+			for k := 0; k < 8; k++ {
+				c := 0.5
+				if k == 0 {
+					c = 1 / (2 * math.Sqrt2)
+				}
+				s += c * block[k*8+x] * dctCos[k][n]
+			}
+			tmp[n*8+x] = s
+		}
+	}
+	for y := 0; y < 8; y++ { // rows
+		for n := 0; n < 8; n++ {
+			var s float64
+			for k := 0; k < 8; k++ {
+				c := 0.5
+				if k == 0 {
+					c = 1 / (2 * math.Sqrt2)
+				}
+				s += c * tmp[y*8+k] * dctCos[k][n]
+			}
+			block[y*8+n] = s
+		}
+	}
+}
+
+// jpegLuma is the standard JPEG luminance quantization table.
+var jpegLuma = [64]int{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+var zigzagOrder = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// Config sets up an encoder.
+type Config struct {
+	W, H int
+	// FPS is the frame rate (VCAs typically run 30).
+	FPS float64
+	// TargetBps is the closed-loop rate-control target (0 = fixed quality).
+	TargetBps float64
+	// Quality in (0,10]: initial/fixed quantizer scale; larger is better
+	// quality and more bits. 1.0 corresponds to the plain JPEG table.
+	Quality float64
+	// GOP is the keyframe interval in frames.
+	GOP int
+	// SkipThreshold is the mean absolute block difference below which a
+	// block is skipped in P-frames.
+	SkipThreshold float64
+}
+
+// DefaultConfig returns a videoconferencing-shaped configuration.
+func DefaultConfig(w, h int, targetBps float64) Config {
+	return Config{W: w, H: h, FPS: 30, TargetBps: targetBps, Quality: 1,
+		GOP: 60, SkipThreshold: 2.0}
+}
+
+// EncodedFrame is one compressed frame.
+type EncodedFrame struct {
+	Data []byte
+	Key  bool
+	// QScale records the quantizer used (for diagnostics/ABR tests).
+	QScale float64
+}
+
+// Encoder compresses frames. It keeps the decoder-visible reconstruction as
+// its prediction reference so encoder and decoder never drift.
+type Encoder struct {
+	cfg     Config
+	ref     *Frame // last reconstruction
+	n       int    // frames encoded
+	qscale  float64
+	bitDebt float64 // rate-control integrator
+}
+
+// NewEncoder validates cfg and returns an encoder.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	if cfg.W <= 0 || cfg.H <= 0 {
+		return nil, fmt.Errorf("video: bad dimensions %dx%d", cfg.W, cfg.H)
+	}
+	if cfg.GOP <= 0 {
+		cfg.GOP = 60
+	}
+	if cfg.Quality <= 0 {
+		cfg.Quality = 1
+	}
+	if cfg.FPS <= 0 {
+		cfg.FPS = 30
+	}
+	return &Encoder{cfg: cfg, qscale: cfg.Quality}, nil
+}
+
+// Config returns the encoder configuration (with defaults applied).
+func (e *Encoder) Config() Config { return e.cfg }
+
+const (
+	frameKey   = 0x49 // 'I'
+	frameDelta = 0x50 // 'P'
+)
+
+// Encode compresses f. Frames must match the configured dimensions.
+func (e *Encoder) Encode(f *Frame) (*EncodedFrame, error) {
+	if f.W != e.cfg.W || f.H != e.cfg.H {
+		return nil, fmt.Errorf("video: frame %dx%d vs config %dx%d", f.W, f.H, e.cfg.W, e.cfg.H)
+	}
+	key := e.n%e.cfg.GOP == 0 || e.ref == nil
+	e.n++
+
+	bw := (f.W + 7) / 8
+	bh := (f.H + 7) / 8
+	recon := NewFrame(f.W, f.H)
+
+	// Payload: per block, a skip flag byte stream and coefficient stream.
+	body := make([]byte, 0, bw*bh*8)
+	var vbuf [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) {
+		n := binary.PutUvarint(vbuf[:], v)
+		body = append(body, vbuf[:n]...)
+	}
+	zig := func(v int32) uint64 { return uint64(uint32(v<<1) ^ uint32(v>>31)) }
+
+	q := e.quantTable()
+	var block [64]float64
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			ox, oy := bx*8, by*8
+			// P-frame skip decision against the reference reconstruction.
+			if !key {
+				var sad float64
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						sad += math.Abs(float64(f.At(ox+x, oy+y)) - float64(e.ref.At(ox+x, oy+y)))
+					}
+				}
+				if sad/64 < e.cfg.SkipThreshold {
+					body = append(body, 0) // skip
+					for y := 0; y < 8; y++ {
+						for x := 0; x < 8; x++ {
+							recon.Set(ox+x, oy+y, e.ref.At(ox+x, oy+y))
+						}
+					}
+					continue
+				}
+				body = append(body, 1) // coded
+			}
+			// Residual (or intra) block.
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					v := float64(f.At(ox+x, oy+y))
+					if !key {
+						v -= float64(e.ref.At(ox+x, oy+y))
+					} else {
+						v -= 128
+					}
+					block[y*8+x] = v
+				}
+			}
+			fdct8(&block)
+			// Quantize + zigzag + run-length code.
+			run := 0
+			for _, zi := range zigzagOrder {
+				c := int32(math.Round(block[zi] / q[zi]))
+				block[zi] = float64(c) * q[zi] // dequantize for recon
+				if c == 0 {
+					run++
+					continue
+				}
+				putUv(uint64(run))
+				putUv(zig(c))
+				run = 0
+			}
+			putUv(uint64(run) | 1<<20) // end-of-block marker: impossible run
+			// Reconstruct exactly as the decoder will.
+			idct8(&block)
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					v := block[y*8+x]
+					if !key {
+						v += float64(e.ref.At(ox+x, oy+y))
+					} else {
+						v += 128
+					}
+					recon.Set(ox+x, oy+y, clamp255(v))
+				}
+			}
+		}
+	}
+	e.ref = recon
+
+	hdr := make([]byte, 0, 16)
+	if key {
+		hdr = append(hdr, frameKey)
+	} else {
+		hdr = append(hdr, frameDelta)
+	}
+	var d [8]byte
+	binary.LittleEndian.PutUint16(d[0:], uint16(f.W))
+	binary.LittleEndian.PutUint16(d[2:], uint16(f.H))
+	binary.LittleEndian.PutUint32(d[4:], math.Float32bits(float32(e.qscale)))
+	hdr = append(hdr, d[:]...)
+	out := entropy.Compress(hdr, body)
+
+	ef := &EncodedFrame{Data: out, Key: key, QScale: e.qscale}
+	e.adaptRate(len(out))
+	return ef, nil
+}
+
+func clamp255(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(math.Round(v))
+}
+
+// quantTable scales the JPEG table by the current quantizer: higher qscale
+// means finer quantization (better quality, more bits).
+func (e *Encoder) quantTable() [64]float64 {
+	var q [64]float64
+	for i, v := range jpegLuma {
+		q[i] = float64(v) / e.qscale
+		if q[i] < 0.5 {
+			q[i] = 0.5
+		}
+	}
+	return q
+}
+
+// adaptRate is a simple closed-loop controller nudging qscale so that mean
+// frame size approaches TargetBps/FPS. Real VCAs do the same at the encoder
+// level (the paper observes the resulting per-app bitrates in Figure 5).
+func (e *Encoder) adaptRate(actualBytes int) {
+	if e.cfg.TargetBps <= 0 {
+		return
+	}
+	targetBytes := e.cfg.TargetBps / 8 / e.cfg.FPS
+	ratio := float64(actualBytes) / targetBytes
+	// Proportional step with damping; clamp to a sane quantizer window.
+	e.qscale *= math.Pow(ratio, -0.3)
+	if e.qscale < 0.02 {
+		e.qscale = 0.02
+	}
+	if e.qscale > 10 {
+		e.qscale = 10
+	}
+}
+
+// Decoder decompresses the encoder's output.
+type Decoder struct {
+	ref *Frame
+}
+
+// NewDecoder returns an empty decoder.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// ErrCorrupt reports an undecodable video frame.
+var ErrCorrupt = errors.New("video: corrupt frame")
+
+// Decode reconstructs one frame.
+func (d *Decoder) Decode(data []byte) (*Frame, error) {
+	if len(data) < 9 {
+		return nil, ErrCorrupt
+	}
+	kind := data[0]
+	w := int(binary.LittleEndian.Uint16(data[1:]))
+	h := int(binary.LittleEndian.Uint16(data[3:]))
+	qscale := float64(math.Float32frombits(binary.LittleEndian.Uint32(data[5:])))
+	if w <= 0 || h <= 0 || qscale <= 0 {
+		return nil, ErrCorrupt
+	}
+	key := kind == frameKey
+	if !key && kind != frameDelta {
+		return nil, ErrCorrupt
+	}
+	if !key && (d.ref == nil || d.ref.W != w || d.ref.H != h) {
+		return nil, fmt.Errorf("%w: delta frame without reference", ErrCorrupt)
+	}
+	body, err := entropy.Decompress(nil, data[9:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	var q [64]float64
+	for i, v := range jpegLuma {
+		q[i] = float64(v) / qscale
+		if q[i] < 0.5 {
+			q[i] = 0.5
+		}
+	}
+
+	pos := 0
+	getUv := func() (uint64, error) {
+		v, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, ErrCorrupt
+		}
+		pos += n
+		return v, nil
+	}
+
+	out := NewFrame(w, h)
+	bw, bh := (w+7)/8, (h+7)/8
+	var block [64]float64
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			ox, oy := bx*8, by*8
+			if !key {
+				if pos >= len(body) {
+					return nil, ErrCorrupt
+				}
+				flag := body[pos]
+				pos++
+				if flag == 0 { // skipped block
+					for y := 0; y < 8; y++ {
+						for x := 0; x < 8; x++ {
+							out.Set(ox+x, oy+y, d.ref.At(ox+x, oy+y))
+						}
+					}
+					continue
+				}
+				if flag != 1 {
+					return nil, ErrCorrupt
+				}
+			}
+			for i := range block {
+				block[i] = 0
+			}
+			zi := 0
+			for {
+				run, err := getUv()
+				if err != nil {
+					return nil, err
+				}
+				if run >= 1<<20 { // end of block
+					break
+				}
+				zi += int(run)
+				val, err := getUv()
+				if err != nil {
+					return nil, err
+				}
+				if zi >= 64 {
+					return nil, ErrCorrupt
+				}
+				c := int32(val>>1) ^ -int32(val&1)
+				block[zigzagOrder[zi]] = float64(c) * q[zigzagOrder[zi]]
+				zi++
+			}
+			idct8(&block)
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					v := block[y*8+x]
+					if key {
+						v += 128
+					} else {
+						v += float64(d.ref.At(ox+x, oy+y))
+					}
+					out.Set(ox+x, oy+y, clamp255(v))
+				}
+			}
+		}
+	}
+	d.ref = out
+	return out.Clone(), nil
+}

@@ -1,0 +1,114 @@
+package video
+
+import (
+	"math"
+
+	"telepresence/internal/simrand"
+)
+
+// Scene synthesizes talking-head frames for 2D-persona experiments: a static
+// background (the paper notes 2D-persona backgrounds are static and need not
+// be delivered), a head ellipse with natural drift, a syllabic mouth, hand
+// blobs while gesturing, and mild camera sensor noise — the content mix that
+// determines videoconferencing bitrates.
+type Scene struct {
+	W, H int
+
+	rng      *simrand.Source
+	noiseRng *simrand.Source
+	headX    *simrand.OU
+	headY    *simrand.OU
+	headS    *simrand.OU
+	handAmp  *simrand.OU
+	bg       []uint8
+	t        float64
+	fps      float64
+	// NoiseLevel is the camera noise std dev in grey levels.
+	NoiseLevel float64
+}
+
+// NewScene builds a scene of the given dimensions at fps.
+func NewScene(rng *simrand.Source, w, h int, fps float64) *Scene {
+	s := &Scene{
+		W: w, H: h, fps: fps,
+		rng:        rng,
+		noiseRng:   rng.Split("noise"),
+		headX:      simrand.NewOU(rng.Split("hx"), 0, 0.6, 0.05),
+		headY:      simrand.NewOU(rng.Split("hy"), 0, 0.8, 0.03),
+		headS:      simrand.NewOU(rng.Split("hs"), 1, 0.5, 0.04),
+		handAmp:    simrand.NewOU(rng.Split("ha"), 0.3, 0.4, 0.3),
+		NoiseLevel: 1.2,
+	}
+	// Static background: soft diagonal gradient with some furniture-like
+	// rectangles.
+	s.bg = make([]uint8, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 90 + 50*float64(x)/float64(w) + 20*float64(y)/float64(h)
+			s.bg[y*w+x] = uint8(v)
+		}
+	}
+	for r := 0; r < 4; r++ {
+		x0, y0 := rng.Intn(w*3/4), rng.Intn(h*3/4)
+		x1, y1 := x0+rng.Intn(w/4)+8, y0+rng.Intn(h/4)+8
+		shade := uint8(60 + rng.Intn(120))
+		for y := y0; y < y1 && y < h; y++ {
+			for x := x0; x < x1 && x < w; x++ {
+				s.bg[y*w+x] = shade
+			}
+		}
+	}
+	return s
+}
+
+// Next renders the following frame.
+func (s *Scene) Next() *Frame {
+	dt := 1 / s.fps
+	s.t += dt
+	f := &Frame{W: s.W, H: s.H, Pix: append([]uint8(nil), s.bg...)}
+
+	cx := float64(s.W)/2 + s.headX.Step(dt)*float64(s.W)/4
+	cy := float64(s.H)*0.45 + s.headY.Step(dt)*float64(s.H)/6
+	scale := s.headS.Step(dt)
+	rx := float64(s.W) * 0.14 * scale
+	ry := float64(s.H) * 0.28 * scale
+
+	fill := func(ecx, ecy, erx, ery float64, shade uint8) {
+		x0, x1 := int(ecx-erx)-1, int(ecx+erx)+1
+		y0, y1 := int(ecy-ery)-1, int(ecy+ery)+1
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				dx := (float64(x) - ecx) / erx
+				dy := (float64(y) - ecy) / ery
+				if dx*dx+dy*dy <= 1 {
+					f.Set(x, y, shade)
+				}
+			}
+		}
+	}
+	// Shoulders, head, eyes.
+	fill(cx, cy+ry*1.6, rx*2.3, ry*0.9, 70)
+	fill(cx, cy, rx, ry, 190)
+	fill(cx-rx*0.35, cy-ry*0.15, rx*0.12, ry*0.06, 30)
+	fill(cx+rx*0.35, cy-ry*0.15, rx*0.12, ry*0.06, 30)
+	// Mouth: 5 Hz syllabic open/close.
+	mouth := 0.5 + 0.5*math.Sin(2*math.Pi*5*s.t)
+	fill(cx, cy+ry*0.4, rx*0.3, ry*(0.03+0.08*mouth), 40)
+	// Hands while gesturing.
+	amp := s.handAmp.Step(dt)
+	if amp > 0 {
+		hx := cx - rx*2 + math.Sin(2*math.Pi*1.3*s.t)*rx*amp
+		hy := cy + ry*1.2 + math.Cos(2*math.Pi*0.9*s.t)*ry*0.3*amp
+		fill(hx, hy, rx*0.35, rx*0.35, 185)
+		fill(2*cx-hx, hy, rx*0.35, rx*0.35, 185)
+	}
+	// Camera sensor noise.
+	if s.NoiseLevel > 0 {
+		for i := range f.Pix {
+			n := s.noiseRng.Normal(0, s.NoiseLevel)
+			v := float64(f.Pix[i]) + n
+			f.Pix[i] = clamp255(v)
+		}
+	}
+	return f
+}

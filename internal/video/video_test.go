@@ -1,0 +1,318 @@
+package video
+
+import (
+	"math"
+	"testing"
+
+	"telepresence/internal/simrand"
+)
+
+func TestDCTRoundTrip(t *testing.T) {
+	rng := simrand.New(1)
+	var block, orig [64]float64
+	for i := range block {
+		block[i] = rng.Uniform(-128, 128)
+		orig[i] = block[i]
+	}
+	fdct8(&block)
+	idct8(&block)
+	for i := range block {
+		if math.Abs(block[i]-orig[i]) > 1e-9 {
+			t.Fatalf("DCT round trip error %v at %d", block[i]-orig[i], i)
+		}
+	}
+}
+
+func TestDCTEnergyCompaction(t *testing.T) {
+	// A smooth gradient block should concentrate energy in low
+	// frequencies.
+	var block [64]float64
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			block[y*8+x] = float64(x + y)
+		}
+	}
+	fdct8(&block)
+	var low, total float64
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			e := block[y*8+x] * block[y*8+x]
+			total += e
+			if x < 2 && y < 2 {
+				low += e
+			}
+		}
+	}
+	if low/total < 0.95 {
+		t.Errorf("low-frequency energy fraction %.3f, want > 0.95", low/total)
+	}
+}
+
+func TestFrameAtClamps(t *testing.T) {
+	f := NewFrame(4, 4)
+	f.Set(3, 3, 77)
+	if f.At(10, 10) != 77 {
+		t.Errorf("At should clamp to edge, got %d", f.At(10, 10))
+	}
+	if f.At(-5, -5) != f.At(0, 0) {
+		t.Error("negative clamp broken")
+	}
+	f.Set(100, 100, 1) // must not panic or write
+}
+
+func TestEncodeDecodeKeyFrame(t *testing.T) {
+	rng := simrand.New(2)
+	scene := NewScene(rng, 160, 120, 30)
+	enc, err := NewEncoder(Config{W: 160, H: 120, FPS: 30, Quality: 2, GOP: 30, SkipThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder()
+	f := scene.Next()
+	ef, err := enc.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ef.Key {
+		t.Error("first frame not a keyframe")
+	}
+	got, err := dec.Decode(ef.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := PSNR(f, got); p < 30 {
+		t.Errorf("keyframe PSNR = %.1f dB, want > 30", p)
+	}
+}
+
+func TestEncodeDecodeSequenceNoDrift(t *testing.T) {
+	rng := simrand.New(3)
+	scene := NewScene(rng, 160, 120, 30)
+	enc, _ := NewEncoder(Config{W: 160, H: 120, FPS: 30, Quality: 1.5, GOP: 30, SkipThreshold: 2})
+	dec := NewDecoder()
+	for i := 0; i < 90; i++ {
+		f := scene.Next()
+		ef, err := enc.Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(ef.Data)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if p := PSNR(f, got); p < 26 {
+			t.Fatalf("frame %d PSNR = %.1f dB (drift?)", i, p)
+		}
+	}
+}
+
+func TestGOPStructure(t *testing.T) {
+	rng := simrand.New(4)
+	scene := NewScene(rng, 96, 96, 30)
+	enc, _ := NewEncoder(Config{W: 96, H: 96, FPS: 30, Quality: 1, GOP: 10, SkipThreshold: 2})
+	for i := 0; i < 30; i++ {
+		ef, err := enc.Encode(scene.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i%10 == 0; ef.Key != want {
+			t.Errorf("frame %d key=%v, want %v", i, ef.Key, want)
+		}
+	}
+}
+
+func TestPFramesSmallerThanIFrames(t *testing.T) {
+	rng := simrand.New(5)
+	scene := NewScene(rng, 160, 120, 30)
+	scene.NoiseLevel = 0 // isolate inter prediction from camera noise
+	enc, _ := NewEncoder(Config{W: 160, H: 120, FPS: 30, Quality: 1, GOP: 100, SkipThreshold: 2})
+	// Static content: after the keyframe, every block should skip and P
+	// frames collapse to almost nothing.
+	f := scene.Next()
+	iFrame, _ := enc.Encode(f)
+	p1, _ := enc.Encode(f)
+	if p1.Key {
+		t.Fatal("expected P frame")
+	}
+	if len(p1.Data) >= len(iFrame.Data)/5 {
+		t.Errorf("static P frame %d B vs I %d B: skip mode ineffective", len(p1.Data), len(iFrame.Data))
+	}
+	// Moving content: P frames still beat I frames.
+	pTotal, pCount := 0, 0
+	for i := 0; i < 20; i++ {
+		ef, _ := enc.Encode(scene.Next())
+		if !ef.Key {
+			pTotal += len(ef.Data)
+			pCount++
+		}
+	}
+	if pMean := float64(pTotal) / float64(pCount); pMean >= float64(len(iFrame.Data)) {
+		t.Errorf("moving P mean %.0f B not below I %d B", pMean, len(iFrame.Data))
+	}
+}
+
+func TestRateControlConverges(t *testing.T) {
+	rng := simrand.New(6)
+	const target = 500_000.0 // 500 kbps
+	scene := NewScene(rng, 320, 180, 30)
+	cfg := DefaultConfig(320, 180, target)
+	enc, _ := NewEncoder(cfg)
+	var bytes int
+	const n = 150
+	for i := 0; i < n; i++ {
+		ef, err := enc.Encode(scene.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 30 { // after convergence window
+			bytes += len(ef.Data)
+		}
+	}
+	got := float64(bytes) * 8 / float64(n-30) * 30
+	if got < target*0.6 || got > target*1.6 {
+		t.Errorf("rate control: %.0f bps, want ~%.0f", got, target)
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	dec := NewDecoder()
+	if _, err := dec.Decode(nil); err == nil {
+		t.Error("nil frame accepted")
+	}
+	// Delta frame without reference.
+	rng := simrand.New(7)
+	scene := NewScene(rng, 64, 64, 30)
+	enc, _ := NewEncoder(Config{W: 64, H: 64, FPS: 30, Quality: 1, GOP: 5, SkipThreshold: 2})
+	enc.Encode(scene.Next()) // I
+	p, _ := enc.Encode(scene.Next())
+	if p.Key {
+		t.Fatal("expected P frame")
+	}
+	if _, err := NewDecoder().Decode(p.Data); err == nil {
+		t.Error("cold-start P frame accepted")
+	}
+}
+
+func TestDecodeCorruptNoPanic(t *testing.T) {
+	rng := simrand.New(8)
+	scene := NewScene(rng, 64, 64, 30)
+	enc, _ := NewEncoder(Config{W: 64, H: 64, FPS: 30, Quality: 1, GOP: 5, SkipThreshold: 2})
+	ef, _ := enc.Encode(scene.Next())
+	mut := append([]byte(nil), ef.Data...)
+	for trial := 0; trial < 200; trial++ {
+		i := rng.Intn(len(mut))
+		old := mut[i]
+		mut[i] ^= byte(1 + rng.Intn(255))
+		dec := NewDecoder()
+		_, _ = dec.Decode(mut) // must not panic
+		mut[i] = old
+	}
+}
+
+func TestEncodeWrongSize(t *testing.T) {
+	enc, _ := NewEncoder(Config{W: 64, H: 64, FPS: 30, Quality: 1})
+	if _, err := enc.Encode(NewFrame(32, 32)); err == nil {
+		t.Error("mismatched frame size accepted")
+	}
+}
+
+func TestNewEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(Config{W: 0, H: 10}); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestHigherQualityMoreBitsBetterPSNR(t *testing.T) {
+	run := func(q float64) (int, float64) {
+		scene := NewScene(simrand.New(9), 160, 120, 30)
+		enc, _ := NewEncoder(Config{W: 160, H: 120, FPS: 30, Quality: q, GOP: 100, SkipThreshold: 0})
+		dec := NewDecoder()
+		f := scene.Next()
+		ef, _ := enc.Encode(f)
+		got, err := dec.Decode(ef.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(ef.Data), PSNR(f, got)
+	}
+	loBytes, loPSNR := run(0.3)
+	hiBytes, hiPSNR := run(3)
+	if hiBytes <= loBytes {
+		t.Errorf("higher quality fewer bits: %d vs %d", hiBytes, loBytes)
+	}
+	if hiPSNR <= loPSNR {
+		t.Errorf("higher quality worse PSNR: %.1f vs %.1f", hiPSNR, loPSNR)
+	}
+}
+
+func TestSceneDeterminism(t *testing.T) {
+	a := NewScene(simrand.New(10), 80, 60, 30)
+	b := NewScene(simrand.New(10), 80, 60, 30)
+	for i := 0; i < 10; i++ {
+		fa, fb := a.Next(), b.Next()
+		for j := range fa.Pix {
+			if fa.Pix[j] != fb.Pix[j] {
+				t.Fatalf("scene diverged at frame %d pixel %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSceneHasMotion(t *testing.T) {
+	s := NewScene(simrand.New(11), 80, 60, 30)
+	a := s.Next()
+	var diff int
+	for i := 0; i < 30; i++ {
+		b := s.Next()
+		for j := range a.Pix {
+			d := int(a.Pix[j]) - int(b.Pix[j])
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		a = b
+	}
+	if diff == 0 {
+		t.Error("scene is static")
+	}
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	f := NewFrame(8, 8)
+	if !math.IsInf(PSNR(f, f.Clone()), 1) {
+		t.Error("identical frames should have infinite PSNR")
+	}
+	if PSNR(f, NewFrame(4, 4)) != 0 {
+		t.Error("mismatched sizes should return 0")
+	}
+}
+
+func BenchmarkEncode360p(b *testing.B) {
+	scene := NewScene(simrand.New(12), 640, 360, 30)
+	enc, _ := NewEncoder(DefaultConfig(640, 360, 1.5e6))
+	frames := make([]*Frame, 16)
+	for i := range frames {
+		frames[i] = scene.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(frames[i%16]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode360p(b *testing.B) {
+	scene := NewScene(simrand.New(13), 640, 360, 30)
+	enc, _ := NewEncoder(DefaultConfig(640, 360, 1.5e6))
+	ef, _ := enc.Encode(scene.Next())
+	b.SetBytes(int64(len(ef.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := NewDecoder()
+		if _, err := dec.Decode(ef.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package telepresence is the public API of the immersive-telepresence
+// simulation framework reproducing "A First Look at Immersive Telepresence
+// on Apple Vision Pro" (IMC 2024).
+//
+// The package exposes three layers:
+//
+//   - Sessions: build and run simulated telepresence calls on any of the
+//     four modeled applications (FaceTime, Zoom, Webex, Teams), with
+//     tc-style impairments, packet captures and per-user statistics.
+//   - Experiments: one runner per figure/analysis in the paper (Fig4,
+//     Fig5, Fig6, Fig7, MeshStreaming, KeypointStreaming, DisplayLatency,
+//     RateAdaptation, AnycastAudit, ProtocolMatrix, RemoteRenderAblation).
+//   - Building blocks, re-exported for direct use: the semantic codec, the
+//     mesh codec, the renderer cost model, and the geography/RTT model.
+//
+// Everything is deterministic given a seed; nothing touches the wall clock
+// or the real network.
+package telepresence
+
+import (
+	"telepresence/internal/core"
+	"telepresence/internal/geo"
+	"telepresence/internal/render"
+	"telepresence/internal/semantic"
+	"telepresence/internal/simtime"
+	"telepresence/internal/stats"
+	"telepresence/internal/vca"
+)
+
+// Version identifies the release of this framework.
+const Version = "1.0.0"
+
+// Application and device models (§3.1, Figure 3).
+type (
+	// App identifies one of the four measured videoconferencing apps.
+	App = vca.App
+	// Device is a participant's hardware.
+	Device = vca.Device
+	// Participant is one session member.
+	Participant = vca.Participant
+	// Plan is a session's §4.1 connectivity/media decision.
+	Plan = vca.Plan
+	// MediaKind distinguishes spatial personas from 2D video.
+	MediaKind = vca.MediaKind
+	// Transport is QUIC or RTP.
+	Transport = vca.Transport
+)
+
+// Applications and devices.
+const (
+	FaceTime = vca.FaceTime
+	Zoom     = vca.Zoom
+	Webex    = vca.Webex
+	Teams    = vca.Teams
+
+	VisionPro = vca.VisionPro
+	MacBook   = vca.MacBook
+	IPad      = vca.IPad
+	IPhone    = vca.IPhone
+
+	MediaSpatialPersona = vca.MediaSpatialPersona
+	Media2DVideo        = vca.Media2DVideo
+	TransportQUIC       = vca.TransportQUIC
+	TransportRTP        = vca.TransportRTP
+)
+
+// MaxSpatialUsers is FaceTime's spatial-persona cap (five, §4.5).
+const MaxSpatialUsers = vca.MaxSpatialUsers
+
+// Sessions.
+type (
+	// Session is a fully wired simulated call.
+	Session = vca.Session
+	// SessionConfig parameterizes a session.
+	SessionConfig = vca.SessionConfig
+	// SessionResults is a session's measurement outcome.
+	SessionResults = vca.Results
+	// UserStats is one participant's measurements.
+	UserStats = vca.UserStats
+)
+
+// NewSession plans (per the paper's §4.1 matrix) and wires a session.
+func NewSession(cfg SessionConfig) (*Session, error) { return vca.NewSession(cfg) }
+
+// DefaultSessionConfig returns a ready-to-run configuration.
+func DefaultSessionConfig(app App, parts []Participant) SessionConfig {
+	return vca.DefaultSessionConfig(app, parts)
+}
+
+// PlanSession evaluates the §4.1 decision matrix without running anything.
+func PlanSession(app App, parts []Participant, initiator int) (Plan, error) {
+	return vca.PlanSession(app, parts, initiator)
+}
+
+// Geography (§4.1).
+type Location = geo.Location
+
+// Vantage points and server locations.
+var (
+	VantagePoints = geo.VantagePoints
+	Seattle       = geo.Seattle
+	SanFrancisco  = geo.SanFrancisco
+	LosAngeles    = geo.LosAngeles
+	Denver        = geo.Denver
+	Chicago       = geo.Chicago
+	Austin        = geo.Austin
+	NewYork       = geo.NewYork
+	Ashburn       = geo.Ashburn
+	Miami         = geo.Miami
+)
+
+// Experiments: options and runners.
+type (
+	// Options scales experiments (Quick for CI, Full for paper scale).
+	Options = core.Options
+	// Experiment row types, one per figure.
+	Fig4Row                 = core.Fig4Row
+	Fig5Row                 = core.Fig5Row
+	Fig6Row                 = core.Fig6Row
+	Fig7Row                 = core.Fig7Row
+	ProtocolCase            = core.ProtocolCase
+	DisplayLatencyRow       = core.DisplayLatencyRow
+	RateAdaptationRow       = core.RateAdaptationRow
+	RemoteRenderRow         = core.RemoteRenderRow
+	MeshStreamingResult     = core.MeshStreamingResult
+	KeypointStreamingResult = core.KeypointStreamingResult
+	AnycastVerdict          = vca.AnycastVerdict
+	MultiServerRow          = core.MultiServerRow
+	ServerPolicy            = core.ServerPolicy
+	ViewportDeliveryRow     = core.ViewportDeliveryRow
+	QoESweepRow             = core.QoESweepRow
+)
+
+// Server policies for the Implications-1 ablation.
+const (
+	PolicyInitiator      = core.PolicyInitiator
+	PolicyCentral        = core.PolicyCentral
+	PolicyGeoDistributed = core.PolicyGeoDistributed
+)
+
+// Quick returns CI-scale experiment options.
+func Quick(seed int64) Options { return core.Quick(seed) }
+
+// Full returns paper-scale experiment options (120 s sessions, 5 reps).
+func Full(seed int64) Options { return core.Full(seed) }
+
+// Experiment runners; see DESIGN.md for the per-experiment index.
+var (
+	Fig4                 = core.Fig4
+	Fig5                 = core.Fig5
+	Fig6                 = core.Fig6
+	Fig7                 = core.Fig7
+	ProtocolMatrix       = core.ProtocolMatrix
+	MeshStreaming        = core.MeshStreaming
+	KeypointStreaming    = core.KeypointStreaming
+	DisplayLatency       = core.DisplayLatency
+	RateAdaptation       = core.RateAdaptation
+	AnycastAudit         = core.AnycastAudit
+	RemoteRenderAblation = core.RemoteRenderAblation
+	// Extensions implementing the paper's Implications proposals.
+	MultiServerAblation      = core.MultiServerAblation
+	ViewportDeliveryAblation = core.ViewportDeliveryAblation
+	PassiveQoESweep          = core.PassiveQoESweep
+)
+
+// Statistics helpers (re-exported for consumers of experiment rows).
+type (
+	// Sample is an accumulating set of observations.
+	Sample = stats.Sample
+	// Box is the five-number summary used by the paper's plots.
+	Box = stats.Box
+)
+
+// Rendering model (§4.4, §4.5).
+type (
+	// CostModel holds the calibrated GPU/CPU constants.
+	CostModel = render.CostModel
+	// Optimizations selects visibility-aware optimizations.
+	Optimizations = render.Optimizations
+)
+
+// Rendering helpers.
+var (
+	DefaultCostModel      = render.DefaultCostModel
+	FaceTimeOptimizations = render.FaceTimeOptimizations
+)
+
+// RenderDeadlineMs is the 90 FPS frame budget (~11.1 ms, §3.2).
+const RenderDeadlineMs = render.DeadlineMs
+
+// Semantic codec modes (§4.3).
+const (
+	// SemanticFloat32 is the paper-faithful raw-float encoding.
+	SemanticFloat32 = semantic.ModeFloat32
+	// SemanticQuantized is the quantized-delta ablation encoding.
+	SemanticQuantized = semantic.ModeQuantized
+)
+
+// Durations, re-exported so callers need not import simtime.
+type Duration = simtime.Duration
+
+// Second is one simulated second.
+const Second = simtime.Second
