@@ -91,8 +91,44 @@ func ExamplePlanSession() {
 // ExampleKeypointStreaming reproduces the paper's 74-keypoint bandwidth
 // estimate.
 func ExampleKeypointStreaming() {
-	res := tp.KeypointStreaming(tp.Quick(4))
+	res, err := tp.KeypointStreaming(tp.Quick(4))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%d keypoints, under 1 Mbps: %v\n",
 		res.Keypoints, res.MbpsSample.Mean() < 1)
 	// Output: 74 keypoints, under 1 Mbps: true
+}
+
+func TestPublicFleetAPI(t *testing.T) {
+	exps := tp.Experiments()
+	if len(exps) < 14 {
+		t.Fatalf("%d experiments registered, want >=14", len(exps))
+	}
+	if _, ok := tp.LookupExperiment("fig5"); !ok {
+		t.Error("fig5 not addressable by name")
+	}
+	sel, err := tp.SelectExperiments("servers", "protocols")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := tp.Quick(5)
+	opts.SessionDuration = 4 * tp.Second
+	results, err := tp.FleetRun(sel, opts, tp.FleetConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := tp.NewMemorySink()
+	err = tp.FleetWrite(results, func(tp.Experiment) (tp.Sink, error) { return sink, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// servers: 3 policy rows; protocols: 8 matrix rows.
+	if len(sink.Rows) != 11 {
+		t.Errorf("%d rows through the public fleet API, want 11", len(sink.Rows))
+	}
+	m := tp.NewFleetManifest(opts, 4, 0, results)
+	if m.Seed != 5 || len(m.Experiments) != 2 {
+		t.Errorf("manifest = %+v", m)
+	}
 }

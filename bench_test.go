@@ -30,7 +30,11 @@ func benchOpts(seed int64) tp.Options {
 func BenchmarkFig4ServerRTT(b *testing.B) {
 	var rows []tp.Fig4Row
 	for i := 0; i < b.N; i++ {
-		rows = tp.Fig4(benchOpts(1))
+		var err error
+		rows, err = tp.Fig4(benchOpts(1))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	byLabel := map[string]tp.Fig4Row{}
 	worst := 0.0
@@ -103,7 +107,11 @@ func BenchmarkMeshStreaming(b *testing.B) {
 func BenchmarkKeypointStreaming(b *testing.B) {
 	var res *tp.KeypointStreamingResult
 	for i := 0; i < b.N; i++ {
-		res = tp.KeypointStreaming(benchOpts(4))
+		var err error
+		res, err = tp.KeypointStreaming(benchOpts(4))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(res.MbpsSample.Mean(), "Mbps_paper0.64")
 	b.ReportMetric(float64(res.Keypoints), "keypoints_paper74")
@@ -115,7 +123,11 @@ func BenchmarkKeypointStreaming(b *testing.B) {
 func BenchmarkDisplayLatency(b *testing.B) {
 	var rows []tp.DisplayLatencyRow
 	for i := 0; i < b.N; i++ {
-		rows = tp.DisplayLatency(benchOpts(5), []float64{0, 250, 500, 1000})
+		var err error
+		rows, err = tp.DisplayLatency(benchOpts(5), []float64{0, 250, 500, 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	maxSemantic, maxPrerendered := 0.0, 0.0
 	for _, r := range rows {
@@ -206,7 +218,11 @@ func BenchmarkRemoteRenderingAblation(b *testing.B) {
 func BenchmarkAnycastAudit(b *testing.B) {
 	var verdicts []tp.AnycastVerdict
 	for i := 0; i < b.N; i++ {
-		verdicts = tp.AnycastAudit(benchOpts(10))
+		var err error
+		verdicts, err = tp.AnycastAudit(benchOpts(10))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	anycast := 0
 	for _, v := range verdicts {
@@ -222,7 +238,11 @@ func BenchmarkAnycastAudit(b *testing.B) {
 func BenchmarkMultiServerAblation(b *testing.B) {
 	var rows []tp.MultiServerRow
 	for i := 0; i < b.N; i++ {
-		rows = tp.MultiServerAblation(benchOpts(11))
+		var err error
+		rows, err = tp.MultiServerAblation(benchOpts(11))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(rows[0].MaxOneWayMs, "initiatorMaxMs")
 	b.ReportMetric(rows[2].MaxOneWayMs, "geoDistMaxMs_lower")
@@ -233,7 +253,11 @@ func BenchmarkMultiServerAblation(b *testing.B) {
 func BenchmarkViewportDelivery(b *testing.B) {
 	var row tp.ViewportDeliveryRow
 	for i := 0; i < b.N; i++ {
-		row = tp.ViewportDeliveryAblation(benchOpts(12))
+		var err error
+		row, err = tp.ViewportDeliveryAblation(benchOpts(12))
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(row.SavingsFrac*100, "%saved")
 	b.ReportMetric(row.OutOfViewFrac*100, "%outOfView")
@@ -254,3 +278,48 @@ func BenchmarkPassiveQoE(b *testing.B) {
 		b.ReportMetric(r.InferredFPS, r.App.String()+"_inferredFPS")
 	}
 }
+
+// benchFleet runs the full registered suite at the given worker count and
+// reports rows/op so sequential and parallel runs can be compared:
+//
+//	go test -bench=BenchmarkFleetSuite -benchtime=1x
+//
+// The suite is embarrassingly parallel across (experiment, rep) units, so
+// eight workers should finish the repetition-heavy experiments well over
+// 2x faster than one.
+func benchFleet(b *testing.B, workers int) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		results, err := tp.FleetRunAll(benchOpts(20), tp.FleetConfig{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = 0
+		for _, r := range results {
+			rows += len(r.Rows)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkFleetSuiteSequential(b *testing.B) { benchFleet(b, 1) }
+func BenchmarkFleetSuiteParallel8(b *testing.B)  { benchFleet(b, 8) }
+
+// BenchmarkFleetKeypoints8Reps isolates a repetition-heavy experiment:
+// eight independent keypoint-streaming reps on one worker versus eight.
+func benchFleetKeypoints(b *testing.B, workers int) {
+	exps, err := tp.SelectExperiments("keypoints")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts(21)
+	opts.Reps = 8
+	for i := 0; i < b.N; i++ {
+		if _, err := tp.FleetRun(exps, opts, tp.FleetConfig{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFleetKeypoints8RepsSequential(b *testing.B) { benchFleetKeypoints(b, 1) }
+func BenchmarkFleetKeypoints8RepsParallel8(b *testing.B)  { benchFleetKeypoints(b, 8) }

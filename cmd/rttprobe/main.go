@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	tp "telepresence"
 )
@@ -27,7 +28,11 @@ func main() {
 	fmt.Println("(F=FaceTime Z=Zoom W=Webex T=Teams; server state abbreviations)")
 	fmt.Println()
 	fmt.Printf("%-8s %-8s %-8s %-8s %-8s %s\n", "series", "min", "median", "p95", "max", "<20ms")
-	for _, r := range tp.Fig4(opts) {
+	rows, err := tp.Fig4(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
 		s := r.Sample
 		fmt.Printf("%-8s %-8.1f %-8.1f %-8.1f %-8.1f %.0f%%\n",
 			r.Label, s.Min(), s.Median(), s.Percentile(95), s.Max(), s.FractionBelow(20)*100)
@@ -39,7 +44,11 @@ func main() {
 	fmt.Println()
 	fmt.Println("Anycast audit (speed-of-light consistency across vantage points):")
 	flagged := 0
-	for _, v := range tp.AnycastAudit(opts) {
+	verdicts, err := tp.AnycastAudit(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range verdicts {
 		if v.Anycast {
 			flagged++
 			fmt.Printf("  ANYCAST %v: %s\n", v.Server, v.Evidence)

@@ -41,7 +41,11 @@ func main() {
 	if run("fig4") {
 		fmt.Println("== Figure 4: RTT between VCA servers and test users ==")
 		fmt.Println("series   min     p25     median  p95     max     <20ms")
-		for _, r := range tp.Fig4(opts) {
+		rows, err := tp.Fig4(opts)
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range rows {
 			s := r.Sample
 			fmt.Printf("%-8s %-7.1f %-7.1f %-7.1f %-7.1f %-7.1f %.0f%%\n",
 				r.Label, s.Min(), s.Percentile(25), s.Median(), s.Percentile(95), s.Max(),
@@ -95,7 +99,10 @@ func main() {
 
 	if run("keypoints") {
 		fmt.Println("== §4.3: semantic (keypoint) streaming estimate ==")
-		kp := tp.KeypointStreaming(opts)
+		kp, err := tp.KeypointStreaming(opts)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Printf("%d keypoints (paper: 74), 2000 frames, 90 FPS\n", kp.Keypoints)
 		fmt.Printf("measured: %s Mbps   paper: 0.64±0.02 Mbps (FaceTime measured 0.67)\n\n",
 			kp.MbpsSample.MeanStd(2))
@@ -104,7 +111,11 @@ func main() {
 	if run("latency") {
 		fmt.Println("== §4.3: display-latency vs injected delay ==")
 		fmt.Println("delay(ms)  semantic-gap(ms)  prerendered-gap(ms)")
-		for _, r := range tp.DisplayLatency(opts, []float64{0, 100, 250, 500, 1000}) {
+		dlRows, err := tp.DisplayLatency(opts, tp.DefaultInjectedDelaysMs())
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range dlRows {
 			fmt.Printf("%-10.0f %-17.1f %.1f\n", r.InjectedDelayMs, r.SemanticDiffMs, r.PrerenderedDiffMs)
 		}
 		fmt.Println("paper: gap stays <16 ms regardless of delay => content is not pre-rendered video")
@@ -113,7 +124,7 @@ func main() {
 
 	if run("rate") {
 		fmt.Println("== §4.3: rate adaptation under uplink caps ==")
-		rows, err := tp.RateAdaptation(opts, []float64{0, 2.0, 1.0, 0.7})
+		rows, err := tp.RateAdaptation(opts, tp.DefaultRateCaps())
 		if err != nil {
 			fail(err)
 		}
@@ -179,7 +190,11 @@ func main() {
 	if run("servers") {
 		fmt.Println("== Implications 1: server-allocation policies (one-way latency, all client pairs) ==")
 		fmt.Println("policy             max(ms)  mean(ms)  pairs<100ms")
-		for _, r := range tp.MultiServerAblation(opts) {
+		msRows, err := tp.MultiServerAblation(opts)
+		if err != nil {
+			fail(err)
+		}
+		for _, r := range msRows {
 			fmt.Printf("%-18v %-8.1f %-9.1f %.0f%%\n", r.Policy, r.MaxOneWayMs, r.MeanOneWayMs, r.FracUnder100*100)
 		}
 		fmt.Println("geo-distributed servers with a private backbone beat both measured policies")
@@ -188,7 +203,10 @@ func main() {
 
 	if run("viewport") {
 		fmt.Println("== Implications 3: viewport-aware delivery ==")
-		r := tp.ViewportDeliveryAblation(opts)
+		r, err := tp.ViewportDeliveryAblation(opts)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Printf("persona out of view %.0f%% of the time; uplink %.2f -> %.2f Mbps (%.0f%% saved)\n",
 			r.OutOfViewFrac*100, r.BaselineMbps, r.GatedMbps, r.SavingsFrac*100)
 		fmt.Println("paper: FaceTime does not exploit visibility for delivery; this is the headroom")
@@ -212,7 +230,11 @@ func main() {
 	if run("anycast") {
 		fmt.Println("== §4.1: anycast audit ==")
 		anycast := 0
-		for _, v := range tp.AnycastAudit(opts) {
+		verdicts, err := tp.AnycastAudit(opts)
+		if err != nil {
+			fail(err)
+		}
+		for _, v := range verdicts {
 			if v.Anycast {
 				anycast++
 				fmt.Printf("ANYCAST %v: %s\n", v.Server, v.Evidence)

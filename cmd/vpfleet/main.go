@@ -1,0 +1,184 @@
+// Command vpfleet drives the experiment fleet: it lists the registered
+// experiments and runs any subset (or the whole suite) concurrently,
+// sharding each experiment's repetitions across a bounded worker pool and
+// writing per-experiment JSONL or CSV plus a run manifest.
+//
+// Results are deterministic: for a fixed seed, `run all -workers 8`
+// produces byte-identical experiment output to `-workers 1`.
+//
+// Usage:
+//
+//	vpfleet list
+//	vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv] all|<name>...
+//
+// Examples:
+//
+//	vpfleet run all -workers 8
+//	vpfleet run fig5 fig7 -seed 7 -format csv -out results/
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	tp "telepresence"
+)
+
+// writeManifest renders the run manifest as indented JSON.
+func writeManifest(w io.WriteCloser, m tp.FleetManifest) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "run":
+		runCmd(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "vpfleet: unknown command %q\n\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  vpfleet list
+  vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv] all|<name>...`)
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vpfleet:", err)
+	os.Exit(1)
+}
+
+func list() {
+	fmt.Printf("%-10s %-5s %s\n", "name", "reps", "description")
+	for _, e := range tp.Experiments() {
+		fmt.Printf("%-10s %-5d %s\n", e.Name, e.Reps(tp.Quick(1)), e.Desc)
+	}
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "experiment seed")
+	full := fs.Bool("full", false, "paper-scale runs (120 s sessions, 5 reps); slow")
+	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs)")
+	out := fs.String("out", "fleet-out", "output directory")
+	format := fs.String("format", "jsonl", "row format: jsonl or csv")
+	// Accept experiment names and flags in any order ("run all -workers 8"
+	// reads naturally): peel non-flag arguments off between Parse calls.
+	var names []string
+	rest := args
+	for {
+		fs.Parse(rest)
+		rest = fs.Args()
+		if len(rest) == 0 {
+			break
+		}
+		names = append(names, rest[0])
+		rest = rest[1:]
+	}
+	if len(names) == 0 {
+		usage()
+	}
+	if *format != "jsonl" && *format != "csv" {
+		fail(fmt.Errorf("unknown format %q", *format))
+	}
+
+	exps, err := tp.SelectExperiments(names...)
+	if err != nil {
+		fail(err)
+	}
+	if *workers <= 0 {
+		// Resolve the default here so the manifest records the effective
+		// pool size, not the flag's zero value.
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	opts := tp.Quick(*seed)
+	if *full {
+		opts = tp.Full(*seed)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+
+	start := time.Now()
+	results, runErr := tp.FleetRun(exps, opts, tp.FleetConfig{Workers: *workers})
+	wall := time.Since(start)
+
+	// One output file per experiment, named by the registry.
+	files := map[string]string{}
+	err = tp.FleetWrite(results, func(e tp.Experiment) (tp.Sink, error) {
+		path := filepath.Join(*out, e.Name+"."+*format)
+		files[e.Name] = path
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if *format == "csv" {
+			return closeSink{tp.NewCSVSink(f, e.Row), f}, nil
+		}
+		return closeSink{tp.NewJSONLSink(f), f}, nil
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	manifest := tp.NewFleetManifest(opts, *workers, wall, results)
+	for i := range manifest.Experiments {
+		manifest.Experiments[i].File = files[manifest.Experiments[i].Name]
+	}
+	mf, err := os.Create(filepath.Join(*out, "manifest.json"))
+	if err != nil {
+		fail(err)
+	}
+	if err := writeManifest(mf, manifest); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%-10s %-5s %-7s %-9s %s\n", "name", "reps", "rows", "wall", "file")
+	for _, r := range results {
+		status := files[r.Experiment.Name]
+		if r.Err != nil {
+			status = "ERROR: " + r.Err.Error()
+		}
+		fmt.Printf("%-10s %-5d %-7d %-9s %s\n",
+			r.Experiment.Name, r.Reps, len(r.Rows), r.Wall.Round(time.Millisecond), status)
+	}
+	fmt.Printf("\n%d experiments in %s (workers=%d); manifest: %s\n",
+		len(results), wall.Round(time.Millisecond), *workers, filepath.Join(*out, "manifest.json"))
+	if runErr != nil {
+		fail(runErr)
+	}
+}
+
+// closeSink closes the backing file after the row sink finishes.
+type closeSink struct {
+	tp.Sink
+	f *os.File
+}
+
+func (c closeSink) Close() error {
+	if err := c.Sink.Close(); err != nil {
+		c.f.Close()
+		return err
+	}
+	return c.f.Close()
+}

@@ -37,7 +37,10 @@ func main() {
 	video := sess.Run().Users[0].Uplink.Mean()
 
 	// Strategy 3: semantic keypoints (74 points, compressed, 90 FPS).
-	kp := tp.KeypointStreaming(opts)
+	kp, err := tp.KeypointStreaming(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("delivery strategy            bandwidth        paper")
 	fmt.Printf("3D mesh (Draco-class)        %8.1f Mbps    108.4±16.7\n", ms.MbpsSample.Mean())

@@ -1,0 +1,3 @@
+module telepresence
+
+go 1.22

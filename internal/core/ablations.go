@@ -58,13 +58,15 @@ type MultiServerRow struct {
 	FracUnder100 float64
 }
 
-// MultiServerAblation quantifies Implications 1: it computes client-to-
-// client one-way latency for every ordered pair of the nine vantage points
-// under each server policy, using FaceTime's fleet. The geo-distributed
-// backbone uses a 1.1 route inflation (dedicated fiber) versus the public
-// Internet's 1.8.
-func MultiServerAblation(opts Options) []MultiServerRow {
-	opts = opts.normalized()
+// multiServerPolicies lists the compared policies in report order.
+var multiServerPolicies = []ServerPolicy{PolicyInitiator, PolicyCentral, PolicyGeoDistributed}
+
+// multiServerPolicy evaluates one server-allocation policy over all ordered
+// vantage pairs; policies are independent (and deterministic) work units.
+func multiServerPolicy(opts Options, policy ServerPolicy) (MultiServerRow, error) {
+	if _, err := opts.Normalize(); err != nil {
+		return MultiServerRow{}, err
+	}
 	model := geo.DefaultPathModel()
 	backbone := model
 	backbone.Inflation = 1.1
@@ -76,47 +78,57 @@ func MultiServerAblation(opts Options) []MultiServerRow {
 		return m.BaseRTTMs(a, b) / 2
 	}
 
-	eval := func(policy ServerPolicy) MultiServerRow {
-		row := MultiServerRow{Policy: policy, MaxOneWayMs: 0}
-		var sum float64
-		var n, under int
-		for i, c1 := range clients {
-			for j, c2 := range clients {
-				if i == j {
-					continue
-				}
-				var lat float64
-				switch policy {
-				case PolicyInitiator:
-					// c1 initiates; both attach to c1's nearest server.
-					srv := spec.AllocateServer(c1)
-					lat = oneWay(model, c1, srv) + oneWay(model, srv, c2)
-				case PolicyCentral:
-					lat = oneWay(model, c1, geo.ServerTX) + oneWay(model, geo.ServerTX, c2)
-				case PolicyGeoDistributed:
-					s1, _ := geo.Nearest(c1, spec.Servers)
-					s2, _ := geo.Nearest(c2, spec.Servers)
-					lat = oneWay(model, c1, s1) + oneWay(backbone, s1, s2) + oneWay(model, s2, c2)
-				}
-				sum += lat
-				n++
-				if lat < 100 {
-					under++
-				}
-				if lat > row.MaxOneWayMs {
-					row.MaxOneWayMs = lat
-				}
+	row := MultiServerRow{Policy: policy, MaxOneWayMs: 0}
+	var sum float64
+	var n, under int
+	for i, c1 := range clients {
+		for j, c2 := range clients {
+			if i == j {
+				continue
+			}
+			var lat float64
+			switch policy {
+			case PolicyInitiator:
+				// c1 initiates; both attach to c1's nearest server.
+				srv := spec.AllocateServer(c1)
+				lat = oneWay(model, c1, srv) + oneWay(model, srv, c2)
+			case PolicyCentral:
+				lat = oneWay(model, c1, geo.ServerTX) + oneWay(model, geo.ServerTX, c2)
+			case PolicyGeoDistributed:
+				s1, _ := geo.Nearest(c1, spec.Servers)
+				s2, _ := geo.Nearest(c2, spec.Servers)
+				lat = oneWay(model, c1, s1) + oneWay(backbone, s1, s2) + oneWay(model, s2, c2)
+			}
+			sum += lat
+			n++
+			if lat < 100 {
+				under++
+			}
+			if lat > row.MaxOneWayMs {
+				row.MaxOneWayMs = lat
 			}
 		}
-		row.MeanOneWayMs = sum / float64(n)
-		row.FracUnder100 = float64(under) / float64(n)
-		return row
 	}
-	return []MultiServerRow{
-		eval(PolicyInitiator),
-		eval(PolicyCentral),
-		eval(PolicyGeoDistributed),
+	row.MeanOneWayMs = sum / float64(n)
+	row.FracUnder100 = float64(under) / float64(n)
+	return row, nil
+}
+
+// MultiServerAblation quantifies Implications 1: it computes client-to-
+// client one-way latency for every ordered pair of the nine vantage points
+// under each server policy, using FaceTime's fleet. The geo-distributed
+// backbone uses a 1.1 route inflation (dedicated fiber) versus the public
+// Internet's 1.8.
+func MultiServerAblation(opts Options) ([]MultiServerRow, error) {
+	out := make([]MultiServerRow, 0, len(multiServerPolicies))
+	for _, p := range multiServerPolicies {
+		row, err := multiServerPolicy(opts, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
 	}
+	return out, nil
 }
 
 // ----------------------------------------------------- Implications 3
@@ -142,8 +154,11 @@ type ViewportDeliveryRow struct {
 // the sender gates the semantic stream (keeping a 2 Hz heartbeat so pose
 // recovery is instant). The paper measured that FaceTime does NOT do this
 // (§4.4); this experiment shows what it would save.
-func ViewportDeliveryAblation(opts Options) ViewportDeliveryRow {
-	opts = opts.normalized()
+func ViewportDeliveryAblation(opts Options) (ViewportDeliveryRow, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return ViewportDeliveryRow{}, err
+	}
 	sched := simtime.NewScheduler()
 	rng := simrand.New(opts.Seed)
 	oneWay := geo.DefaultPathModel().BaseRTTMs(geo.Ashburn, geo.NewYork) / 2
@@ -221,7 +236,7 @@ func ViewportDeliveryAblation(opts Options) ViewportDeliveryRow {
 		BaselineMbps:  base,
 		GatedMbps:     gated,
 		SavingsFrac:   1 - gated/base,
-	}
+	}, nil
 }
 
 // ----------------------------------------------------------------- QoE
@@ -239,35 +254,51 @@ type QoESweepRow struct {
 	MeanFrameBytes float64
 }
 
+// qoeApps are the sessions the passive sweep fingerprints.
+var qoeApps = []vca.App{vca.FaceTime, vca.Zoom}
+
+// qoeApp fingerprints one app's session; each app seeds its own session and
+// is an independent work unit.
+func qoeApp(opts Options, i int) (QoESweepRow, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return QoESweepRow{}, err
+	}
+	app := qoeApps[i]
+	sc := vca.DefaultSessionConfig(app, []vca.Participant{
+		{ID: "u1", Loc: geo.Ashburn, Device: vca.VisionPro},
+		{ID: "u2", Loc: geo.NewYork, Device: vca.VisionPro},
+	})
+	sc.Duration = opts.SessionDuration
+	sc.Seed = opts.Seed + int64(i)
+	sess, err := vca.NewSession(sc)
+	if err != nil {
+		return QoESweepRow{}, err
+	}
+	sess.Run()
+	est := estimateQoE(sess, sc)
+	trueFPS := sc.VideoFPS
+	if sess.Plan().Media == vca.MediaSpatialPersona {
+		trueFPS = sc.SpatialFPS
+	}
+	return QoESweepRow{
+		App: app, TrueFPS: trueFPS,
+		InferredFPS:    est.fps,
+		MeanFrameBytes: est.frameBytes,
+	}, nil
+}
+
 // PassiveQoESweep runs a two-user session per app and infers frame rate and
 // frame size from the encrypted packet stream alone, validating the
 // paper's suggested passive-measurement direction.
 func PassiveQoESweep(opts Options) ([]QoESweepRow, error) {
-	opts = opts.normalized()
 	var out []QoESweepRow
-	for i, app := range []vca.App{vca.FaceTime, vca.Zoom} {
-		sc := vca.DefaultSessionConfig(app, []vca.Participant{
-			{ID: "u1", Loc: geo.Ashburn, Device: vca.VisionPro},
-			{ID: "u2", Loc: geo.NewYork, Device: vca.VisionPro},
-		})
-		sc.Duration = opts.SessionDuration
-		sc.Seed = opts.Seed + int64(i)
-		sess, err := vca.NewSession(sc)
+	for i := range qoeApps {
+		row, err := qoeApp(opts, i)
 		if err != nil {
 			return nil, err
 		}
-		res := sess.Run()
-		_ = res
-		est := estimateQoE(sess, sc)
-		trueFPS := sc.VideoFPS
-		if sess.Plan().Media == vca.MediaSpatialPersona {
-			trueFPS = sc.SpatialFPS
-		}
-		out = append(out, QoESweepRow{
-			App: app, TrueFPS: trueFPS,
-			InferredFPS:    est.fps,
-			MeanFrameBytes: est.frameBytes,
-		})
+		out = append(out, row)
 	}
 	return out, nil
 }

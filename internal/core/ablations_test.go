@@ -8,7 +8,10 @@ import (
 )
 
 func TestMultiServerAblation(t *testing.T) {
-	rows := MultiServerAblation(Quick(1))
+	rows, err := MultiServerAblation(Quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("%d rows, want 3", len(rows))
 	}
@@ -60,7 +63,10 @@ func TestServerPolicyString(t *testing.T) {
 func TestViewportDeliveryAblation(t *testing.T) {
 	opts := Quick(2)
 	opts.SessionDuration = 40 * simtime.Second
-	row := ViewportDeliveryAblation(opts)
+	row, err := ViewportDeliveryAblation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if row.OutOfViewFrac <= 0.05 || row.OutOfViewFrac >= 0.8 {
 		t.Fatalf("out-of-view fraction %.2f implausible", row.OutOfViewFrac)
 	}

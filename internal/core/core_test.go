@@ -9,7 +9,10 @@ import (
 )
 
 func TestFig4RowsAndFindings(t *testing.T) {
-	rows := Fig4(Quick(1))
+	rows, err := Fig4(Quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 10 {
 		t.Fatalf("%d series, want 10", len(rows))
 	}
@@ -33,7 +36,11 @@ func TestFig4RowsAndFindings(t *testing.T) {
 }
 
 func TestAnycastAuditAllUnicast(t *testing.T) {
-	for _, v := range AnycastAudit(Quick(2)) {
+	verdicts, err := AnycastAudit(Quick(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
 		if v.Anycast {
 			t.Errorf("server %v flagged anycast: %s", v.Server, v.Evidence)
 		}
@@ -104,7 +111,10 @@ func TestMeshVsKeypointGap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kp := KeypointStreaming(Quick(5))
+	kp, err := KeypointStreaming(Quick(5))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ms.Triangles) != 10 {
 		t.Fatalf("%d heads, want 10", len(ms.Triangles))
 	}
@@ -130,7 +140,10 @@ func TestMeshVsKeypointGap(t *testing.T) {
 }
 
 func TestDisplayLatencyInvariance(t *testing.T) {
-	rows := DisplayLatency(Quick(6), []float64{0, 100, 500, 1000})
+	rows, err := DisplayLatency(Quick(6), []float64{0, 100, 500, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -283,11 +296,49 @@ func TestRemoteRenderAblation(t *testing.T) {
 }
 
 func TestOptionsNormalization(t *testing.T) {
-	o := Options{}.normalized()
+	o, err := Options{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.SessionDuration <= 0 || o.Reps <= 0 {
 		t.Error("normalization failed")
 	}
 	if Full(1).Reps < 5 {
 		t.Error("Full() should use paper-scale reps")
+	}
+}
+
+func TestOptionsRejectNegatives(t *testing.T) {
+	// Negative values used to be silently replaced with defaults; they
+	// must surface as errors now.
+	if _, err := (Options{Reps: -1}).Normalize(); err == nil {
+		t.Error("negative Reps not rejected")
+	}
+	if _, err := (Options{SessionDuration: -simtime.Second}).Normalize(); err == nil {
+		t.Error("negative SessionDuration not rejected")
+	}
+	if err := (Options{Reps: -1}).Validate(); err == nil {
+		t.Error("Validate passed negative Reps")
+	}
+	// Every runner propagates the error instead of running.
+	bad := Options{Seed: 1, Reps: -3}
+	if _, err := Fig5(bad); err == nil {
+		t.Error("Fig5 ignored invalid options")
+	}
+	if _, err := Fig4(bad); err == nil {
+		t.Error("Fig4 ignored invalid options")
+	}
+	if _, err := KeypointStreaming(bad); err == nil {
+		t.Error("KeypointStreaming ignored invalid options")
+	}
+	if _, err := ViewportDeliveryAblation(bad); err == nil {
+		t.Error("ViewportDeliveryAblation ignored invalid options")
+	}
+	// Sweep runners must reject invalid options even with an empty sweep.
+	if _, err := DisplayLatency(bad, nil); err == nil {
+		t.Error("DisplayLatency ignored invalid options on empty sweep")
+	}
+	if _, err := RateAdaptation(bad, nil); err == nil {
+		t.Error("RateAdaptation ignored invalid options on empty sweep")
 	}
 }

@@ -40,14 +40,32 @@ func Full(seed int64) Options {
 	return Options{Seed: seed, SessionDuration: 120 * simtime.Second, Reps: 5}
 }
 
-func (o Options) normalized() Options {
-	if o.SessionDuration <= 0 {
+// Validate rejects nonsensical option values. Zero values are legal (they
+// select defaults); negative values are configuration errors and are
+// surfaced rather than silently replaced.
+func (o Options) Validate() error {
+	if o.SessionDuration < 0 {
+		return fmt.Errorf("core: negative SessionDuration %v", o.SessionDuration)
+	}
+	if o.Reps < 0 {
+		return fmt.Errorf("core: negative Reps %d", o.Reps)
+	}
+	return nil
+}
+
+// Normalize validates o and fills defaults for unset (zero) fields: a
+// 6-second session and 2 repetitions, the Quick scale.
+func (o Options) Normalize() (Options, error) {
+	if err := o.Validate(); err != nil {
+		return o, err
+	}
+	if o.SessionDuration == 0 {
 		o.SessionDuration = 6 * simtime.Second
 	}
-	if o.Reps <= 0 {
+	if o.Reps == 0 {
 		o.Reps = 2
 	}
-	return o
+	return o, nil
 }
 
 // ---------------------------------------------------------------- Figure 4
@@ -58,10 +76,16 @@ type Fig4Row struct {
 	Sample *stats.Sample
 }
 
-// Fig4 measures RTTs from the nine vantage points to every provider server.
-func Fig4(opts Options) []Fig4Row {
-	opts = opts.normalized()
-	series := vca.Fig4Series(simrand.New(opts.Seed), 10*opts.Reps)
+// fig4Rep measures one repetition of the Figure 4 matrix: ten RTT samples
+// per vantage toward every server, under a rep-derived child seed, so
+// repetitions are independent and can run on any worker in any order.
+func fig4Rep(opts Options, rep int) ([]Fig4Row, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	rng := simrand.Child(opts.Seed, fmt.Sprintf("fig4/rep%d", rep))
+	series := vca.Fig4Series(rng, 10)
 	labels := make([]string, 0, len(series))
 	for l := range series {
 		labels = append(labels, l)
@@ -71,22 +95,69 @@ func Fig4(opts Options) []Fig4Row {
 	for _, l := range labels {
 		out = append(out, Fig4Row{Label: l, Sample: series[l]})
 	}
-	return out
+	return out, nil
+}
+
+// Fig4 measures RTTs from the nine vantage points to every provider server,
+// merging opts.Reps independent repetitions.
+func Fig4(opts Options) ([]Fig4Row, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	agg := map[string]*stats.Sample{}
+	var labels []string
+	for rep := 0; rep < opts.Reps; rep++ {
+		rows, err := fig4Rep(opts, rep)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			s, ok := agg[r.Label]
+			if !ok {
+				s = &stats.Sample{}
+				agg[r.Label] = s
+				labels = append(labels, r.Label)
+			}
+			s.Add(r.Sample.Values()...)
+		}
+	}
+	sort.Strings(labels)
+	out := make([]Fig4Row, 0, len(labels))
+	for _, l := range labels {
+		out = append(out, Fig4Row{Label: l, Sample: agg[l]})
+	}
+	return out, nil
+}
+
+// anycastApp audits one provider's servers; rep indexes into vca.Apps().
+func anycastApp(opts Options, rep int) ([]vca.AnycastVerdict, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	app := vca.Apps()[rep]
+	probe := vca.NewRTTProbe()
+	var out []vca.AnycastVerdict
+	for _, srv := range vca.SpecFor(app).Servers {
+		rng := simrand.Child(opts.Seed, "anycast/"+app.String()+srv.Name)
+		m := probe.MinRTTMatrix(app, srv, rng, 5*opts.Reps)
+		out = append(out, vca.DetectAnycast(srv, m))
+	}
+	return out, nil
 }
 
 // AnycastAudit runs the §4.1 anycast check against every provider server.
-func AnycastAudit(opts Options) []vca.AnycastVerdict {
-	opts = opts.normalized()
-	probe := vca.NewRTTProbe()
-	rng := simrand.New(opts.Seed)
+func AnycastAudit(opts Options) ([]vca.AnycastVerdict, error) {
 	var out []vca.AnycastVerdict
-	for _, app := range vca.Apps() {
-		for _, srv := range vca.SpecFor(app).Servers {
-			m := probe.MinRTTMatrix(app, srv, rng.Split(app.String()+srv.Name), 5*opts.Reps)
-			out = append(out, vca.DetectAnycast(srv, m))
+	for i := range vca.Apps() {
+		rows, err := anycastApp(opts, i)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, rows...)
 	}
-	return out
+	return out, nil
 }
 
 // ------------------------------------------------------------ §4.1 matrix
@@ -145,40 +216,55 @@ type Fig5Row struct {
 	Box   stats.Box
 }
 
+// fig5Cases are the five measured app/peer mixes, in the paper's order.
+var fig5Cases = []struct {
+	label  string
+	app    vca.App
+	peerTy vca.Device
+}{
+	{"F", vca.FaceTime, vca.VisionPro},
+	{"F*", vca.FaceTime, vca.MacBook},
+	{"Z", vca.Zoom, vca.VisionPro},
+	{"W", vca.Webex, vca.VisionPro},
+	{"T", vca.Teams, vca.VisionPro},
+}
+
+// fig5Case runs all repetitions of one app/peer mix. Each case draws from
+// its own seed range, so cases are independent work units.
+func fig5Case(opts Options, ci int) (Fig5Row, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return Fig5Row{}, err
+	}
+	c := fig5Cases[ci]
+	agg := &stats.Sample{}
+	for rep := 0; rep < opts.Reps; rep++ {
+		sc := vca.DefaultSessionConfig(c.app, []vca.Participant{
+			{ID: "u1", Loc: geo.Ashburn, Device: vca.VisionPro},
+			{ID: "u2", Loc: geo.NewYork, Device: c.peerTy},
+		})
+		sc.Duration = opts.SessionDuration
+		sc.Seed = opts.Seed + int64(ci*100+rep)
+		sess, err := vca.NewSession(sc)
+		if err != nil {
+			return Fig5Row{}, fmt.Errorf("fig5 %s: %w", c.label, err)
+		}
+		res := sess.Run()
+		agg.Add(res.Users[0].Uplink.Values()...)
+	}
+	return Fig5Row{Label: c.label, Box: agg.BoxStats()}, nil
+}
+
 // Fig5 measures two-user throughput for FaceTime spatial (F), FaceTime 2D
 // persona (F*, Vision Pro with a MacBook peer), Zoom, Webex and Teams.
 func Fig5(opts Options) ([]Fig5Row, error) {
-	opts = opts.normalized()
-	type cfg struct {
-		label  string
-		app    vca.App
-		peerTy vca.Device
-	}
-	cases := []cfg{
-		{"F", vca.FaceTime, vca.VisionPro},
-		{"F*", vca.FaceTime, vca.MacBook},
-		{"Z", vca.Zoom, vca.VisionPro},
-		{"W", vca.Webex, vca.VisionPro},
-		{"T", vca.Teams, vca.VisionPro},
-	}
-	var out []Fig5Row
-	for ci, c := range cases {
-		agg := &stats.Sample{}
-		for rep := 0; rep < opts.Reps; rep++ {
-			sc := vca.DefaultSessionConfig(c.app, []vca.Participant{
-				{ID: "u1", Loc: geo.Ashburn, Device: vca.VisionPro},
-				{ID: "u2", Loc: geo.NewYork, Device: c.peerTy},
-			})
-			sc.Duration = opts.SessionDuration
-			sc.Seed = opts.Seed + int64(ci*100+rep)
-			sess, err := vca.NewSession(sc)
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s: %w", c.label, err)
-			}
-			res := sess.Run()
-			agg.Add(res.Users[0].Uplink.Values()...)
+	out := make([]Fig5Row, 0, len(fig5Cases))
+	for ci := range fig5Cases {
+		row, err := fig5Case(opts, ci)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, Fig5Row{Label: c.label, Box: agg.BoxStats()})
+		out = append(out, row)
 	}
 	return out, nil
 }
@@ -193,23 +279,48 @@ type MeshStreamingResult struct {
 	Triangles []int
 }
 
+// MeshHeadRow is one head's Draco-class streaming estimate, the unit row
+// the fleet scheduler shards MeshStreaming into.
+type MeshHeadRow struct {
+	Head      int
+	Triangles int
+	Mbps      float64
+}
+
+// meshHead generates, compresses and prices one head under a head-derived
+// child seed, so the ten heads are independent work units.
+func meshHead(opts Options, head int) (MeshHeadRow, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return MeshHeadRow{}, err
+	}
+	rng := simrand.Child(opts.Seed, fmt.Sprintf("mesh/head%d", head))
+	tris := 70000 + rng.Intn(20001)
+	m := mesh.GenerateHead(rng.Split("geom"), mesh.HeadConfig{
+		TargetTriangles: tris, Radius: 0.1, Variation: 1,
+	})
+	enc, err := meshcodec.Encode(m, meshcodec.DefaultQuantBits)
+	if err != nil {
+		return MeshHeadRow{}, err
+	}
+	return MeshHeadRow{
+		Head:      head,
+		Triangles: m.TriangleCount(),
+		Mbps:      meshcodec.StreamBitrateBps(len(enc), 90) / 1e6,
+	}, nil
+}
+
 // MeshStreaming reproduces the Draco estimate: ten human-head meshes with
 // 70-90K triangles, compressed and streamed at 90 FPS.
 func MeshStreaming(opts Options) (*MeshStreamingResult, error) {
-	opts = opts.normalized()
-	rng := simrand.New(opts.Seed)
 	res := &MeshStreamingResult{MbpsSample: &stats.Sample{}}
 	for i := 0; i < 10; i++ {
-		tris := 70000 + rng.Intn(20001)
-		m := mesh.GenerateHead(rng.Split(fmt.Sprintf("head%d", i)), mesh.HeadConfig{
-			TargetTriangles: tris, Radius: 0.1, Variation: 1,
-		})
-		enc, err := meshcodec.Encode(m, meshcodec.DefaultQuantBits)
+		row, err := meshHead(opts, i)
 		if err != nil {
 			return nil, err
 		}
-		res.Triangles = append(res.Triangles, m.TriangleCount())
-		res.MbpsSample.Add(meshcodec.StreamBitrateBps(len(enc), 90) / 1e6)
+		res.Triangles = append(res.Triangles, row.Triangles)
+		res.MbpsSample.Add(row.Mbps)
 	}
 	return res, nil
 }
@@ -222,26 +333,55 @@ type KeypointStreamingResult struct {
 	Keypoints int
 }
 
+// KeypointRow is one repetition's semantic-streaming estimate, the unit row
+// the fleet scheduler shards KeypointStreaming into.
+type KeypointRow struct {
+	Rep       int
+	Keypoints int
+	Mbps      float64
+}
+
+// keypointRep prices one repetition: 2,000 captured frames of 74 keypoints,
+// compressed and streamed at 90 FPS, under the rep's own seed.
+func keypointRep(opts Options, rep int) (KeypointRow, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return KeypointRow{}, err
+	}
+	gen := keypoints.NewGenerator(simrand.New(opts.Seed+int64(rep)), keypoints.DefaultMotionConfig())
+	enc := semantic.NewEncoder(semantic.ModeFloat32)
+	var total int
+	const frames = 2000
+	for i := 0; i < frames; i++ {
+		f := gen.Next()
+		total += len(enc.Encode(&f))
+	}
+	return KeypointRow{
+		Rep:       rep,
+		Keypoints: keypoints.TrackedTotal,
+		Mbps:      semantic.BitrateBps(float64(total)/frames, 90) / 1e6,
+	}, nil
+}
+
 // KeypointStreaming reproduces the paper's estimate: 2,000 captured frames
 // of 74 keypoints, compressed (lzma-like) and streamed at 90 FPS.
-func KeypointStreaming(opts Options) *KeypointStreamingResult {
-	opts = opts.normalized()
+func KeypointStreaming(opts Options) (*KeypointStreamingResult, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	res := &KeypointStreamingResult{
 		MbpsSample: &stats.Sample{},
 		Keypoints:  keypoints.TrackedTotal,
 	}
 	for rep := 0; rep < opts.Reps; rep++ {
-		gen := keypoints.NewGenerator(simrand.New(opts.Seed+int64(rep)), keypoints.DefaultMotionConfig())
-		enc := semantic.NewEncoder(semantic.ModeFloat32)
-		var total int
-		const frames = 2000
-		for i := 0; i < frames; i++ {
-			f := gen.Next()
-			total += len(enc.Encode(&f))
+		row, err := keypointRep(opts, rep)
+		if err != nil {
+			return nil, err
 		}
-		res.MbpsSample.Add(semantic.BitrateBps(float64(total)/frames, 90) / 1e6)
+		res.MbpsSample.Add(row.Mbps)
 	}
-	return res
+	return res, nil
 }
 
 // RateAdaptationRow is one point of the §4.3 bandwidth-cap sweep.
@@ -254,35 +394,55 @@ type RateAdaptationRow struct {
 	MeanLatencyMs float64
 }
 
+// DefaultRateCaps is the registry's bandwidth-cap sweep (Mbps; 0 = no cap),
+// the caps cmd/vpbench prints.
+func DefaultRateCaps() []float64 { return []float64{0, 2.0, 1.0, 0.7} }
+
+// rateCase runs one capped session; i seeds the session so each cap is an
+// independent work unit.
+func rateCase(opts Options, i int, capMbps float64) (RateAdaptationRow, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return RateAdaptationRow{}, err
+	}
+	sc := vca.DefaultSessionConfig(vca.FaceTime, []vca.Participant{
+		{ID: "u1", Loc: geo.Ashburn, Device: vca.VisionPro},
+		{ID: "u2", Loc: geo.NewYork, Device: vca.VisionPro},
+	})
+	sc.Duration = opts.SessionDuration
+	if sc.Duration < 12*simtime.Second {
+		sc.Duration = 12 * simtime.Second // queues need time to bite
+	}
+	sc.Seed = opts.Seed + int64(i)
+	sess, err := vca.NewSession(sc)
+	if err != nil {
+		return RateAdaptationRow{}, err
+	}
+	if capMbps > 0 {
+		sess.UplinkShaper(0).RateBps = capMbps * 1e6
+	}
+	res := sess.Run()
+	return RateAdaptationRow{
+		CapMbps:         capMbps,
+		UnavailableFrac: res.Users[1].UnavailableFrac,
+		MeanLatencyMs:   res.Users[1].MeanFrameLatencyMs,
+	}, nil
+}
+
 // RateAdaptation sweeps uplink caps over a spatial session and reports
 // persona availability: semantic streams cannot shed rate, so availability
 // collapses once the cap bites (§4.3).
 func RateAdaptation(opts Options, capsMbps []float64) ([]RateAdaptationRow, error) {
-	opts = opts.normalized()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	var out []RateAdaptationRow
 	for i, capMbps := range capsMbps {
-		sc := vca.DefaultSessionConfig(vca.FaceTime, []vca.Participant{
-			{ID: "u1", Loc: geo.Ashburn, Device: vca.VisionPro},
-			{ID: "u2", Loc: geo.NewYork, Device: vca.VisionPro},
-		})
-		sc.Duration = opts.SessionDuration
-		if sc.Duration < 12*simtime.Second {
-			sc.Duration = 12 * simtime.Second // queues need time to bite
-		}
-		sc.Seed = opts.Seed + int64(i)
-		sess, err := vca.NewSession(sc)
+		row, err := rateCase(opts, i, capMbps)
 		if err != nil {
 			return nil, err
 		}
-		if capMbps > 0 {
-			sess.UplinkShaper(0).RateBps = capMbps * 1e6
-		}
-		res := sess.Run()
-		out = append(out, RateAdaptationRow{
-			CapMbps:         capMbps,
-			UnavailableFrac: res.Users[1].UnavailableFrac,
-			MeanLatencyMs:   res.Users[1].MeanFrameLatencyMs,
-		})
+		out = append(out, row)
 	}
 	return out, nil
 }

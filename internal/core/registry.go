@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"telepresence/internal/vca"
+)
+
+// Row is one emitted experiment row: a concrete row struct such as Fig4Row
+// or RateAdaptationRow. Sinks serialize rows; see internal/fleet.
+type Row = any
+
+// RepRunner runs one repetition (work unit) of an experiment and returns
+// the rows that repetition produced. Repetitions MUST be independent: each
+// derives its own randomness from opts.Seed and the rep index (via
+// simrand.Child or a rep-offset seed), shares no mutable state with other
+// reps, and produces the same rows whether it runs first, last, or
+// concurrently with its siblings. That contract is what lets the fleet
+// scheduler shard reps across workers and still merge byte-identical
+// output at any worker count.
+type RepRunner func(opts Options, rep int) ([]Row, error)
+
+// Experiment is one registered runner: a stable name, its row type, how
+// many shardable repetitions it has at a given scale, and the per-rep
+// entry point.
+type Experiment struct {
+	// Name addresses the experiment from CLIs and manifests ("fig4").
+	Name string
+	// Desc is a one-line description for listings.
+	Desc string
+	// Row is a zero value of the row type, used by sinks for CSV headers
+	// and by callers for type discovery.
+	Row Row
+	// Reps reports the number of independent work units at the given
+	// options. Options are normalized first; Reps must not be called with
+	// invalid options (the scheduler validates before asking).
+	Reps func(opts Options) int
+	// Run executes work unit rep in [0, Reps(opts)).
+	Run RepRunner
+}
+
+var registry struct {
+	sync.Mutex
+	byName map[string]Experiment
+}
+
+// Register adds an experiment to the global registry. It panics on an
+// empty or duplicate name — registration happens at init time, where a
+// panic is a programming error caught by any test.
+func Register(e Experiment) {
+	if e.Name == "" || e.Run == nil || e.Reps == nil {
+		panic("core: Register: experiment needs a name, Reps and Run")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.byName == nil {
+		registry.byName = map[string]Experiment{}
+	}
+	if _, dup := registry.byName[e.Name]; dup {
+		panic("core: Register: duplicate experiment " + e.Name)
+	}
+	registry.byName[e.Name] = e
+}
+
+// Experiments returns all registered experiments sorted by name.
+func Experiments() []Experiment {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]Experiment, 0, len(registry.byName))
+	for _, e := range registry.byName {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup finds a registered experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	registry.Lock()
+	defer registry.Unlock()
+	e, ok := registry.byName[name]
+	return e, ok
+}
+
+// rows lifts a single typed row into a Row slice.
+func rows[T any](r T, err error) ([]Row, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []Row{r}, nil
+}
+
+// rowSlice lifts a typed row slice into a Row slice.
+func rowSlice[T any](rs []T, err error) ([]Row, error) {
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, len(rs))
+	for i, r := range rs {
+		out[i] = r
+	}
+	return out, nil
+}
+
+// optReps normalizes and returns opts.Reps; registration-time helper for
+// experiments whose unit count is the repetition count.
+func optReps(opts Options) int {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return 0
+	}
+	return opts.Reps
+}
+
+func fixed(n int) func(Options) int { return func(Options) int { return n } }
+
+// init self-registers every experiment in internal/core. Names match the
+// -only keys of cmd/vpbench; see DESIGN.md for the full index.
+func init() {
+	Register(Experiment{
+		Name: "fig4", Desc: "Figure 4: RTT CDFs, nine vantage points to every provider server",
+		Row: Fig4Row{}, Reps: optReps,
+		Run: func(o Options, rep int) ([]Row, error) { return rowSlice(fig4Rep(o, rep)) },
+	})
+	Register(Experiment{
+		Name: "anycast", Desc: "§4.1: speed-of-light anycast audit of every provider server",
+		Row: vca.AnycastVerdict{}, Reps: fixed(len(vca.Apps())),
+		Run: func(o Options, rep int) ([]Row, error) { return rowSlice(anycastApp(o, rep)) },
+	})
+	Register(Experiment{
+		Name: "protocols", Desc: "§4.1: protocol & topology decision matrix over device mixes",
+		Row: ProtocolCase{}, Reps: fixed(1),
+		Run: func(o Options, _ int) ([]Row, error) {
+			if _, err := o.Normalize(); err != nil {
+				return nil, err
+			}
+			return rowSlice(ProtocolMatrix(), nil)
+		},
+	})
+	Register(Experiment{
+		Name: "fig5", Desc: "Figure 5: two-user uplink throughput per app",
+		Row: Fig5Row{}, Reps: fixed(len(fig5Cases)),
+		Run: func(o Options, rep int) ([]Row, error) { return rows(fig5Case(o, rep)) },
+	})
+	Register(Experiment{
+		Name: "mesh", Desc: "§4.3: direct 3D (Draco-class) streaming estimate, ten heads",
+		Row: MeshHeadRow{}, Reps: fixed(10),
+		Run: func(o Options, rep int) ([]Row, error) { return rows(meshHead(o, rep)) },
+	})
+	Register(Experiment{
+		Name: "keypoints", Desc: "§4.3: semantic keypoint streaming estimate",
+		Row: KeypointRow{}, Reps: optReps,
+		Run: func(o Options, rep int) ([]Row, error) { return rows(keypointRep(o, rep)) },
+	})
+	Register(Experiment{
+		Name: "latency", Desc: "§4.3: display-latency gap vs injected delay",
+		Row: DisplayLatencyRow{}, Reps: fixed(len(DefaultInjectedDelaysMs())),
+		Run: func(o Options, rep int) ([]Row, error) {
+			return rows(displayLatencyCase(o, DefaultInjectedDelaysMs()[rep]))
+		},
+	})
+	Register(Experiment{
+		Name: "rate", Desc: "§4.3: rate adaptation under uplink caps",
+		Row: RateAdaptationRow{}, Reps: fixed(len(DefaultRateCaps())),
+		Run: func(o Options, rep int) ([]Row, error) {
+			return rows(rateCase(o, rep, DefaultRateCaps()[rep]))
+		},
+	})
+	Register(Experiment{
+		Name: "fig6", Desc: "Figure 6: visibility-aware rendering optimizations",
+		Row: Fig6Row{}, Reps: fixed(len(fig6Scenarios)),
+		Run: func(o Options, rep int) ([]Row, error) { return rows(fig6Case(o, rep)) },
+	})
+	Register(Experiment{
+		Name: "fig7", Desc: "Figure 7: scalability with 2-5 Vision Pro users",
+		Row: Fig7Row{}, Reps: fixed(vca.MaxSpatialUsers - 1),
+		Run: func(o Options, rep int) ([]Row, error) { return rows(fig7Users(o, rep+2)) },
+	})
+	Register(Experiment{
+		Name: "remote", Desc: "Implications 4: remote-rendering downlink ablation",
+		Row: RemoteRenderRow{}, Reps: fixed(vca.MaxSpatialUsers - 1),
+		Run: func(o Options, rep int) ([]Row, error) { return rows(remoteRenderUsers(o, rep+2)) },
+	})
+	Register(Experiment{
+		Name: "servers", Desc: "Implications 1: server-allocation policy latency comparison",
+		Row: MultiServerRow{}, Reps: fixed(len(multiServerPolicies)),
+		Run: func(o Options, rep int) ([]Row, error) {
+			return rows(multiServerPolicy(o, multiServerPolicies[rep]))
+		},
+	})
+	Register(Experiment{
+		Name: "viewport", Desc: "Implications 3: viewport-aware delivery savings",
+		Row: ViewportDeliveryRow{}, Reps: fixed(1),
+		Run: func(o Options, _ int) ([]Row, error) { return rows(ViewportDeliveryAblation(o)) },
+	})
+	Register(Experiment{
+		Name: "qoe", Desc: "§5: passive QoE inference from encrypted packet timing",
+		Row: QoESweepRow{}, Reps: fixed(len(qoeApps)),
+		Run: func(o Options, rep int) ([]Row, error) { return rows(qoeApp(o, rep)) },
+	})
+}
+
+// String renders the experiment as "name: desc" for listings.
+func (e Experiment) String() string { return fmt.Sprintf("%s: %s", e.Name, e.Desc) }

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// expectedExperiments is the stable registry index documented in DESIGN.md.
+var expectedExperiments = []string{
+	"anycast", "fig4", "fig5", "fig6", "fig7", "keypoints", "latency",
+	"mesh", "protocols", "qoe", "rate", "remote", "servers", "viewport",
+}
+
+func TestRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	var names []string
+	for _, e := range exps {
+		names = append(names, e.Name)
+		if e.Desc == "" {
+			t.Errorf("%s: no description", e.Name)
+		}
+		if e.Row == nil {
+			t.Errorf("%s: no row type", e.Name)
+		}
+		if n := e.Reps(Quick(1)); n <= 0 {
+			t.Errorf("%s: %d reps at Quick scale", e.Name, n)
+		}
+	}
+	if !reflect.DeepEqual(names, expectedExperiments) {
+		t.Errorf("registry index drifted:\n got %v\nwant %v", names, expectedExperiments)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	e, ok := Lookup("fig5")
+	if !ok || e.Name != "fig5" {
+		t.Fatalf("Lookup(fig5) = %+v, %v", e, ok)
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup invented an experiment")
+	}
+	if e.String() == "" || e.String()[:4] != "fig5" {
+		t.Errorf("String() = %q", e.String())
+	}
+}
+
+func TestRegisterRejectsBadExperiments(t *testing.T) {
+	for _, e := range []Experiment{
+		{},
+		{Name: "x"},
+		{Name: "fig5", Reps: fixed(1), Run: func(Options, int) ([]Row, error) { return nil, nil }}, // duplicate
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%+v) did not panic", e)
+				}
+			}()
+			Register(e)
+		}()
+	}
+}
+
+// TestRepRunnerIndependence spot-checks the RepRunner contract the fleet
+// scheduler relies on: running a rep twice, or out of order, produces
+// identical rows.
+func TestRepRunnerIndependence(t *testing.T) {
+	opts := Quick(7)
+	for _, name := range []string{"fig5", "keypoints", "mesh", "servers"} {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		n := e.Reps(opts)
+		last := n - 1
+		// Run the last rep first, then rep 0, then the last rep again.
+		first, err := e.Run(opts, last)
+		if err != nil {
+			t.Fatalf("%s rep %d: %v", name, last, err)
+		}
+		if _, err := e.Run(opts, 0); err != nil {
+			t.Fatalf("%s rep 0: %v", name, err)
+		}
+		again, err := e.Run(opts, last)
+		if err != nil {
+			t.Fatalf("%s rep %d again: %v", name, last, err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Errorf("%s: rep %d not reproducible across orderings", name, last)
+		}
+	}
+}

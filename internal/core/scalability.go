@@ -25,49 +25,64 @@ type Fig6Row struct {
 	UplinkMbps float64
 }
 
+// fig6Scenarios are the four §4.4 visibility scenarios.
+var fig6Scenarios = []struct {
+	mode string
+	pos  mesh.Vec3
+}{
+	{"BL", mesh.Vec3{Z: 0.5}},
+	{"V", mesh.Vec3{Z: -0.5}},
+	{"F", mesh.Vec3{X: 0.321, Z: 0.383}},
+	{"D", mesh.Vec3{Z: 3.5}},
+}
+
+// fig6Case evaluates one scenario: rendering cost for the persona placement
+// plus one spatial session for the (invariant) uplink bandwidth. The sender
+// knows nothing about the receiver's optimizations, so uplink is invariant.
+func fig6Case(opts Options, i int) (Fig6Row, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	sc := fig6Scenarios[i]
+	r := render.NewRenderer(render.DefaultCostModel(), render.FaceTimeOptimizations(), nil)
+	cam := render.Camera{Forward: mesh.Vec3{Z: 1}, Gaze: mesh.Vec3{Z: 1}}
+	p := &render.Persona{ID: "u2", Pos: sc.pos}
+	fc := r.RenderFrame(cam, []*render.Persona{p})
+	sess, err := vca.NewSession(func() vca.SessionConfig {
+		c := vca.DefaultSessionConfig(vca.FaceTime, []vca.Participant{
+			{ID: "u1", Loc: geo.Ashburn, Device: vca.VisionPro},
+			{ID: "u2", Loc: geo.NewYork, Device: vca.VisionPro},
+		})
+		c.Duration = opts.SessionDuration
+		c.Seed = opts.Seed + int64(i)
+		return c
+	}())
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	res := sess.Run()
+	return Fig6Row{
+		Mode:       sc.mode,
+		Triangles:  fc.Triangles,
+		GPUMs:      fc.GPUMs,
+		CPUMs:      fc.CPUMs,
+		UplinkMbps: res.Users[1].Uplink.Mean(),
+	}, nil
+}
+
 // Fig6 evaluates the four §4.4 scenarios: baseline (half-meter stare),
 // viewport-culled, foveated-peripheral, and distance-reduced, reporting
 // rendered triangles, GPU/CPU per-frame cost, and the (unchanged) semantic
 // uplink bandwidth.
 func Fig6(opts Options) ([]Fig6Row, error) {
-	opts = opts.normalized()
-	r := render.NewRenderer(render.DefaultCostModel(), render.FaceTimeOptimizations(), nil)
-	cam := render.Camera{Forward: mesh.Vec3{Z: 1}, Gaze: mesh.Vec3{Z: 1}}
-	scenarios := []struct {
-		mode string
-		pos  mesh.Vec3
-	}{
-		{"BL", mesh.Vec3{Z: 0.5}},
-		{"V", mesh.Vec3{Z: -0.5}},
-		{"F", mesh.Vec3{X: 0.321, Z: 0.383}},
-		{"D", mesh.Vec3{Z: 3.5}},
-	}
-	// Bandwidth: one spatial session per scenario; the sender knows
-	// nothing about the receiver's optimizations, so uplink is invariant.
 	var rows []Fig6Row
-	for i, sc := range scenarios {
-		p := &render.Persona{ID: "u2", Pos: sc.pos}
-		fc := r.RenderFrame(cam, []*render.Persona{p})
-		sess, err := vca.NewSession(func() vca.SessionConfig {
-			c := vca.DefaultSessionConfig(vca.FaceTime, []vca.Participant{
-				{ID: "u1", Loc: geo.Ashburn, Device: vca.VisionPro},
-				{ID: "u2", Loc: geo.NewYork, Device: vca.VisionPro},
-			})
-			c.Duration = opts.SessionDuration
-			c.Seed = opts.Seed + int64(i)
-			return c
-		}())
+	for i := range fig6Scenarios {
+		row, err := fig6Case(opts, i)
 		if err != nil {
 			return nil, err
 		}
-		res := sess.Run()
-		rows = append(rows, Fig6Row{
-			Mode:       sc.mode,
-			Triangles:  fc.Triangles,
-			GPUMs:      fc.GPUMs,
-			CPUMs:      fc.CPUMs,
-			UplinkMbps: res.Users[1].Uplink.Mean(),
-		})
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -90,38 +105,62 @@ var fig7Locations = []geo.Location{
 	geo.Ashburn, geo.NewYork, geo.Chicago, geo.Austin, geo.Miami,
 }
 
+// fig7Session runs the n-user all-Vision-Pro FaceTime session that both
+// fig7Users and remoteRenderUsers measure. Sharing the construction (and
+// in particular the seed derivation) keeps their downlink columns
+// comparable.
+func fig7Session(opts Options, n int) (*vca.Results, error) {
+	parts := make([]vca.Participant, n)
+	for i := 0; i < n; i++ {
+		parts[i] = vca.Participant{ID: fmt.Sprintf("u%d", i+1), Loc: fig7Locations[i], Device: vca.VisionPro}
+	}
+	sc := vca.DefaultSessionConfig(vca.FaceTime, parts)
+	sc.Duration = opts.SessionDuration
+	sc.Seed = opts.Seed + int64(n)
+	sess, err := vca.NewSession(sc)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Run(), nil
+}
+
+// fig7Users measures one user count (n = 2..MaxSpatialUsers); each count
+// seeds its own session and render loop, forming an independent work unit.
+func fig7Users(opts Options, n int) (Fig7Row, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	res, err := fig7Session(opts, n)
+	if err != nil {
+		return Fig7Row{}, err
+	}
+
+	rl := renderLoop(opts.Seed+int64(n*7), n, opts.SessionDuration)
+	return Fig7Row{
+		Users:            n,
+		TriMean:          rl.tris.Mean(),
+		TriP5:            rl.tris.Percentile(5),
+		TriP95:           rl.tris.Percentile(95),
+		CPUMean:          rl.cpu.Mean(),
+		GPUMean:          rl.gpu.Mean(),
+		GPUP95:           rl.gpu.Percentile(95),
+		DownMbps:         res.Users[0].Downlink.Mean(),
+		DeadlineMissFrac: rl.missFrac,
+	}, nil
+}
+
 // Fig7 runs the scalability analysis: 2-5 Vision Pro users in one FaceTime
 // session. Throughput comes from the session simulation; rendering load
 // comes from a seated-meeting scene replayed at 90 FPS with wandering gaze.
 func Fig7(opts Options) ([]Fig7Row, error) {
-	opts = opts.normalized()
 	var rows []Fig7Row
 	for n := 2; n <= vca.MaxSpatialUsers; n++ {
-		parts := make([]vca.Participant, n)
-		for i := 0; i < n; i++ {
-			parts[i] = vca.Participant{ID: fmt.Sprintf("u%d", i+1), Loc: fig7Locations[i], Device: vca.VisionPro}
-		}
-		sc := vca.DefaultSessionConfig(vca.FaceTime, parts)
-		sc.Duration = opts.SessionDuration
-		sc.Seed = opts.Seed + int64(n)
-		sess, err := vca.NewSession(sc)
+		row, err := fig7Users(opts, n)
 		if err != nil {
 			return nil, err
 		}
-		res := sess.Run()
-
-		rl := renderLoop(opts.Seed+int64(n*7), n, opts.SessionDuration)
-		rows = append(rows, Fig7Row{
-			Users:            n,
-			TriMean:          rl.tris.Mean(),
-			TriP5:            rl.tris.Percentile(5),
-			TriP95:           rl.tris.Percentile(95),
-			CPUMean:          rl.cpu.Mean(),
-			GPUMean:          rl.gpu.Mean(),
-			GPUP95:           rl.gpu.Percentile(95),
-			DownMbps:         res.Users[0].Downlink.Mean(),
-			DeadlineMissFrac: rl.missFrac,
-		})
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -205,14 +244,17 @@ type RemoteRenderRow struct {
 	RemoteRenderMbps float64
 }
 
-// RemoteRenderAblation implements the paper's proposed fix for the
-// scalability bottleneck and quantifies it.
-func RemoteRenderAblation(opts Options) ([]RemoteRenderRow, error) {
-	opts = opts.normalized()
+// remoteRenderUsers compares fan-out and remote-render downlink for one
+// user count; an independent work unit like fig7Users.
+func remoteRenderUsers(opts Options, n int) (RemoteRenderRow, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return RemoteRenderRow{}, err
+	}
 	// The remote-render stream: the server composites every persona into
 	// one fixed-resolution video; its bitrate is set by the encoder's
 	// rate controller, independent of n.
-	remote := func(n int, seed int64) (float64, error) {
+	remote := func(seed int64) (float64, error) {
 		scene := video.NewScene(simrand.New(seed), 960, 540, 30)
 		enc, err := video.NewEncoder(video.DefaultConfig(960, 540, 2.0e6))
 		if err != nil {
@@ -232,29 +274,31 @@ func RemoteRenderAblation(opts Options) ([]RemoteRenderRow, error) {
 		}
 		return float64(bytes) * 8 / (float64(frames) / 30) / 1e6, nil
 	}
+	res, err := fig7Session(opts, n)
+	if err != nil {
+		return RemoteRenderRow{}, err
+	}
+	rr, err := remote(opts.Seed + int64(n))
+	if err != nil {
+		return RemoteRenderRow{}, err
+	}
+	return RemoteRenderRow{
+		Users:            n,
+		FanoutMbps:       res.Users[0].Downlink.Mean(),
+		RemoteRenderMbps: rr,
+	}, nil
+}
+
+// RemoteRenderAblation implements the paper's proposed fix for the
+// scalability bottleneck and quantifies it.
+func RemoteRenderAblation(opts Options) ([]RemoteRenderRow, error) {
 	var out []RemoteRenderRow
 	for n := 2; n <= vca.MaxSpatialUsers; n++ {
-		parts := make([]vca.Participant, n)
-		for i := 0; i < n; i++ {
-			parts[i] = vca.Participant{ID: fmt.Sprintf("u%d", i+1), Loc: fig7Locations[i], Device: vca.VisionPro}
-		}
-		sc := vca.DefaultSessionConfig(vca.FaceTime, parts)
-		sc.Duration = opts.SessionDuration
-		sc.Seed = opts.Seed + int64(n)
-		sess, err := vca.NewSession(sc)
+		row, err := remoteRenderUsers(opts, n)
 		if err != nil {
 			return nil, err
 		}
-		res := sess.Run()
-		rr, err := remote(n, opts.Seed+int64(n))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, RemoteRenderRow{
-			Users:            n,
-			FanoutMbps:       res.Users[0].Downlink.Mean(),
-			RemoteRenderMbps: rr,
-		})
+		out = append(out, row)
 	}
 	return out, nil
 }

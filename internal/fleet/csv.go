@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"telepresence/internal/core"
+	"telepresence/internal/geo"
+	"telepresence/internal/stats"
+)
+
+// csvSink flattens row structs into CSV records. The header comes from the
+// experiment's zero row, so every row type the registry knows — including
+// nested stats.Box summaries and *stats.Sample fields — encodes without
+// per-type code.
+type csvSink struct {
+	w      *csv.Writer
+	header []string
+}
+
+// NewCSVSink writes rows of zeroRow's type to w as CSV with a header row.
+// The header is derived (and written lazily, on first Write or Close) from
+// zeroRow's flattened fields.
+func NewCSVSink(w io.Writer, zeroRow core.Row) Sink {
+	return &csvSink{w: csv.NewWriter(w), header: flattenHeader(zeroRow)}
+}
+
+func (s *csvSink) Write(row core.Row) error {
+	if s.header != nil {
+		if err := s.w.Write(s.header); err != nil {
+			return err
+		}
+		s.header = nil
+	}
+	return s.w.Write(flattenRecord(row))
+}
+
+func (s *csvSink) Close() error {
+	if s.header != nil { // no rows: still emit the header
+		if err := s.w.Write(s.header); err != nil {
+			return err
+		}
+		s.header = nil
+	}
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// flattenHeader lists the column names of a row type.
+func flattenHeader(row core.Row) []string {
+	var cols []string
+	walkRow("", reflect.ValueOf(row), func(name, _ string) {
+		cols = append(cols, name)
+	})
+	return cols
+}
+
+// flattenRecord lists a row's column values, aligned with flattenHeader.
+func flattenRecord(row core.Row) []string {
+	var vals []string
+	walkRow("", reflect.ValueOf(row), func(_, val string) {
+		vals = append(vals, val)
+	})
+	return vals
+}
+
+var (
+	sampleType   = reflect.TypeOf(&stats.Sample{})
+	locationType = reflect.TypeOf(geo.Location{})
+	stringerType = reflect.TypeOf((*fmt.Stringer)(nil)).Elem()
+)
+
+// sampleCols are the per-sample summary columns, mirroring the JSON
+// projection in stats.Sample.MarshalJSON.
+var sampleCols = []string{"n", "mean", "std", "min", "p25", "median", "p75", "p95", "max"}
+
+// walkRow visits every flattened (column, value) pair of a row in struct
+// declaration order, which makes CSV output deterministic.
+func walkRow(prefix string, v reflect.Value, emit func(name, val string)) {
+	t := v.Type()
+	switch {
+	case t == sampleType:
+		s, _ := v.Interface().(*stats.Sample)
+		for _, c := range sampleCols {
+			emit(join(prefix, c), sampleCol(s, c))
+		}
+	case t == locationType:
+		emit(prefix, v.Interface().(geo.Location).Name)
+	case t.Implements(stringerType) && t.Kind() != reflect.Pointer && t.Kind() != reflect.Struct:
+		emit(prefix, v.Interface().(fmt.Stringer).String())
+	case t.Kind() == reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			walkRow(join(prefix, f.Name), v.Field(i), emit)
+		}
+	case t.Kind() == reflect.Slice || t.Kind() == reflect.Array:
+		var parts []string
+		for i := 0; i < v.Len(); i++ {
+			parts = append(parts, scalar(v.Index(i)))
+		}
+		emit(prefix, strings.Join(parts, ";"))
+	default:
+		emit(prefix, scalar(v))
+	}
+}
+
+// scalar renders one leaf value. Stringer scalars (app/device/transport
+// enums) render as their names, matching walkRow's top-level handling so
+// slice elements and scalar fields encode alike.
+func scalar(v reflect.Value) string {
+	t := v.Type()
+	if t.Implements(stringerType) && t.Kind() != reflect.Pointer && t.Kind() != reflect.Struct {
+		return v.Interface().(fmt.Stringer).String()
+	}
+	switch v.Kind() {
+	case reflect.Float64, reflect.Float32:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return strconv.FormatInt(v.Int(), 10)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return strconv.FormatUint(v.Uint(), 10)
+	case reflect.Bool:
+		return strconv.FormatBool(v.Bool())
+	case reflect.String:
+		return v.String()
+	default:
+		return fmt.Sprintf("%v", v.Interface())
+	}
+}
+
+func sampleCol(s *stats.Sample, col string) string {
+	if s == nil || s.N() == 0 {
+		if col == "n" {
+			return "0"
+		}
+		return ""
+	}
+	var f float64
+	switch col {
+	case "n":
+		return strconv.Itoa(s.N())
+	case "mean":
+		f = s.Mean()
+	case "std":
+		f = s.Std()
+	case "min":
+		f = s.Min()
+	case "p25":
+		f = s.Percentile(25)
+	case "median":
+		f = s.Median()
+	case "p75":
+		f = s.Percentile(75)
+	case "p95":
+		f = s.Percentile(95)
+	case "max":
+		f = s.Max()
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func join(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "." + name
+}

@@ -1,0 +1,155 @@
+// Package fleet is the parallel experiment-fleet scheduler: it runs
+// registered experiments (internal/core's registry) by sharding each
+// experiment's repetitions across one bounded worker pool, then merges the
+// per-rep rows back in repetition order.
+//
+// Determinism is the core guarantee: repetitions derive their randomness
+// from the experiment seed and the rep index alone (the RepRunner
+// contract), and merged output preserves (experiment, rep) order, so a
+// fleet run with any worker count produces byte-identical results to a
+// sequential run. Sinks (JSONL, CSV, in-memory) serialize the merged rows;
+// a run manifest records seed, options, worker count, wall time and rows
+// emitted.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"telepresence/internal/core"
+)
+
+// Config tunes a fleet run.
+type Config struct {
+	// Workers bounds the worker pool; <=0 selects GOMAXPROCS.
+	Workers int
+}
+
+// ExperimentResult is one experiment's merged outcome.
+type ExperimentResult struct {
+	// Experiment is the registry entry that produced the rows.
+	Experiment core.Experiment
+	// Rows holds every rep's rows concatenated in rep order.
+	Rows []core.Row
+	// Reps is how many work units the experiment sharded into.
+	Reps int
+	// Wall is the cumulative wall time spent in this experiment's reps
+	// (across workers; parallel runs overlap these intervals).
+	Wall time.Duration
+	// Err is the first (lowest-rep) failure, if any; Rows is nil then.
+	Err error
+}
+
+// Run executes the given experiments under opts, sharding every
+// experiment's repetitions across one worker pool of cfg.Workers
+// goroutines. Results come back in the order experiments were passed, each
+// with rows merged in rep order — identical bytes for any worker count.
+//
+// A rep failure fails its experiment (recorded in ExperimentResult.Err)
+// but does not stop the others; Run's error joins all experiment errors.
+func Run(exps []core.Experiment, opts core.Options, cfg Config) ([]ExperimentResult, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type task struct{ exp, rep int }
+	var tasks []task
+	rows := make([][][]core.Row, len(exps)) // [exp][rep] -> rows
+	errs := make([][]error, len(exps))
+	walls := make([]time.Duration, len(exps))
+	for ei, e := range exps {
+		reps := e.Reps(opts)
+		if reps <= 0 {
+			return nil, fmt.Errorf("fleet: experiment %q reports %d reps", e.Name, reps)
+		}
+		rows[ei] = make([][]core.Row, reps)
+		errs[ei] = make([]error, reps)
+		for r := 0; r < reps; r++ {
+			tasks = append(tasks, task{ei, r})
+		}
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	ch := make(chan task)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				start := time.Now()
+				out, err := exps[t.exp].Run(opts, t.rep)
+				elapsed := time.Since(start)
+				mu.Lock()
+				rows[t.exp][t.rep] = out
+				errs[t.exp][t.rep] = err
+				walls[t.exp] += elapsed
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+
+	results := make([]ExperimentResult, len(exps))
+	var failures []error
+	for ei, e := range exps {
+		res := ExperimentResult{Experiment: e, Reps: len(rows[ei]), Wall: walls[ei]}
+		for rep, err := range errs[ei] {
+			if err != nil {
+				res.Err = fmt.Errorf("fleet: %s rep %d: %w", e.Name, rep, err)
+				break
+			}
+		}
+		if res.Err == nil {
+			for _, rr := range rows[ei] {
+				res.Rows = append(res.Rows, rr...)
+			}
+		} else {
+			failures = append(failures, res.Err)
+		}
+		results[ei] = res
+	}
+	return results, errors.Join(failures...)
+}
+
+// RunAll runs every registered experiment (sorted by name).
+func RunAll(opts core.Options, cfg Config) ([]ExperimentResult, error) {
+	return Run(core.Experiments(), opts, cfg)
+}
+
+// Select resolves experiment names against the registry. The single name
+// "all" (or no names) selects everything.
+func Select(names ...string) ([]core.Experiment, error) {
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		return core.Experiments(), nil
+	}
+	var out []core.Experiment
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		e, ok := core.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("fleet: unknown experiment %q (try: list)", n)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"telepresence/internal/core"
+	"telepresence/internal/simtime"
+)
+
+// Sink consumes one experiment's merged rows. Implementations are not
+// safe for concurrent use; the fleet writes to each sink from one
+// goroutine, in deterministic row order.
+type Sink interface {
+	Write(row core.Row) error
+	Close() error
+}
+
+// SinkFactory opens a sink for one experiment (e.g. a per-experiment
+// output file).
+type SinkFactory func(e core.Experiment) (Sink, error)
+
+// WriteResults streams every successful result's rows through a fresh sink
+// from factory, in result order. Failed experiments are skipped.
+func WriteResults(results []ExperimentResult, factory SinkFactory) error {
+	for _, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		s, err := factory(res.Experiment)
+		if err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			if err := s.Write(row); err != nil {
+				s.Close()
+				return err
+			}
+		}
+		if err := s.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------------ JSONL
+
+type jsonlSink struct{ enc *json.Encoder }
+
+// NewJSONLSink writes one JSON object per row to w. Encoding is
+// deterministic: struct fields serialize in declaration order and samples
+// serialize as their descriptive summary.
+func NewJSONLSink(w io.Writer) Sink {
+	return jsonlSink{enc: json.NewEncoder(w)}
+}
+
+func (s jsonlSink) Write(row core.Row) error { return s.enc.Encode(row) }
+func (s jsonlSink) Close() error             { return nil }
+
+// ----------------------------------------------------------------- Memory
+
+// MemorySink accumulates rows in memory, for tests and programmatic use.
+type MemorySink struct{ Rows []core.Row }
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+func (s *MemorySink) Write(row core.Row) error { s.Rows = append(s.Rows, row); return nil }
+
+// Close is a no-op; rows stay readable after closing.
+func (s *MemorySink) Close() error { return nil }
+
+// --------------------------------------------------------------- Manifest
+
+// ExperimentManifest summarizes one experiment inside a run manifest.
+type ExperimentManifest struct {
+	Name   string  `json:"name"`
+	Reps   int     `json:"reps"`
+	Rows   int     `json:"rows"`
+	WallMs float64 `json:"wall_ms"`
+	File   string  `json:"file,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// Manifest records what a fleet run did: the options that parameterized
+// it, the worker count, wall time, and per-experiment row counts. It is
+// the run's provenance document; rows themselves go to sinks.
+type Manifest struct {
+	Format             string               `json:"format"`
+	Seed               int64                `json:"seed"`
+	SessionDurationSec float64              `json:"session_duration_sec"`
+	OptionReps         int                  `json:"option_reps"`
+	Workers            int                  `json:"workers"`
+	WallMs             float64              `json:"wall_ms"`
+	Experiments        []ExperimentManifest `json:"experiments"`
+}
+
+// ManifestFormat identifies the manifest schema version.
+const ManifestFormat = "telepresence-fleet/1"
+
+// NewManifest builds the provenance record for a completed run. It
+// assumes opts already passed validation (Run rejects invalid options
+// before producing any results to record); invalid values are recorded
+// as-is rather than masked.
+func NewManifest(opts core.Options, workers int, wall time.Duration, results []ExperimentResult) Manifest {
+	if n, err := opts.Normalize(); err == nil {
+		opts = n
+	}
+	m := Manifest{
+		Format:             ManifestFormat,
+		Seed:               opts.Seed,
+		SessionDurationSec: float64(opts.SessionDuration) / float64(simtime.Second),
+		OptionReps:         opts.Reps,
+		Workers:            workers,
+		WallMs:             float64(wall) / float64(time.Millisecond),
+	}
+	for _, res := range results {
+		em := ExperimentManifest{
+			Name:   res.Experiment.Name,
+			Reps:   res.Reps,
+			Rows:   len(res.Rows),
+			WallMs: float64(res.Wall) / float64(time.Millisecond),
+		}
+		if res.Err != nil {
+			em.Error = res.Err.Error()
+		}
+		m.Experiments = append(m.Experiments, em)
+	}
+	return m
+}

@@ -41,6 +41,25 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// ChildSeed derives an independent child seed from a parent seed and a
+// label, as a pure function: unlike Source.Split it consumes no stream
+// state, so callers may derive children in any order (or concurrently) and
+// always obtain the same seeds. This is what the fleet scheduler uses to
+// shard an experiment's repetitions across workers deterministically.
+func ChildSeed(seed int64, label string) int64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return int64(splitmix64(h ^ splitmix64(uint64(seed))))
+}
+
+// Child returns a source seeded with ChildSeed(seed, label).
+func Child(seed int64, label string) *Source {
+	return New(ChildSeed(seed, label))
+}
+
 // Float64 returns a uniform draw in [0,1).
 func (s *Source) Float64() float64 { return s.r.Float64() }
 

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -164,6 +165,34 @@ func (b Box) String() string {
 // matching how the paper reports e.g. 108.4±16.7 Mbps.
 func (s *Sample) MeanStd(decimals int) string {
 	return fmt.Sprintf("%.*f±%.*f", decimals, s.Mean(), decimals, s.Std())
+}
+
+// summary is the JSON projection of a Sample: the descriptive statistics
+// the paper reports, rather than the raw observations, so encoded rows stay
+// compact and stable.
+type summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	P25    float64 `json:"p25"`
+	Median float64 `json:"median"`
+	P75    float64 `json:"p75"`
+	P95    float64 `json:"p95"`
+	Max    float64 `json:"max"`
+}
+
+// MarshalJSON encodes the sample as its descriptive summary. Empty samples
+// encode as {"n":0} (NaN is not representable in JSON).
+func (s *Sample) MarshalJSON() ([]byte, error) {
+	if s == nil || len(s.xs) == 0 {
+		return []byte(`{"n":0}`), nil
+	}
+	return json.Marshal(summary{
+		N: s.N(), Mean: s.Mean(), Std: s.Std(),
+		Min: s.Min(), P25: s.Percentile(25), Median: s.Median(),
+		P75: s.Percentile(75), P95: s.Percentile(95), Max: s.Max(),
+	})
 }
 
 // CDFPoint is one (value, cumulative fraction) point of an empirical CDF.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 	"testing"
@@ -251,5 +252,29 @@ func TestCDFValuesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSampleMarshalJSON(t *testing.T) {
+	s := NewSample(3, 1, 2, 4, 5)
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]float64
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+	if got["n"] != 5 || got["mean"] != 3 || got["min"] != 1 || got["max"] != 5 || got["median"] != 3 {
+		t.Errorf("summary = %s", b)
+	}
+	// Determinism: identical samples encode to identical bytes.
+	b2, _ := json.Marshal(NewSample(3, 1, 2, 4, 5))
+	if string(b) != string(b2) {
+		t.Errorf("encoding not deterministic: %s vs %s", b, b2)
+	}
+	// Empty samples encode without NaN (json cannot represent NaN).
+	if b, err := json.Marshal(&Sample{}); err != nil || string(b) != `{"n":0}` {
+		t.Errorf("empty sample -> %s, %v", b, err)
 	}
 }

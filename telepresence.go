@@ -10,6 +10,9 @@
 //   - Experiments: one runner per figure/analysis in the paper (Fig4,
 //     Fig5, Fig6, Fig7, MeshStreaming, KeypointStreaming, DisplayLatency,
 //     RateAdaptation, AnycastAudit, ProtocolMatrix, RemoteRenderAblation).
+//   - Fleet: a registry of every experiment plus a deterministic parallel
+//     scheduler (FleetRun) that shards repetitions across a worker pool
+//     and streams merged rows to pluggable sinks (JSONL, CSV, in-memory).
 //   - Building blocks, re-exported for direct use: the semantic codec, the
 //     mesh codec, the renderer cost model, and the geography/RTT model.
 //
@@ -19,6 +22,7 @@ package telepresence
 
 import (
 	"telepresence/internal/core"
+	"telepresence/internal/fleet"
 	"telepresence/internal/geo"
 	"telepresence/internal/render"
 	"telepresence/internal/semantic"
@@ -138,6 +142,12 @@ const (
 	PolicyGeoDistributed = core.PolicyGeoDistributed
 )
 
+// Default sweeps used by the registry's latency and rate experiments.
+var (
+	DefaultInjectedDelaysMs = core.DefaultInjectedDelaysMs
+	DefaultRateCaps         = core.DefaultRateCaps
+)
+
 // Quick returns CI-scale experiment options.
 func Quick(seed int64) Options { return core.Quick(seed) }
 
@@ -161,6 +171,57 @@ var (
 	MultiServerAblation      = core.MultiServerAblation
 	ViewportDeliveryAblation = core.ViewportDeliveryAblation
 	PassiveQoESweep          = core.PassiveQoESweep
+)
+
+// Fleet orchestration: the experiment registry and the deterministic
+// parallel scheduler. See DESIGN.md for the architecture.
+type (
+	// Experiment is one registry entry: a named, rep-shardable runner.
+	Experiment = core.Experiment
+	// RepRunner runs one independent repetition of an experiment.
+	RepRunner = core.RepRunner
+	// ExperimentRow is one emitted row (a concrete row struct).
+	ExperimentRow = core.Row
+	// FleetConfig bounds the scheduler's worker pool.
+	FleetConfig = fleet.Config
+	// FleetResult is one experiment's merged outcome.
+	FleetResult = fleet.ExperimentResult
+	// FleetManifest is a fleet run's provenance record.
+	FleetManifest = fleet.Manifest
+	// Sink consumes one experiment's merged rows.
+	Sink = fleet.Sink
+	// MemorySink collects rows in memory (for tests and pipelines).
+	MemorySink = fleet.MemorySink
+
+	// Per-unit fleet row types (aggregated runners emit these per rep).
+	MeshHeadRow = core.MeshHeadRow
+	KeypointRow = core.KeypointRow
+)
+
+// Fleet entry points.
+var (
+	// Experiments lists every registered experiment, sorted by name.
+	Experiments = core.Experiments
+	// LookupExperiment finds a registered experiment by name.
+	LookupExperiment = core.Lookup
+	// RegisterExperiment adds a runner to the registry (for downstream
+	// extensions; names must be unique).
+	RegisterExperiment = core.Register
+	// SelectExperiments resolves names ("all" = everything).
+	SelectExperiments = fleet.Select
+	// FleetRun shards the experiments' reps across a worker pool;
+	// merged output is byte-identical for any worker count.
+	FleetRun = fleet.Run
+	// FleetRunAll runs the whole registered suite.
+	FleetRunAll = fleet.RunAll
+	// FleetWrite streams results through per-experiment sinks.
+	FleetWrite = fleet.WriteResults
+	// NewFleetManifest builds the provenance record for a finished run.
+	NewFleetManifest = fleet.NewManifest
+	// Sink constructors.
+	NewJSONLSink  = fleet.NewJSONLSink
+	NewCSVSink    = fleet.NewCSVSink
+	NewMemorySink = fleet.NewMemorySink
 )
 
 // Statistics helpers (re-exported for consumers of experiment rows).
