@@ -9,12 +9,14 @@
 // Usage:
 //
 //	vpfleet list
-//	vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv] all|<name>...
+//	vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
+//	            [-cpuprofile FILE] [-memprofile FILE] all|<name>...
 //
 // Examples:
 //
 //	vpfleet run all -workers 8
 //	vpfleet run fig5 fig7 -seed 7 -format csv -out results/
+//	vpfleet run all -workers 1 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	tp "telepresence"
@@ -82,6 +85,8 @@ func runCmd(args []string) {
 	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs)")
 	out := fs.String("out", "fleet-out", "output directory")
 	format := fs.String("format", "jsonl", "row format: jsonl or csv")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile after the run to this file")
 	// Accept experiment names and flags in any order ("run all -workers 8"
 	// reads naturally): peel non-flag arguments off between Parse calls.
 	var names []string
@@ -119,9 +124,43 @@ func runCmd(args []string) {
 		fail(err)
 	}
 
+	// Profiling hooks for the hot-path work the ROADMAP tracks: profile
+	// exactly the experiment execution, not sink I/O.
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		cpuFile = f
+	}
+
 	start := time.Now()
 	results, runErr := tp.FleetRun(exps, opts, tp.FleetConfig{Workers: *workers})
 	wall := time.Since(start)
+
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
 
 	// One output file per experiment, named by the registry.
 	files := map[string]string{}

@@ -48,6 +48,11 @@ func Classify(payload []byte) Protocol {
 	}
 }
 
+// ClassIndex adapts Classify to the capture package's streaming Classifier
+// signature, so protocol counting happens online at the tap with no payload
+// retention.
+func ClassIndex(payload []byte) int { return int(Classify(payload)) }
+
 // ClassifyCapture classifies a whole capture by majority vote over frames
 // that carry enough payload to judge, returning the verdict and the per-
 // protocol packet counts.

@@ -110,6 +110,7 @@ func TestCaptureClassifyAndMeasureQUIC(t *testing.T) {
 	p.BA.SetHandler(client.Deliver)
 
 	cap := capture.New("ap")
+	cap.SetRetain(true) // this test runs record-level analysis
 	cap.Attach(p.AB)
 
 	server.OnMessage(func(quic.Message) {})
@@ -149,6 +150,7 @@ func TestCaptureSnapLen(t *testing.T) {
 	s := simtime.NewScheduler()
 	l := netem.NewLink(s, simrand.New(2), netem.Config{Name: "snap"})
 	c := capture.New("c")
+	c.SetRetain(true)
 	c.Attach(l)
 	l.SetHandler(func(simtime.Time, netem.Frame) {})
 	l.Send(netem.Frame{Size: 5000, Payload: make([]byte, 5000)})

@@ -271,6 +271,9 @@ func qoeApp(opts Options, i int) (QoESweepRow, error) {
 	})
 	sc.Duration = opts.SessionDuration
 	sc.Seed = opts.Seed + int64(i)
+	// Passive QoE genuinely needs per-packet timing: opt in to record
+	// retention (the default capture mode streams aggregates only).
+	sc.RetainPackets = true
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return QoESweepRow{}, err

@@ -254,3 +254,52 @@ func BenchmarkDecompress(b *testing.B) {
 		}
 	}
 }
+
+// TestCompressorReuseBitIdentical pins the reusable Compressor to the
+// one-shot Compress output: the generation-stamped hash table and recycled
+// models must never change a single output byte, or every golden experiment
+// result downstream would move.
+func TestCompressorReuseBitIdentical(t *testing.T) {
+	rng := simrand.New(9)
+	c := NewCompressor()
+	d := NewDecompressor()
+	var dst, raw []byte
+	for i := 0; i < 50; i++ {
+		src := make([]byte, rng.Intn(3000))
+		for j := range src {
+			src[j] = byte(rng.Intn(1 << uint(1+i%8)))
+		}
+		want := Compress(nil, src)
+		got := c.Compress(dst[:0], src)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("call %d: reused compressor output differs (%d vs %d bytes)", i, len(got), len(want))
+		}
+		dst = got
+		raw, _ = d.Decompress(raw[:0], got)
+		if !bytes.Equal(raw, src) {
+			t.Fatalf("call %d: reused decompressor round trip failed", i)
+		}
+	}
+}
+
+// TestCompressorSteadyStateAllocs pins the reusable pipeline's allocation
+// budget so hot-path regressions fail tier-1 instead of only showing in
+// benchmarks.
+func TestCompressorSteadyStateAllocs(t *testing.T) {
+	c := NewCompressor()
+	d := NewDecompressor()
+	src := bytes.Repeat([]byte("keypointframe"), 70)
+	var dst, raw []byte
+	c.Compress(dst[:0], src) // warm the scratch buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = c.Compress(dst[:0], src)
+		var err error
+		raw, err = d.Decompress(raw[:0], dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state compress+decompress allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -3,6 +3,7 @@ package entropy
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // LZ parameters. Window and match bounds are fixed for the whole repository;
@@ -36,6 +37,15 @@ func newLZModels() *lzModels {
 	}
 }
 
+// reset restores all adaptive probabilities to p=0.5, making the models
+// reusable across independent streams without reallocating.
+func (m *lzModels) reset() {
+	m.isMatch = probInit
+	m.lit.Reset()
+	m.length.Reset()
+	m.distSlot.Reset()
+}
+
 // nbits returns the bit width of v (>=1 for v>=0; nbits(0)==0).
 func nbits(v uint32) int {
 	n := 0
@@ -44,6 +54,26 @@ func nbits(v uint32) int {
 		v >>= 1
 	}
 	return n
+}
+
+// matchLen returns the length of the common prefix of src[a:] and src[b:]
+// capped at limit, comparing 8 bytes at a time. Equivalent to the obvious
+// byte loop (the coherent streams we compress have long runs, where the
+// word comparison is ~8x cheaper).
+func matchLen(src []byte, a, b, limit int) int {
+	l := 0
+	for l+8 <= limit {
+		x := binary.LittleEndian.Uint64(src[a+l:])
+		y := binary.LittleEndian.Uint64(src[b+l:])
+		if x != y {
+			return l + bits.TrailingZeros64(x^y)/8
+		}
+		l += 8
+	}
+	for l < limit && src[a+l] == src[b+l] {
+		l++
+	}
+	return l
 }
 
 // worthIt reports whether a match of the given length and distance is
@@ -60,9 +90,29 @@ func worthIt(length, dist int) bool {
 	}
 }
 
+// Compressor is a reusable LZ77 + range-coder pipeline. Reuse across calls
+// eliminates the dominant allocation of one-shot Compress: the 128 KiB hash
+// head table, which a generation stamp makes reusable without clearing.
+// Output is byte-identical to the package-level Compress.
+type Compressor struct {
+	m   *lzModels
+	enc RangeEncoder
+	// head[h] holds (gen<<32 | position) of the latest insertion for hash
+	// h; entries from earlier calls fail the generation check and read as
+	// absent, so the table never needs re-initialization.
+	head []uint64
+	prev []int32
+	gen  uint64
+}
+
+// NewCompressor returns an empty, reusable compressor.
+func NewCompressor() *Compressor {
+	return &Compressor{m: newLZModels(), head: make([]uint64, 1<<hashBits)}
+}
+
 // Compress compresses src with LZ77 match finding and adaptive range coding
 // and appends the result to dst. The output embeds the uncompressed length.
-func Compress(dst, src []byte) []byte {
+func (c *Compressor) Compress(dst, src []byte) []byte {
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(src)))
 	dst = append(dst, hdr[:n]...)
@@ -70,21 +120,49 @@ func Compress(dst, src []byte) []byte {
 		return dst
 	}
 
-	enc := NewRangeEncoder(dst)
-	m := newLZModels()
-
-	head := make([]int32, 1<<hashBits)
-	prev := make([]int32, len(src))
-	for i := range head {
-		head[i] = -1
+	c.gen++
+	if c.gen >= 1<<32 {
+		// Generation space exhausted (after 4G calls): clear and restart.
+		for i := range c.head {
+			c.head[i] = 0
+		}
+		c.gen = 1
 	}
+	gen := c.gen << 32
+	head := c.head
+	if cap(c.prev) < len(src) {
+		c.prev = make([]int32, len(src))
+	}
+	prev := c.prev[:len(src)]
 
+	c.m.reset()
+	m := c.m
+	c.enc.Reset(dst)
+	enc := &c.enc
+
+	// isMatchBit is EncodeBit(&m.isMatch, bit) inlined by hand: the call
+	// sits on the per-symbol hot path and is too costly for the inliner.
+	isMatchBit := func(bit uint32) {
+		p := m.isMatch
+		bound := (enc.rng >> probBits) * uint32(p)
+		if bit == 0 {
+			enc.rng = bound
+			m.isMatch = p + (probTotal-p)>>moveBits
+		} else {
+			enc.low += uint64(bound)
+			enc.rng -= bound
+			m.isMatch = p - p>>moveBits
+		}
+		if enc.rng < topValue {
+			enc.normalize()
+		}
+	}
 	emitLiteral := func(b byte) {
-		enc.EncodeBit(&m.isMatch, 0)
+		isMatchBit(0)
 		m.lit.Encode(enc, uint32(b))
 	}
 	emitMatch := func(length, dist int) {
-		enc.EncodeBit(&m.isMatch, 1)
+		isMatchBit(1)
 		m.length.Encode(enc, uint32(length-minMatch))
 		// Distance-1 coded as a bit-width slot plus the low bits directly:
 		// cheap for the short distances that dominate coherent streams.
@@ -96,11 +174,19 @@ func Compress(dst, src []byte) []byte {
 		}
 	}
 
+	// lookup returns the chain head for hash h, or -1 for entries written
+	// by earlier Compress calls.
+	lookup := func(h uint32) int32 {
+		if e := head[h]; e>>32 == c.gen {
+			return int32(uint32(e))
+		}
+		return -1
+	}
 	insert := func(i int) {
 		if i+minMatch <= len(src) {
 			h := hash3(src[i:])
-			prev[i] = head[h]
-			head[h] = int32(i)
+			prev[i] = lookup(h)
+			head[h] = gen | uint64(uint32(i))
 		}
 	}
 
@@ -109,7 +195,7 @@ func Compress(dst, src []byte) []byte {
 		bestLen, bestDist := 0, 0
 		if i+minMatch <= len(src) {
 			h := hash3(src[i:])
-			cand := head[h]
+			cand := lookup(h)
 			tries := 32
 			limit := len(src) - i
 			if limit > maxMatch {
@@ -120,10 +206,7 @@ func Compress(dst, src []byte) []byte {
 				if d > maxDistance {
 					break
 				}
-				l := 0
-				for l < limit && src[int(cand)+l] == src[i+l] {
-					l++
-				}
+				l := matchLen(src, int(cand), i, limit)
 				if l > bestLen && worthIt(l, d) {
 					bestLen, bestDist = l, d
 					if l == limit {
@@ -149,9 +232,27 @@ func Compress(dst, src []byte) []byte {
 	return enc.Flush()
 }
 
+// Compress compresses src with LZ77 match finding and adaptive range coding
+// and appends the result to dst. One-shot convenience over Compressor; hot
+// paths should hold a Compressor and reuse it.
+func Compress(dst, src []byte) []byte {
+	return NewCompressor().Compress(dst, src)
+}
+
+// Decompressor is the reusable counterpart of Compressor.
+type Decompressor struct {
+	m   *lzModels
+	dec RangeDecoder
+}
+
+// NewDecompressor returns an empty, reusable decompressor.
+func NewDecompressor() *Decompressor {
+	return &Decompressor{m: newLZModels()}
+}
+
 // Decompress decodes a Compress stream appended after dst. It fails loudly
 // on corrupt or truncated input.
-func Decompress(dst, src []byte) ([]byte, error) {
+func (c *Decompressor) Decompress(dst, src []byte) ([]byte, error) {
 	size, n := binary.Uvarint(src)
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: bad length header", ErrCorrupt)
@@ -162,17 +263,50 @@ func Decompress(dst, src []byte) ([]byte, error) {
 	if size > 1<<31 {
 		return nil, fmt.Errorf("%w: implausible length %d", ErrCorrupt, size)
 	}
-	dec, err := NewRangeDecoder(src[n:])
-	if err != nil {
+	if err := c.dec.Reset(src[n:]); err != nil {
 		return nil, err
 	}
-	m := newLZModels()
+	dec := &c.dec
+	c.m.reset()
+	m := c.m
 
+	// isMatchBit mirrors the hand-inlined encoder-side bit.
+	isMatchBit := func() int {
+		p := m.isMatch
+		bound := (dec.rng >> probBits) * uint32(p)
+		var bit int
+		if dec.code < bound {
+			dec.rng = bound
+			m.isMatch = p + (probTotal-p)>>moveBits
+		} else {
+			dec.code -= bound
+			dec.rng -= bound
+			m.isMatch = p - p>>moveBits
+			bit = 1
+		}
+		if dec.rng < topValue {
+			dec.normalize()
+		}
+		return bit
+	}
+
+	// The stream declares its decoded size up front: allocate once and
+	// write through a cursor instead of paying append bookkeeping per
+	// literal.
 	base := len(dst)
+	need := base + int(size)
 	out := dst
-	for uint64(len(out)-base) < size {
-		if dec.DecodeBit(&m.isMatch) == 0 {
-			out = append(out, byte(m.lit.Decode(dec)))
+	if cap(out) < need {
+		grown := make([]byte, len(out), need)
+		copy(grown, out)
+		out = grown
+	}
+	out = out[:need]
+	w := base
+	for w < need {
+		if isMatchBit() == 0 {
+			out[w] = byte(m.lit.Decode(dec))
+			w++
 		} else {
 			length := int(m.length.Decode(dec)) + minMatch
 			slot := int(m.distSlot.Decode(dec))
@@ -184,15 +318,21 @@ func Decompress(dst, src []byte) ([]byte, error) {
 				}
 			}
 			dist := int(d) + 1
-			start := len(out) - dist
+			start := w - dist
 			if start < base {
 				return nil, fmt.Errorf("%w: match before window start", ErrCorrupt)
 			}
-			if uint64(len(out)-base+length) > size {
+			if w+length > need {
 				return nil, fmt.Errorf("%w: match overruns declared size", ErrCorrupt)
 			}
-			for k := 0; k < length; k++ {
-				out = append(out, out[start+k])
+			if dist >= length {
+				copy(out[w:w+length], out[start:start+length])
+				w += length
+			} else {
+				for k := 0; k < length; k++ {
+					out[w] = out[start+k]
+					w++
+				}
 			}
 		}
 		if dec.Err() != nil {
@@ -200,4 +340,10 @@ func Decompress(dst, src []byte) ([]byte, error) {
 		}
 	}
 	return out, nil
+}
+
+// Decompress decodes a Compress stream appended after dst. One-shot
+// convenience over Decompressor; hot paths should hold a Decompressor.
+func Decompress(dst, src []byte) ([]byte, error) {
+	return NewDecompressor().Decompress(dst, src)
 }

@@ -44,6 +44,12 @@ func NewRangeEncoder(out []byte) *RangeEncoder {
 	return &RangeEncoder{rng: 0xFFFFFFFF, cacheSize: 1, out: out}
 }
 
+// Reset re-initializes the encoder to append a fresh stream to out,
+// reusing the receiver.
+func (e *RangeEncoder) Reset(out []byte) {
+	*e = RangeEncoder{rng: 0xFFFFFFFF, cacheSize: 1, out: out}
+}
+
 func (e *RangeEncoder) shiftLow() {
 	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
 		carry := byte(e.low >> 32)
@@ -62,7 +68,8 @@ func (e *RangeEncoder) shiftLow() {
 	e.low = (e.low << 8) & 0xFFFFFFFF
 }
 
-// EncodeBit encodes bit under the adaptive probability p.
+// EncodeBit encodes bit under the adaptive probability p. The normalization
+// loop lives in a separate method so this hot path stays inlinable.
 func (e *RangeEncoder) EncodeBit(p *Prob, bit int) {
 	bound := (e.rng >> probBits) * uint32(*p)
 	if bit == 0 {
@@ -73,6 +80,12 @@ func (e *RangeEncoder) EncodeBit(p *Prob, bit int) {
 		e.rng -= bound
 		*p -= *p >> moveBits
 	}
+	if e.rng < topValue {
+		e.normalize()
+	}
+}
+
+func (e *RangeEncoder) normalize() {
 	for e.rng < topValue {
 		e.rng <<= 8
 		e.shiftLow()
@@ -115,14 +128,24 @@ type RangeDecoder struct {
 
 // NewRangeDecoder initializes a decoder over the encoder's output.
 func NewRangeDecoder(in []byte) (*RangeDecoder, error) {
-	if len(in) < 5 {
-		return nil, ErrCorrupt
+	d := &RangeDecoder{}
+	if err := d.Reset(in); err != nil {
+		return nil, err
 	}
-	d := &RangeDecoder{rng: 0xFFFFFFFF, in: in, pos: 1} // first byte is always 0
+	return d, nil
+}
+
+// Reset re-initializes the decoder over a fresh stream, reusing the
+// receiver.
+func (d *RangeDecoder) Reset(in []byte) error {
+	if len(in) < 5 {
+		return ErrCorrupt
+	}
+	*d = RangeDecoder{rng: 0xFFFFFFFF, in: in, pos: 1} // first byte is always 0
 	for i := 0; i < 4; i++ {
 		d.code = d.code<<8 | uint32(d.next())
 	}
-	return d, nil
+	return nil
 }
 
 func (d *RangeDecoder) next() byte {
@@ -145,7 +168,8 @@ func (d *RangeDecoder) Err() error {
 	return nil
 }
 
-// DecodeBit decodes one bit under p.
+// DecodeBit decodes one bit under p. Normalization is split out so the hot
+// path inlines, mirroring EncodeBit.
 func (d *RangeDecoder) DecodeBit(p *Prob) int {
 	bound := (d.rng >> probBits) * uint32(*p)
 	var bit int
@@ -158,11 +182,17 @@ func (d *RangeDecoder) DecodeBit(p *Prob) int {
 		*p -= *p >> moveBits
 		bit = 1
 	}
+	if d.rng < topValue {
+		d.normalize()
+	}
+	return bit
+}
+
+func (d *RangeDecoder) normalize() {
 	for d.rng < topValue {
 		d.rng <<= 8
 		d.code = d.code<<8 | uint32(d.next())
 	}
-	return bit
 }
 
 // DecodeDirect decodes nbits encoded with EncodeDirect.
@@ -196,21 +226,73 @@ func NewBitTree(bits int) *BitTree {
 	return &BitTree{probs: NewProbs(1 << bits), bits: bits}
 }
 
-// Encode writes sym (must fit in the tree's width).
-func (t *BitTree) Encode(e *RangeEncoder, sym uint32) {
-	ctx := uint32(1)
-	for i := t.bits - 1; i >= 0; i-- {
-		bit := int((sym >> uint(i)) & 1)
-		e.EncodeBit(&t.probs[ctx], bit)
-		ctx = ctx<<1 | uint32(bit)
+// Reset restores every node to p=0.5 so the tree can code a fresh stream.
+func (t *BitTree) Reset() {
+	for i := range t.probs {
+		t.probs[i] = probInit
 	}
 }
 
-// Decode reads one symbol.
+// Encode writes sym (must fit in the tree's width). The per-bit range-coder
+// update is inlined with the range register held in a local so the hot loop
+// runs without call overhead; the arithmetic is exactly EncodeBit's.
+func (t *BitTree) Encode(e *RangeEncoder, sym uint32) {
+	probs := t.probs
+	rng := e.rng
+	ctx := uint32(1)
+	for i := t.bits - 1; i >= 0; i-- {
+		bit := (sym >> uint(i)) & 1
+		p := probs[ctx]
+		bound := (rng >> probBits) * uint32(p)
+		if bit == 0 {
+			rng = bound
+			probs[ctx] = p + (probTotal-p)>>moveBits
+		} else {
+			e.low += uint64(bound)
+			rng -= bound
+			probs[ctx] = p - p>>moveBits
+		}
+		for rng < topValue {
+			rng <<= 8
+			e.shiftLow()
+		}
+		ctx = ctx<<1 | bit
+	}
+	e.rng = rng
+}
+
+// Decode reads one symbol, mirroring Encode's inlined hot loop.
 func (t *BitTree) Decode(d *RangeDecoder) uint32 {
+	probs := t.probs
+	rng, code := d.rng, d.code
+	in, pos := d.in, d.pos
 	ctx := uint32(1)
 	for i := 0; i < t.bits; i++ {
-		ctx = ctx<<1 | uint32(d.DecodeBit(&t.probs[ctx]))
+		p := probs[ctx]
+		bound := (rng >> probBits) * uint32(p)
+		var bit uint32
+		if code < bound {
+			rng = bound
+			probs[ctx] = p + (probTotal-p)>>moveBits
+		} else {
+			code -= bound
+			rng -= bound
+			probs[ctx] = p - p>>moveBits
+			bit = 1
+		}
+		for rng < topValue {
+			rng <<= 8
+			var b byte
+			if pos < len(in) {
+				b = in[pos]
+				pos++
+			} else {
+				d.err = true
+			}
+			code = code<<8 | uint32(b)
+		}
+		ctx = ctx<<1 | bit
 	}
+	d.rng, d.code, d.pos = rng, code, pos
 	return ctx - 1<<t.bits
 }

@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// regenGolden rewrites the checked-in golden suite output. Run it only when a
+// row-format or experiment-definition change is *intended* to alter results:
+//
+//	go test ./internal/fleet -run TestGoldenSuite -regen-golden
+var regenGolden = flag.Bool("regen-golden", false, "rewrite testdata/golden_suite.jsonl")
+
+const goldenPath = "testdata/golden_suite.jsonl"
+
+// goldenSuite renders the full registered suite at the golden options as one
+// deterministic byte stream: experiments sorted by name, each prefixed with a
+// '#' header line, rows as JSONL.
+func goldenSuite(t *testing.T, workers int) []byte {
+	t.Helper()
+	results, err := RunAll(testOpts(1), Config{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := encodeJSONL(t, results)
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	for _, name := range names {
+		fmt.Fprintf(&buf, "# %s\n", name)
+		buf.Write(byName[name])
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenSuite pins every experiment row to the checked-in pre-refactor
+// output: performance work on the session hot path (streaming capture,
+// buffer pooling, scheduler changes) must not move a single byte of any
+// experiment result. Run with -short to skip the full-suite run.
+func TestGoldenSuite(t *testing.T) {
+	if testing.Short() && !*regenGolden {
+		t.Skip("full-suite golden comparison skipped in -short mode")
+	}
+	got := goldenSuite(t, 1)
+	if *regenGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -regen-golden): %v", err)
+	}
+	if bytes.Equal(want, got) {
+		return
+	}
+	// Pin down the first diverging line so failures are actionable.
+	wl, gl := bytes.Split(want, []byte("\n")), bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			t.Fatalf("suite output diverges from golden at line %d:\nwant: %.300s\ngot:  %.300s", i+1, wl[i], gl[i])
+		}
+	}
+	t.Fatalf("suite output length differs from golden: want %d lines, got %d", len(wl), len(gl))
+}

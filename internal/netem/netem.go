@@ -91,7 +91,53 @@ type Link struct {
 	busyUntil simtime.Time
 	queued    int // bytes currently in the serializer queue
 
+	// free holds recycled delivery nodes; together with the scheduler's
+	// pooled events this makes the per-frame path allocation-free.
+	free []*delivery
+
+	// lnJitter caches log(JitterMs) for the per-frame lognormal draw.
+	lnJitter float64
+
 	stats LinkStats
+}
+
+// delivery is the pooled in-flight state of one frame: what the link needs
+// when the propagation timer fires. It replaces a per-frame closure.
+type delivery struct {
+	l *Link
+	f Frame
+	// counted records whether this frame incremented the serializer queue,
+	// so the decrement on delivery is exact (frames transmitted straight
+	// from an idle serializer never queue).
+	counted bool
+}
+
+func (l *Link) getDelivery() *delivery {
+	if n := len(l.free) - 1; n >= 0 {
+		d := l.free[n]
+		l.free[n] = nil
+		l.free = l.free[:n]
+		return d
+	}
+	return &delivery{l: l}
+}
+
+// deliverFn is the package-level AtArg trampoline for frame delivery.
+func deliverFn(a any) {
+	d := a.(*delivery)
+	l := d.l
+	if d.counted {
+		l.queued -= d.f.Size
+	}
+	l.stats.DeliveredFrames++
+	l.stats.DeliveredB += int64(d.f.Size)
+	l.tap(d.f, Egress)
+	if l.handler != nil {
+		l.handler(l.sched.Now(), d.f)
+	}
+	d.f = Frame{}
+	d.counted = false
+	l.free = append(l.free, d)
 }
 
 // LinkStats counts traffic over the life of a link.
@@ -109,7 +155,11 @@ func NewLink(sched *simtime.Scheduler, rng *simrand.Source, cfg Config) *Link {
 	if cfg.DelayMs < 0 || cfg.RateBps < 0 || cfg.LossProb < 0 || cfg.LossProb > 1 {
 		panic(fmt.Sprintf("netem: invalid config %+v", cfg))
 	}
-	return &Link{cfg: cfg, sched: sched, rng: rng}
+	l := &Link{cfg: cfg, sched: sched, rng: rng}
+	if cfg.JitterMs > 0 {
+		l.lnJitter = math.Log(cfg.JitterMs)
+	}
+	return l
 }
 
 // SetHandler installs the far-end receiver.
@@ -173,6 +223,7 @@ func (l *Link) Send(f Frame) bool {
 	}
 
 	txDone := now
+	counted := false
 	if rate > 0 {
 		if l.busyUntil > now {
 			// Serializer busy: the frame queues.
@@ -182,6 +233,7 @@ func (l *Link) Send(f Frame) bool {
 				return false
 			}
 			l.queued += f.Size
+			counted = true
 			txDone = l.busyUntil
 		}
 		ser := simtime.Duration(float64(f.Size*8) / rate * float64(simtime.Second))
@@ -194,25 +246,17 @@ func (l *Link) Send(f Frame) bool {
 		delay += simtime.Duration(sh.ExtraDelayMs * float64(simtime.Millisecond))
 	}
 	if l.cfg.JitterMs > 0 {
-		j := l.rng.LogNormal(math.Log(l.cfg.JitterMs), 0.5)
+		j := l.rng.LogNormal(l.lnJitter, 0.5)
 		delay += simtime.Duration(j * float64(simtime.Millisecond))
 	}
 	if l.cfg.ReorderProb > 0 && l.rng.Bernoulli(l.cfg.ReorderProb) {
 		delay += simtime.Duration(l.rng.Uniform(0, 2*l.cfg.DelayMs+1) * float64(simtime.Millisecond))
 	}
 
-	size := f.Size
-	l.sched.At(txDone.Add(delay), func() {
-		if rate > 0 && l.queued >= size {
-			l.queued -= size
-		}
-		l.stats.DeliveredFrames++
-		l.stats.DeliveredB += int64(size)
-		l.tap(f, Egress)
-		if l.handler != nil {
-			l.handler(l.sched.Now(), f)
-		}
-	})
+	d := l.getDelivery()
+	d.f = f
+	d.counted = counted
+	l.sched.AtArg(txDone.Add(delay), deliverFn, d)
 	return true
 }
 

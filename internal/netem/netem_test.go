@@ -240,3 +240,58 @@ func TestStatsAccounting(t *testing.T) {
 		t.Errorf("delivered %d/%d, want 10/5000", st.DeliveredFrames, st.DeliveredB)
 	}
 }
+
+// TestQueuedBytesExactAccounting is the regression test for the serializer
+// accounting bug: a frame transmitted straight from an idle serializer never
+// increments queued, but its delivery used to decrement queued anyway
+// whenever enough genuinely queued bytes were present — silently stealing
+// bytes from queued frames and under-enforcing QueueBytes.
+func TestQueuedBytesExactAccounting(t *testing.T) {
+	s, l := newLink(t, Config{RateBps: 1e6}) // 1000-byte frame = 8 ms serialization
+	l.SetHandler(func(simtime.Time, Frame) {})
+	// A transmits immediately (idle serializer, not queued); B and C queue.
+	for i := 0; i < 3; i++ {
+		if !l.Send(Frame{Size: 1000}) {
+			t.Fatalf("send %d dropped", i)
+		}
+	}
+	if got := l.QueuedBytes(); got != 2000 {
+		t.Fatalf("after sends: QueuedBytes = %d, want 2000 (B+C)", got)
+	}
+	// After A delivers (~8 ms), the queue must still hold exactly B+C: A
+	// was never queued, so its delivery must not decrement.
+	s.RunFor(9 * simtime.Millisecond)
+	if got := l.QueuedBytes(); got != 2000 {
+		t.Fatalf("after A delivers: QueuedBytes = %d, want 2000 (bytes stolen from queued frames)", got)
+	}
+	s.RunFor(8 * simtime.Millisecond) // B delivered
+	if got := l.QueuedBytes(); got != 1000 {
+		t.Fatalf("after B delivers: QueuedBytes = %d, want 1000", got)
+	}
+	s.Run()
+	if got := l.QueuedBytes(); got != 0 {
+		t.Fatalf("after drain: QueuedBytes = %d, want 0", got)
+	}
+}
+
+// TestSendDeliverySteadyStateAllocs pins the per-frame budget of the link
+// hot path: pooled delivery nodes and pooled scheduler events make
+// Send+delivery allocation-free, and regressions should fail tier-1 rather
+// than only showing in benchmarks.
+func TestSendDeliverySteadyStateAllocs(t *testing.T) {
+	s, l := newLink(t, Config{DelayMs: 1, RateBps: 1e8, JitterMs: 0.3})
+	l.SetHandler(func(simtime.Time, Frame) {})
+	payload := make([]byte, 200)
+	// Warm the pools.
+	for i := 0; i < 10; i++ {
+		l.Send(Frame{Size: 1000, Payload: payload})
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		l.Send(Frame{Size: 1000, Payload: payload})
+		s.Run()
+	})
+	if allocs > 0 {
+		t.Errorf("Send+delivery allocates %.1f per frame, want 0", allocs)
+	}
+}

@@ -8,6 +8,14 @@
 // The paper found FaceTime delivers spatial personas over QUIC when all
 // participants wear Vision Pro (§4.1); the vca package selects this
 // transport in exactly that case.
+//
+// Memory discipline: a connection's steady-state footprint is O(in-flight
+// data), not O(session length). Send-side stream state is released (and its
+// buffer recycled) once every fragment is acknowledged or abandoned;
+// receive-side reassembly state is released on delivery, with completed
+// stream IDs tracked by a compact watermark instead of a grow-forever map.
+// Message.Data handed to OnMessage is only valid for the duration of the
+// callback — receivers that retain it must copy (copy-on-retain).
 package quic
 
 import (
@@ -46,7 +54,8 @@ var (
 )
 
 // Message is a fully reassembled stream payload delivered to the
-// application.
+// application. Data is owned by the connection and valid only until the
+// OnMessage callback returns; retain a copy if needed beyond that.
 type Message struct {
 	StreamID uint64
 	Data     []byte
@@ -80,14 +89,21 @@ type Conn struct {
 	nextPN       uint64
 	nextStreamID uint64
 
-	// Send-side stream state, kept until fully acknowledged.
+	// Send-side stream state, kept until fully acknowledged or abandoned.
 	sendStreams map[uint64]*sendStream
-	// Receive-side reassembly.
+	// Receive-side reassembly for streams still missing data.
 	recvStreams map[uint64]*recvStream
+	// Delivered stream IDs at or above recvNext; recvNext is the next peer
+	// stream ID whose completion advances the watermark. Together they
+	// bound duplicate suppression to the reorder window instead of the
+	// whole session.
+	recvDone map[uint64]struct{}
+	recvNext uint64
 
 	// ACK state: received packet numbers pending acknowledgment.
 	pendingAcks []uint64
-	ackTimer    *simtime.Event
+	ackTimer    simtime.Handle
+	ackPending  bool
 
 	// Unacked packets for loss recovery.
 	unacked map[uint64]*sentPacket
@@ -98,25 +114,31 @@ type Conn struct {
 	// RTO is the retransmission timeout; adapted crudely from observed
 	// ACK delay.
 	rto simtime.Duration
+
+	// Freelists (single-goroutine; plain slices beat sync.Pool here).
+	bufPool []([]byte)    // payload buffers: send copies, recv segments
+	spPool  []*sentPacket // sentPacket nodes
+	ssPool  []*sendStream // sendStream nodes
+	rxBuf   []byte        // descrambled payload of the packet in flight
+	msgBuf  []byte        // multi-fragment reassembly target
 }
 
 type sendStream struct {
-	id    uint64
-	data  []byte
-	fin   bool
-	acked map[uint64]bool // offsets acked (per fragment start)
+	id   uint64
+	data []byte // pooled; released when pending reaches zero
+	// pending counts fragments not yet acknowledged or abandoned.
+	pending int
 }
 
 type recvStream struct {
-	segs   map[uint64][]byte
-	finOff int64 // -1 until FIN seen
-	done   bool
+	segs   map[uint64][]byte // offset -> pooled copy of the segment
+	finOff int64             // -1 until FIN seen
 }
 
 type sentPacket struct {
 	pn      uint64
 	frames  []streamFrag
-	timer   *simtime.Event
+	timer   simtime.Handle
 	retries int
 }
 
@@ -149,22 +171,23 @@ func NewConn(sched *simtime.Scheduler, out *netem.Link, cfg Config) *Conn {
 	if cfg.ConnID == 0 {
 		panic("quic: zero connection id")
 	}
+	first, peerFirst := uint64(1), uint64(0)
+	if cfg.IsClient {
+		first, peerFirst = 0, 1 // client-initiated bidi streams: 0, 4, 8...
+	}
 	return &Conn{
-		sched:       sched,
-		out:         out,
-		connID:      cfg.ConnID,
-		peerID:      cfg.PeerID,
-		key:         cfg.Key,
-		sendStreams: map[uint64]*sendStream{},
-		recvStreams: map[uint64]*recvStream{},
-		unacked:     map[uint64]*sentPacket{},
-		rto:         100 * simtime.Millisecond,
-		nextStreamID: func() uint64 {
-			if cfg.IsClient {
-				return 0 // client-initiated bidi streams: 0, 4, 8...
-			}
-			return 1
-		}(),
+		sched:        sched,
+		out:          out,
+		connID:       cfg.ConnID,
+		peerID:       cfg.PeerID,
+		key:          cfg.Key,
+		sendStreams:  map[uint64]*sendStream{},
+		recvStreams:  map[uint64]*recvStream{},
+		recvDone:     map[uint64]struct{}{},
+		recvNext:     peerFirst,
+		unacked:      map[uint64]*sentPacket{},
+		rto:          100 * simtime.Millisecond,
+		nextStreamID: first,
 	}
 }
 
@@ -183,9 +206,47 @@ func (c *Conn) Close() {
 	for _, sp := range c.unacked {
 		sp.timer.Cancel()
 	}
-	if c.ackTimer != nil {
-		c.ackTimer.Cancel()
+	c.ackTimer.Cancel()
+	c.ackPending = false
+}
+
+// getBuf returns a pooled buffer of length n.
+func (c *Conn) getBuf(n int) []byte {
+	if last := len(c.bufPool) - 1; last >= 0 {
+		b := c.bufPool[last]
+		c.bufPool[last] = nil
+		c.bufPool = c.bufPool[:last]
+		if cap(b) >= n {
+			return b[:n]
+		}
 	}
+	return make([]byte, n)
+}
+
+// putBuf recycles a buffer obtained from getBuf.
+func (c *Conn) putBuf(b []byte) {
+	if cap(b) > 0 {
+		c.bufPool = append(c.bufPool, b[:0])
+	}
+}
+
+func (c *Conn) getSentPacket() *sentPacket {
+	if last := len(c.spPool) - 1; last >= 0 {
+		sp := c.spPool[last]
+		c.spPool[last] = nil
+		c.spPool = c.spPool[:last]
+		return sp
+	}
+	return &sentPacket{}
+}
+
+func (c *Conn) putSentPacket(sp *sentPacket) {
+	for i := range sp.frames {
+		sp.frames[i] = streamFrag{}
+	}
+	sp.frames = sp.frames[:0]
+	sp.retries = 0
+	c.spPool = append(c.spPool, sp)
 }
 
 // StartHandshake sends the client Initial. The peer responds via its
@@ -207,11 +268,11 @@ func (c *Conn) longHeader() []byte {
 	return b
 }
 
-func (c *Conn) shortHeader(pn uint64) []byte {
-	b := []byte{headerShort}
+// appendShortHeader writes the 1-RTT header into b.
+func (c *Conn) appendShortHeader(b []byte, pn uint64) []byte {
+	b = append(b, headerShort)
 	b = binary.BigEndian.AppendUint64(b, c.peerID) // DCID
-	b = AppendVarint(b, pn)
-	return b
+	return AppendVarint(b, pn)
 }
 
 // scramble is the toy AEAD: a keyed keystream XOR. It makes 1-RTT payloads
@@ -226,11 +287,22 @@ func (c *Conn) scramble(b []byte) {
 }
 
 // SendMessage opens a new stream, writes data, and FINs it — the
-// stream-per-media-frame pattern. It returns the stream ID.
+// stream-per-media-frame pattern. It returns the stream ID. data is copied
+// (into a pooled buffer), so the caller may reuse it immediately.
 func (c *Conn) SendMessage(data []byte) uint64 {
 	id := c.nextStreamID
 	c.nextStreamID += 4
-	ss := &sendStream{id: id, data: append([]byte(nil), data...), fin: true, acked: map[uint64]bool{}}
+	buf := c.getBuf(len(data))
+	copy(buf, data)
+	var ss *sendStream
+	if last := len(c.ssPool) - 1; last >= 0 {
+		ss = c.ssPool[last]
+		c.ssPool[last] = nil
+		c.ssPool = c.ssPool[:last]
+	} else {
+		ss = &sendStream{}
+	}
+	ss.id, ss.data, ss.pending = id, buf, 0
 	c.sendStreams[id] = ss
 	// Fragment into MTU-sized stream frames, one packet each.
 	for off := 0; off == 0 || off < len(ss.data); {
@@ -239,6 +311,7 @@ func (c *Conn) SendMessage(data []byte) uint64 {
 			end = len(ss.data)
 		}
 		fin := end == len(ss.data)
+		ss.pending++
 		c.sendStreamFrame(streamFrag{streamID: id, offset: uint64(off), data: ss.data[off:end], fin: fin})
 		if end == len(ss.data) {
 			break
@@ -248,48 +321,91 @@ func (c *Conn) SendMessage(data []byte) uint64 {
 	return id
 }
 
+// fragDone marks one fragment of a stream acknowledged or abandoned,
+// releasing the stream (and recycling its buffer) when none remain.
+func (c *Conn) fragDone(streamID uint64) {
+	ss, ok := c.sendStreams[streamID]
+	if !ok {
+		return
+	}
+	ss.pending--
+	if ss.pending <= 0 {
+		delete(c.sendStreams, streamID)
+		c.putBuf(ss.data)
+		ss.data = nil
+		c.ssPool = append(c.ssPool, ss)
+	}
+}
+
 func (c *Conn) sendStreamFrame(fr streamFrag) {
 	if c.closed {
 		return
 	}
 	pn := c.nextPN
 	c.nextPN++
-	pkt := c.shortHeader(pn)
 
 	ftype := byte(frameStream | 0x04 | 0x02) // OFF|LEN bits set
 	if fr.fin {
 		ftype |= 0x01
 	}
-	payload := []byte{ftype}
-	payload = AppendVarint(payload, fr.streamID)
-	payload = AppendVarint(payload, fr.offset)
-	payload = AppendVarint(payload, uint64(len(fr.data)))
-	payload = append(payload, fr.data...)
-	c.scramble(payload)
-	pkt = append(pkt, payload...)
+	// Build header and scrambled payload in one exact-size buffer.
+	hdrLen := 1 + 8 + VarintLen(pn)
+	metaLen := 1 + VarintLen(fr.streamID) + VarintLen(fr.offset) + VarintLen(uint64(len(fr.data)))
+	pkt := make([]byte, 0, hdrLen+metaLen+len(fr.data))
+	pkt = c.appendShortHeader(pkt, pn)
+	pkt = append(pkt, ftype)
+	pkt = AppendVarint(pkt, fr.streamID)
+	pkt = AppendVarint(pkt, fr.offset)
+	pkt = AppendVarint(pkt, uint64(len(fr.data)))
+	pkt = append(pkt, fr.data...)
+	c.scramble(pkt[hdrLen:])
 
-	sp := &sentPacket{pn: pn, frames: []streamFrag{fr}}
+	sp := c.getSentPacket()
+	sp.pn = pn
+	sp.frames = append(sp.frames, fr)
 	c.unacked[pn] = sp
-	sp.timer = c.sched.After(c.rto, func() { c.retransmit(sp) })
+	sp.timer = c.sched.AfterArg(c.rto, retransmitFn, retransmitArg{c, sp, pn})
 	c.sendRaw(pkt, 0)
 }
 
-func (c *Conn) retransmit(sp *sentPacket) {
+// retransmitArg carries the retransmission context through AtArg without a
+// per-packet closure. The pn snapshot guards against the (pooled) sentPacket
+// being reused by the time a stale timer would fire.
+type retransmitArg struct {
+	c  *Conn
+	sp *sentPacket
+	pn uint64
+}
+
+func retransmitFn(a any) {
+	ra := a.(retransmitArg)
+	ra.c.retransmit(ra.sp, ra.pn)
+}
+
+func (c *Conn) retransmit(sp *sentPacket, pn uint64) {
 	if c.closed {
 		return
 	}
-	if _, still := c.unacked[sp.pn]; !still {
+	if cur, still := c.unacked[pn]; !still || cur != sp || sp.pn != pn {
 		return
 	}
-	delete(c.unacked, sp.pn)
+	delete(c.unacked, pn)
 	sp.retries++
 	if sp.retries > 10 {
-		return // give up; the application-level integrity layer will notice
+		// Give up; the application-level integrity layer will notice.
+		for _, fr := range sp.frames {
+			c.fragDone(fr.streamID)
+		}
+		c.putSentPacket(sp)
+		return
 	}
 	c.stats.Retransmissions++
+	// Resend each fragment under a fresh packet number, then recycle this
+	// node (every send gets its own sentPacket, as the pn is new).
 	for _, fr := range sp.frames {
 		c.sendStreamFrame(fr)
 	}
+	c.putSentPacket(sp)
 	// Exponential-ish backoff.
 	if c.rto < simtime.Second {
 		c.rto = c.rto * 3 / 2
@@ -357,9 +473,11 @@ func (c *Conn) handleShort(now simtime.Time, b []byte) {
 	if err != nil {
 		return
 	}
-	payload := append([]byte(nil), b[9+n:]...)
-	c.scramble(payload)
-	c.parseFrames(now, pn, payload)
+	// Descramble into the connection's receive scratch: the frame payload
+	// belongs to the sender and must not be modified in place.
+	c.rxBuf = append(c.rxBuf[:0], b[9+n:]...)
+	c.scramble(c.rxBuf)
+	c.parseFrames(now, pn, c.rxBuf)
 }
 
 func (c *Conn) parseFrames(now simtime.Time, pn uint64, p []byte) {
@@ -391,6 +509,50 @@ func (c *Conn) parseFrames(now simtime.Time, pn uint64, p []byte) {
 	}
 }
 
+// streamDelivered reports whether id has already been fully delivered.
+func (c *Conn) streamDelivered(id uint64) bool {
+	if id < c.recvNext {
+		return true
+	}
+	_, done := c.recvDone[id]
+	return done
+}
+
+// recvDoneBound caps duplicate-suppression memory when the watermark
+// stalls on a stream that is not completing (sustained overload can starve
+// one fragment for a long time). Once this many later streams have
+// completed — tens of seconds of media — the stalled frame is worthless to
+// the application, so the watermark skips the gap and re-bounds memory; a
+// fragment arriving after the skip is treated as already-done and dropped.
+const recvDoneBound = 4096
+
+// markDelivered records id as done and advances the watermark past every
+// consecutively completed stream, keeping recvDone bounded by the reorder
+// window.
+func (c *Conn) markDelivered(id uint64) {
+	c.recvDone[id] = struct{}{}
+	for {
+		if _, ok := c.recvDone[c.recvNext]; !ok {
+			break
+		}
+		delete(c.recvDone, c.recvNext)
+		c.recvNext += 4
+	}
+	// Watermark stalled on an abandoned stream: skip gaps (releasing any
+	// partial reassembly state) until the done-set is bounded again.
+	for len(c.recvDone) > recvDoneBound {
+		if _, ok := c.recvDone[c.recvNext]; ok {
+			delete(c.recvDone, c.recvNext)
+		} else if rs := c.recvStreams[c.recvNext]; rs != nil {
+			for _, seg := range rs.segs {
+				c.putBuf(seg)
+			}
+			delete(c.recvStreams, c.recvNext)
+		}
+		c.recvNext += 4
+	}
+}
+
 func (c *Conn) parseStream(now simtime.Time, ftype byte, p []byte) ([]byte, bool) {
 	id, n, err := Varint(p)
 	if err != nil {
@@ -418,30 +580,50 @@ func (c *Conn) parseStream(now simtime.Time, ftype byte, p []byte) ([]byte, bool
 	}
 	data := p[:length]
 	fin := ftype&0x01 != 0
+	rest := p[length:]
 
+	if c.streamDelivered(id) {
+		return rest, true // duplicate of a completed stream
+	}
 	rs := c.recvStreams[id]
 	if rs == nil {
+		if fin && off == 0 {
+			// Fast path: the whole message arrived in one fragment. Deliver
+			// straight out of the receive scratch — zero copies, no map.
+			c.deliverMessage(now, id, data)
+			return rest, true
+		}
 		rs = &recvStream{segs: map[uint64][]byte{}, finOff: -1}
 		c.recvStreams[id] = rs
 	}
-	if !rs.done {
-		if _, dup := rs.segs[off]; !dup {
-			rs.segs[off] = append([]byte(nil), data...)
-		}
-		if fin {
-			rs.finOff = int64(off + length)
-		}
-		c.tryDeliver(now, id, rs)
+	if _, dup := rs.segs[off]; !dup {
+		seg := c.getBuf(len(data))
+		copy(seg, data)
+		rs.segs[off] = seg
 	}
-	return p[length:], true
+	if fin {
+		rs.finOff = int64(off + length)
+	}
+	c.tryDeliver(now, id, rs)
+	return rest, true
+}
+
+// deliverMessage hands data to the application and retires the stream ID.
+// data is only guaranteed valid during the callback (copy-on-retain).
+func (c *Conn) deliverMessage(now simtime.Time, id uint64, data []byte) {
+	c.markDelivered(id)
+	c.stats.MessagesDelivered++
+	if c.onMessage != nil {
+		c.onMessage(Message{StreamID: id, Data: data, At: now})
+	}
 }
 
 func (c *Conn) tryDeliver(now simtime.Time, id uint64, rs *recvStream) {
-	if rs.finOff < 0 || rs.done {
+	if rs.finOff < 0 {
 		return
 	}
-	// Walk contiguous segments from 0.
-	var buf []byte
+	// Walk contiguous segments from 0 into the reassembly scratch.
+	buf := c.msgBuf[:0]
 	off := uint64(0)
 	for int64(off) < rs.finOff {
 		seg, ok := rs.segs[off]
@@ -451,12 +633,12 @@ func (c *Conn) tryDeliver(now simtime.Time, id uint64, rs *recvStream) {
 		buf = append(buf, seg...)
 		off += uint64(len(seg))
 	}
-	rs.done = true
-	rs.segs = nil
-	c.stats.MessagesDelivered++
-	if c.onMessage != nil {
-		c.onMessage(Message{StreamID: id, Data: buf, At: now})
+	c.msgBuf = buf
+	for _, seg := range rs.segs {
+		c.putBuf(seg)
 	}
+	delete(c.recvStreams, id)
+	c.deliverMessage(now, id, buf)
 }
 
 // queueAck registers pn for acknowledgment, flushing immediately every
@@ -467,28 +649,38 @@ func (c *Conn) queueAck(pn uint64) {
 		c.flushAcks()
 		return
 	}
-	if c.ackTimer == nil {
-		c.ackTimer = c.sched.After(25*simtime.Millisecond, func() {
-			c.ackTimer = nil
-			c.flushAcks()
-		})
+	if !c.ackPending {
+		c.ackPending = true
+		c.ackTimer = c.sched.AfterArg(25*simtime.Millisecond, ackTimerFn, c)
 	}
+}
+
+func ackTimerFn(a any) {
+	c := a.(*Conn)
+	c.ackPending = false
+	c.flushAcks()
 }
 
 func (c *Conn) flushAcks() {
 	if len(c.pendingAcks) == 0 || c.closed {
 		return
 	}
-	pkt := c.shortHeader(c.nextPN)
+	pn := c.nextPN
 	c.nextPN++
-	payload := []byte{frameAck}
-	payload = AppendVarint(payload, uint64(len(c.pendingAcks)))
-	for _, pn := range c.pendingAcks {
-		payload = AppendVarint(payload, pn)
+	hdrLen := 1 + 8 + VarintLen(pn)
+	payloadLen := 1 + VarintLen(uint64(len(c.pendingAcks)))
+	for _, apn := range c.pendingAcks {
+		payloadLen += VarintLen(apn)
+	}
+	pkt := make([]byte, 0, hdrLen+payloadLen)
+	pkt = c.appendShortHeader(pkt, pn)
+	pkt = append(pkt, frameAck)
+	pkt = AppendVarint(pkt, uint64(len(c.pendingAcks)))
+	for _, apn := range c.pendingAcks {
+		pkt = AppendVarint(pkt, apn)
 	}
 	c.pendingAcks = c.pendingAcks[:0]
-	c.scramble(payload)
-	pkt = append(pkt, payload...)
+	c.scramble(pkt[hdrLen:])
 	c.stats.AcksSent++
 	c.sendRaw(pkt, 0)
 }
@@ -508,6 +700,10 @@ func (c *Conn) parseAck(p []byte) ([]byte, bool) {
 		if sp, ok := c.unacked[pn]; ok {
 			sp.timer.Cancel()
 			delete(c.unacked, pn)
+			for _, fr := range sp.frames {
+				c.fragDone(fr.streamID)
+			}
+			c.putSentPacket(sp)
 		}
 	}
 	return p, true

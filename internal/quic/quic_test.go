@@ -76,7 +76,11 @@ func TestMessageDelivery(t *testing.T) {
 	s := simtime.NewScheduler()
 	client, server := pair(s, netem.Config{Name: "msg", DelayMs: 15})
 	var got []Message
-	server.OnMessage(func(m Message) { got = append(got, m) })
+	server.OnMessage(func(m Message) {
+		// Message.Data is only valid during the callback: copy to retain.
+		m.Data = append([]byte(nil), m.Data...)
+		got = append(got, m)
+	})
 	payload := bytes.Repeat([]byte("semantic"), 100)
 	client.SendMessage(payload)
 	s.RunFor(simtime.Second)
@@ -95,7 +99,7 @@ func TestLargeMessageFragmentsAndReassembles(t *testing.T) {
 	s := simtime.NewScheduler()
 	client, server := pair(s, netem.Config{Name: "big", DelayMs: 5})
 	var got []byte
-	server.OnMessage(func(m Message) { got = m.Data })
+	server.OnMessage(func(m Message) { got = append([]byte(nil), m.Data...) })
 	payload := make([]byte, 50_000) // ~44 packets
 	for i := range payload {
 		payload[i] = byte(i * 31)
@@ -114,7 +118,7 @@ func TestMultipleMessagesOrderedStreams(t *testing.T) {
 	s := simtime.NewScheduler()
 	client, server := pair(s, netem.Config{Name: "multi", DelayMs: 5})
 	seen := map[uint64][]byte{}
-	server.OnMessage(func(m Message) { seen[m.StreamID] = m.Data })
+	server.OnMessage(func(m Message) { seen[m.StreamID] = append([]byte(nil), m.Data...) })
 	for i := 0; i < 20; i++ {
 		client.SendMessage([]byte{byte(i)})
 	}
@@ -182,7 +186,7 @@ func TestPayloadOpaqueOnWire(t *testing.T) {
 	p.AB.SetHandler(server.Deliver)
 	p.BA.SetHandler(client.Deliver)
 	var got []byte
-	server.OnMessage(func(m Message) { got = m.Data })
+	server.OnMessage(func(m Message) { got = append([]byte(nil), m.Data...) })
 	client.SendMessage(secret)
 	s.RunFor(simtime.Second)
 	if !bytes.Equal(got, secret) {

@@ -26,6 +26,21 @@ func AppendVarint(b []byte, v uint64) []byte {
 	}
 }
 
+// VarintLen reports how many bytes AppendVarint uses for v, letting callers
+// size a packet buffer exactly before building it.
+func VarintLen(v uint64) int {
+	switch {
+	case v < 1<<6:
+		return 1
+	case v < 1<<14:
+		return 2
+	case v < 1<<30:
+		return 4
+	default:
+		return 8
+	}
+}
+
 // Varint decodes a varint from b, returning the value and encoded length.
 func Varint(b []byte) (uint64, int, error) {
 	if len(b) == 0 {

@@ -104,7 +104,9 @@ func NewPacketizer(pt PayloadType, ssrc uint32) *Packetizer {
 }
 
 // Packetize fragments one media frame captured at time tSec into RTP
-// packets; the marker bit is set on the last packet of the frame.
+// packets; the marker bit is set on the last packet of the frame. Packets
+// are freshly allocated: ownership passes to the caller (and typically on
+// to the network layer) without copying.
 func (p *Packetizer) Packetize(frame []byte, tSec float64) [][]byte {
 	ts := uint32(tSec * float64(p.ClockRate))
 	var out [][]byte
@@ -138,6 +140,10 @@ func (p *Packetizer) Packetize(frame []byte, tSec float64) [][]byte {
 // never cause mis-framing. Frames are delivered in order; frames with
 // missing packets stall until GC drops them (video decoders then conceal
 // via the next keyframe; the vca layer models that).
+//
+// All buffers are pooled: fragment copies return to the pool when their
+// frame completes or drops, and the frames returned by Push are loaned —
+// valid until the next Push call, after which their buffers are reused.
 type Depacketizer struct {
 	frames map[uint32][][]byte // timestamp -> fragments in arrival order
 	seqs   map[uint32][]uint16
@@ -146,6 +152,13 @@ type Depacketizer struct {
 
 	haveStart bool
 	nextSeq   uint16 // expected first seq of the next frame
+
+	bufPool  [][]byte   // recycled fragment and frame buffers
+	loaned   [][]byte   // frame buffers handed out by the last Push
+	out      [][]byte   // reused Push result header
+	ordered  [][]byte   // reused fragment-ordering scratch
+	listPool [][][]byte // recycled per-frame fragment lists
+	seqPool  [][]uint16 // recycled per-frame seq lists
 
 	// Stats.
 	Received, FramesOut, FramesDropped int64
@@ -161,19 +174,59 @@ func NewDepacketizer() *Depacketizer {
 	}
 }
 
+func (d *Depacketizer) getBuf() []byte {
+	if n := len(d.bufPool) - 1; n >= 0 {
+		b := d.bufPool[n]
+		d.bufPool[n] = nil
+		d.bufPool = d.bufPool[:n]
+		return b[:0]
+	}
+	return nil
+}
+
+func (d *Depacketizer) putBuf(b []byte) {
+	if cap(b) > 0 {
+		d.bufPool = append(d.bufPool, b[:0])
+	}
+}
+
 // Push consumes one RTP packet; it returns every frame that completes as a
 // result, in presentation order (usually zero or one; more when a stalled
-// earlier frame unblocks queued successors).
+// earlier frame unblocks queued successors). Returned frames are valid
+// until the next Push call.
 func (d *Depacketizer) Push(pkt []byte) ([][]byte, error) {
 	var h Header
 	payload, err := h.Unmarshal(pkt)
 	if err != nil {
 		return nil, err
 	}
+	// Reclaim the frame buffers loaned by the previous Push.
+	for i, b := range d.loaned {
+		d.putBuf(b)
+		d.loaned[i] = nil
+	}
+	d.loaned = d.loaned[:0]
+
 	d.Received++
 	ts := h.Timestamp
-	d.frames[ts] = append(d.frames[ts], append([]byte(nil), payload...))
-	d.seqs[ts] = append(d.seqs[ts], h.Seq)
+	fl := d.frames[ts]
+	if fl == nil {
+		if n := len(d.listPool) - 1; n >= 0 {
+			fl = d.listPool[n]
+			d.listPool[n] = nil
+			d.listPool = d.listPool[:n]
+		}
+	}
+	d.frames[ts] = append(fl, append(d.getBuf(), payload...))
+	sl := d.seqs[ts]
+	if sl == nil {
+		if n := len(d.seqPool) - 1; n >= 0 {
+			sl = d.seqPool[n]
+			d.seqPool[n] = nil
+			d.seqPool = d.seqPool[:n]
+		}
+	}
+	d.seqs[ts] = append(sl, h.Seq)
 	if h.Marker {
 		d.marker[ts] = h.Seq
 	}
@@ -182,21 +235,23 @@ func (d *Depacketizer) Push(pkt []byte) ([][]byte, error) {
 	}
 	// Complete as many in-order frames as possible: finishing one frame
 	// can unblock the next (already fully buffered) one.
-	var out [][]byte
+	out := d.out[:0]
 	for {
 		frame := d.tryComplete(ts)
-		if frame == nil {
+		if len(frame) == 0 {
 			// The packet's own frame may not be next in order; try every
 			// pending frame once.
 			for pending := range d.marker {
-				if frame = d.tryComplete(pending); frame != nil {
+				if frame = d.tryComplete(pending); len(frame) > 0 {
 					break
 				}
 			}
 		}
-		if frame == nil {
+		if len(frame) == 0 {
+			d.out = out
 			return out, nil
 		}
+		d.loaned = append(d.loaned, frame)
 		out = append(out, frame)
 	}
 }
@@ -228,8 +283,14 @@ func (d *Depacketizer) tryComplete(ts uint32) []byte {
 	if want <= 0 || len(d.seqs[ts]) < want {
 		return nil
 	}
-	// Order fragments by sequence number.
-	ordered := make([][]byte, want)
+	// Order fragments by sequence number (reused scratch).
+	if cap(d.ordered) < want {
+		d.ordered = make([][]byte, want)
+	}
+	ordered := d.ordered[:want]
+	for i := range ordered {
+		ordered[i] = nil
+	}
 	for i, seq := range d.seqs[ts] {
 		idx := int(seq - first)
 		if idx < 0 || idx >= want {
@@ -237,9 +298,10 @@ func (d *Depacketizer) tryComplete(ts uint32) []byte {
 		}
 		ordered[idx] = d.frames[ts][i]
 	}
-	var out []byte
+	out := d.getBuf()
 	for _, seg := range ordered {
 		if seg == nil {
+			d.putBuf(out)
 			return nil
 		}
 		out = append(out, seg...)
@@ -252,6 +314,18 @@ func (d *Depacketizer) tryComplete(ts uint32) []byte {
 }
 
 func (d *Depacketizer) drop(ts uint32) {
+	if fl := d.frames[ts]; fl != nil {
+		for i, seg := range fl {
+			d.putBuf(seg)
+			fl[i] = nil
+		}
+		if cap(fl) > 0 {
+			d.listPool = append(d.listPool, fl[:0])
+		}
+	}
+	if sl := d.seqs[ts]; cap(sl) > 0 {
+		d.seqPool = append(d.seqPool, sl[:0])
+	}
 	delete(d.frames, ts)
 	delete(d.seqs, ts)
 	delete(d.marker, ts)

@@ -186,13 +186,18 @@ func TestDepacketizeInterleavedFrames(t *testing.T) {
 	f2 := bytes.Repeat([]byte{2}, MTU*2)
 	p1 := p.Packetize(f1, 1.0)
 	p2 := p.Packetize(f2, 2.0)
-	// Interleave.
+	// Interleave. Frames returned by Push are loaned until the next Push,
+	// so copy to retain them across the loop.
 	var done [][]byte
 	for i := 0; i < len(p1); i++ {
 		outs, _ := d.Push(p1[i])
-		done = append(done, outs...)
+		for _, f := range outs {
+			done = append(done, append([]byte(nil), f...))
+		}
 		outs, _ = d.Push(p2[i])
-		done = append(done, outs...)
+		for _, f := range outs {
+			done = append(done, append([]byte(nil), f...))
+		}
 	}
 	if len(done) != 2 {
 		t.Fatalf("completed %d frames, want 2", len(done))
@@ -340,5 +345,46 @@ func TestDepacketizeGCUnblocksLaterFrames(t *testing.T) {
 	}
 	if d.FramesDropped != 1 {
 		t.Errorf("FramesDropped = %d, want 1", d.FramesDropped)
+	}
+}
+
+// TestPacketizeAllocBudget pins the steady-state allocation cost of
+// Packetize: the packet-list header plus one fresh buffer per packet
+// (packets are handed to the network layer and cannot be pooled here).
+func TestPacketizeAllocBudget(t *testing.T) {
+	p := NewPacketizer(PTGenericVideo, 1)
+	frame := bytes.Repeat([]byte{3}, 900) // single-packet frame
+	allocs := testing.AllocsPerRun(200, func() {
+		if got := p.Packetize(frame, 1.0); len(got) != 1 {
+			t.Fatalf("%d packets, want 1", len(got))
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("Packetize allocates %.1f per sub-MTU frame, budget 2 (list + packet)", allocs)
+	}
+}
+
+// TestDepacketizerSteadyStateAllocs pins the reassembly path: pooled
+// fragment and frame buffers make the in-order packetize->push round trip
+// allocation-free after warm-up, except the packets themselves.
+func TestDepacketizerSteadyStateAllocs(t *testing.T) {
+	p := NewPacketizer(PTGenericVideo, 1)
+	d := NewDepacketizer()
+	frame := bytes.Repeat([]byte{5}, MTU*2)
+	push := func() {
+		for _, pkt := range p.Packetize(frame, 1.0) {
+			if _, err := d.Push(pkt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 5; i++ {
+		push() // warm the pools
+	}
+	allocs := testing.AllocsPerRun(100, push)
+	// 3 packets per frame: list header + 3 packet buffers from Packetize;
+	// the depacketizer itself must add nothing in steady state.
+	if allocs > 4 {
+		t.Errorf("packetize+push allocates %.1f per frame, budget 4", allocs)
 	}
 }

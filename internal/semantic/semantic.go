@@ -88,7 +88,10 @@ type DecodedFrame struct {
 	Keyframe bool
 }
 
-// Encoder turns captured frames into semantic wire frames.
+// Encoder turns captured frames into semantic wire frames. All working
+// state (coordinate flattening, quantization, the LZ hash chains and range-
+// coder models) is reused across frames, so the steady-state cost of Encode
+// is a single allocation: the returned wire frame, which the caller owns.
 type Encoder struct {
 	mode Mode
 	// KeyframeInterval controls how often ModeQuantized emits a keyframe
@@ -99,11 +102,15 @@ type Encoder struct {
 	sinceKey int
 	havePrev bool
 	scratch  []byte
+	cs       []float64 // flattened coordinates scratch
+	qs       []int32   // quantized values scratch
+	cmp      *entropy.Compressor
+	lastOut  int // previous wire size: sizes the next output buffer
 }
 
 // NewEncoder returns an encoder for the given mode.
 func NewEncoder(mode Mode) *Encoder {
-	return &Encoder{mode: mode, KeyframeInterval: 90}
+	return &Encoder{mode: mode, KeyframeInterval: 90, cmp: entropy.NewCompressor()}
 }
 
 // Mode reports the encoder's wire mode.
@@ -126,37 +133,56 @@ func dequantize(q int32) float64 {
 func zigzag(v int32) uint32 { return uint32((v << 1) ^ (v >> 31)) }
 func unzig(u uint32) int32  { return int32(u>>1) ^ -int32(u&1) }
 
-// coords flattens a frame into the 225 transmitted scalars: 74 points x 3
-// coordinates plus the 3 head-pose angles.
-func coords(f *keypoints.Frame) []float64 {
-	pts := f.Tracked()
-	out := make([]float64, 0, len(pts)*3+3)
-	for _, p := range pts {
-		out = append(out, p.X, p.Y, p.Z)
+// trackedIdx caches the tracked-face index set; it never changes.
+var trackedIdx = keypoints.TrackedFaceIndices()
+
+// coordsInto flattens a frame into the 225 transmitted scalars (74 points x
+// 3 coordinates plus the 3 head-pose angles), appending to dst.
+func coordsInto(dst []float64, f *keypoints.Frame) []float64 {
+	for _, i := range trackedIdx {
+		p := f.Face[i]
+		dst = append(dst, p.X, p.Y, p.Z)
 	}
-	return append(out, f.HeadYaw, f.HeadPitch, f.HeadRoll)
+	for i := range f.LeftHand {
+		p := f.LeftHand[i]
+		dst = append(dst, p.X, p.Y, p.Z)
+	}
+	for i := range f.RightHand {
+		p := f.RightHand[i]
+		dst = append(dst, p.X, p.Y, p.Z)
+	}
+	return append(dst, f.HeadYaw, f.HeadPitch, f.HeadRoll)
 }
 
-// Encode produces the wire frame for f.
+// Encode produces the wire frame for f. The returned slice is freshly
+// allocated and owned by the caller (it may be handed to the network layer
+// without copying).
 func (e *Encoder) Encode(f *keypoints.Frame) []byte {
-	cs := coords(f)
-	var body []byte
+	cs := coordsInto(e.cs[:0], f)
+	e.cs = cs
 	kind := byte(kindKeyframe)
+
+	// The returned buffer is fresh; everything else is reused. Compress
+	// appends the body straight after the header, sized from the previous
+	// frame so growth reallocation is rare.
+	out := make([]byte, headerLen, headerLen+e.lastOut+64)
 
 	switch e.mode {
 	case ModeFloat32:
-		raw := make([]byte, 0, len(cs)*4)
+		raw := e.scratch[:0]
 		var b4 [4]byte
 		for _, v := range cs {
 			binary.LittleEndian.PutUint32(b4[:], math.Float32bits(float32(v)))
 			raw = append(raw, b4[:]...)
 		}
-		body = entropy.Compress(nil, raw)
+		e.scratch = raw
+		out = e.cmp.Compress(out, raw)
 	case ModeQuantized:
-		qs := make([]int32, len(cs))
-		for i, v := range cs {
-			qs[i] = quantize(v)
+		qs := e.qs[:0]
+		for _, v := range cs {
+			qs = append(qs, quantize(v))
 		}
+		e.qs = qs
 		raw := e.scratch[:0]
 		var vbuf [binary.MaxVarintLen32]byte
 		if e.havePrev && e.sinceKey < e.KeyframeInterval {
@@ -176,17 +202,16 @@ func (e *Encoder) Encode(f *keypoints.Frame) []byte {
 		e.scratch = raw
 		e.prev = append(e.prev[:0], qs...)
 		e.havePrev = true
-		body = entropy.Compress(nil, raw)
+		out = e.cmp.Compress(out, raw)
 	default:
 		panic(fmt.Sprintf("semantic: unknown mode %v", e.mode))
 	}
 
-	out := make([]byte, headerLen, headerLen+len(body))
 	out[0] = kind
 	out[1] = byte(e.mode)
 	binary.BigEndian.PutUint32(out[2:], f.Seq)
-	out = append(out, body...)
 	binary.BigEndian.PutUint32(out[6:], crc32.ChecksumIEEE(out[headerLen:]))
+	e.lastOut = len(out)
 	return out
 }
 
@@ -194,14 +219,25 @@ func (e *Encoder) Encode(f *keypoints.Frame) []byte {
 // truncation or corruption yields ErrCorruptFrame, and in ModeQuantized a
 // gap in the delta chain yields ErrLostSync until the next keyframe — the
 // mechanism behind the paper's "no rate adaptation" finding.
+//
+// Decode reuses one DecodedFrame (and all internal scratch): the returned
+// frame is valid until the next successful Decode on the same Decoder; copy
+// the Points you need to retain. Failed decodes leave the previous frame's
+// contents untouched.
 type Decoder struct {
 	prev     []int32
 	haveSync bool
 	lastSeq  uint32
+
+	raw  []byte
+	cs   []float64
+	qs   []int32
+	dcmp *entropy.Decompressor
+	out  DecodedFrame
 }
 
 // NewDecoder returns an empty decoder.
-func NewDecoder() *Decoder { return &Decoder{} }
+func NewDecoder() *Decoder { return &Decoder{dcmp: entropy.NewDecompressor()} }
 
 // Decode parses one wire frame.
 func (d *Decoder) Decode(wire []byte) (*DecodedFrame, error) {
@@ -217,24 +253,30 @@ func (d *Decoder) Decode(wire []byte) (*DecodedFrame, error) {
 	}
 
 	nScalars := keypoints.TrackedTotal*3 + 3
-	raw, err := entropy.Decompress(nil, body)
+	raw, err := d.dcmp.Decompress(d.raw[:0], body)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptFrame, err)
 	}
+	d.raw = raw
 
-	var cs []float64
+	if cap(d.cs) < nScalars {
+		d.cs = make([]float64, nScalars)
+	}
+	cs := d.cs[:nScalars]
 	switch mode {
 	case ModeFloat32:
 		if len(raw) != nScalars*4 {
 			return nil, ErrCorruptFrame
 		}
-		cs = make([]float64, nScalars)
 		for i := range cs {
 			cs[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
 		}
 		d.haveSync = true
 	case ModeQuantized:
-		qs := make([]int32, nScalars)
+		if cap(d.qs) < nScalars {
+			d.qs = make([]int32, nScalars)
+		}
+		qs := d.qs[:nScalars]
 		pos := 0
 		for i := range qs {
 			u, n := binary.Uvarint(raw[pos:])
@@ -267,7 +309,6 @@ func (d *Decoder) Decode(wire []byte) (*DecodedFrame, error) {
 			return nil, ErrCorruptFrame
 		}
 		d.prev = append(d.prev[:0], qs...)
-		cs = make([]float64, nScalars)
 		for i, q := range qs {
 			cs[i] = dequantize(q)
 		}
@@ -276,16 +317,54 @@ func (d *Decoder) Decode(wire []byte) (*DecodedFrame, error) {
 	}
 	d.lastSeq = seq
 
-	out := &DecodedFrame{
-		Points:   make([]keypoints.Point, keypoints.TrackedTotal),
-		Seq:      seq,
-		Keyframe: kind == kindKeyframe,
+	out := &d.out
+	if out.Points == nil {
+		out.Points = make([]keypoints.Point, keypoints.TrackedTotal)
 	}
+	out.Seq = seq
+	out.Keyframe = kind == kindKeyframe
 	for i := 0; i < keypoints.TrackedTotal; i++ {
 		out.Points[i] = keypoints.Point{X: cs[i*3], Y: cs[i*3+1], Z: cs[i*3+2]}
 	}
 	out.Yaw, out.Pitch, out.Roll = cs[nScalars-3], cs[nScalars-2], cs[nScalars-1]
 	return out, nil
+}
+
+// Validate checks that wire is a decodable semantic frame — the per-frame
+// question the session measurement pipeline asks — without materializing
+// coordinates. The all-or-nothing property rests on the same checks Decode
+// performs: frame header, CRC-32 over the body, and the declared
+// uncompressed size. ModeQuantized frames fall through to a full Decode so
+// the delta-chain (ErrLostSync) semantics stay exact. Decoder state
+// (sync/sequence tracking) advances exactly as under Decode, so the two can
+// be interleaved.
+func (d *Decoder) Validate(wire []byte) error {
+	if len(wire) < headerLen {
+		return ErrCorruptFrame
+	}
+	mode := Mode(wire[1])
+	if mode != ModeFloat32 {
+		_, err := d.Decode(wire)
+		return err
+	}
+	// Decode ignores the kind byte in ModeFloat32 (every frame is
+	// independent), so Validate does too.
+	seq := binary.BigEndian.Uint32(wire[2:])
+	wantCRC := binary.BigEndian.Uint32(wire[6:])
+	body := wire[headerLen:]
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return ErrCorruptFrame
+	}
+	// A CRC-authenticated body is the encoder's exact output; the declared
+	// size is then the decompressed length, so the nScalars*4 check holds
+	// without running the entropy decoder.
+	size, n := binary.Uvarint(body)
+	if n <= 0 || size != uint64(keypoints.TrackedTotal*3+3)*4 {
+		return ErrCorruptFrame
+	}
+	d.haveSync = true
+	d.lastSeq = seq
+	return nil
 }
 
 // InSync reports whether the decoder can currently decode delta frames.

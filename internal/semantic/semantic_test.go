@@ -237,3 +237,64 @@ func BenchmarkDecodeFloat32(b *testing.B) {
 		}
 	}
 }
+
+// TestEncodeSteadyStateAllocBudget pins Encode's per-frame allocation cost:
+// one wire-frame buffer (owned by the caller) plus nothing else once the
+// internal scratch is warm.
+func TestEncodeSteadyStateAllocBudget(t *testing.T) {
+	for _, mode := range []Mode{ModeFloat32, ModeQuantized} {
+		gen := keypoints.NewGenerator(simrand.New(7), keypoints.DefaultMotionConfig())
+		enc := NewEncoder(mode)
+		for i := 0; i < 10; i++ { // warm scratch and compressor
+			f := gen.Next()
+			enc.Encode(&f)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			f := gen.Next()
+			if len(enc.Encode(&f)) == 0 {
+				t.Fatal("empty wire frame")
+			}
+		})
+		if allocs > 2 {
+			t.Errorf("%v: Encode allocates %.1f per frame, budget 2 (output + growth slack)", mode, allocs)
+		}
+	}
+}
+
+// TestValidateMatchesDecode pins Validate to Decode: for every frame of a
+// live stream (both modes, including a delta-chain break) the two must
+// agree on accept/reject, since the session layer counts decodability
+// through Validate.
+func TestValidateMatchesDecode(t *testing.T) {
+	for _, mode := range []Mode{ModeFloat32, ModeQuantized} {
+		gen := keypoints.NewGenerator(simrand.New(8), keypoints.DefaultMotionConfig())
+		enc := NewEncoder(mode)
+		enc.KeyframeInterval = 10
+		val := NewDecoder()
+		ref := NewDecoder()
+		for i := 0; i < 40; i++ {
+			f := gen.Next()
+			wire := enc.Encode(&f)
+			if i%7 == 3 {
+				// Drop this frame at both decoders (delta chain break in
+				// quantized mode; no-op for independent float32 frames).
+				continue
+			}
+			vErr := val.Validate(wire)
+			_, dErr := ref.Decode(wire)
+			if (vErr == nil) != (dErr == nil) {
+				t.Fatalf("%v frame %d: Validate err=%v, Decode err=%v", mode, i, vErr, dErr)
+			}
+		}
+		// Corrupt frames must be rejected by both.
+		f := gen.Next()
+		wire := enc.Encode(&f)
+		wire[len(wire)-1] ^= 0xFF
+		if val.Validate(wire) == nil {
+			t.Fatalf("%v: Validate accepted corrupt frame", mode)
+		}
+		if _, err := ref.Decode(wire); err == nil {
+			t.Fatalf("%v: Decode accepted corrupt frame", mode)
+		}
+	}
+}

@@ -10,14 +10,18 @@ import (
 )
 
 // Source is a deterministic random stream. It wraps math/rand with the
-// distribution helpers the simulation needs.
+// distribution helpers the simulation needs. The raw source is kept
+// alongside the *rand.Rand so the hot normal sampler (ziggurat.go) can
+// draw from the same stream without the wrapper overhead.
 type Source struct {
-	r *rand.Rand
+	r   *rand.Rand
+	src rand.Source
 }
 
 // New returns a source seeded with seed.
 func New(seed int64) *Source {
-	return &Source{r: rand.New(rand.NewSource(seed))}
+	src := rand.NewSource(seed)
+	return &Source{r: rand.New(src), src: src}
 }
 
 // Split derives an independent sub-stream identified by label. Deriving the
@@ -74,7 +78,7 @@ func (s *Source) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*s.r.Float
 
 // Normal returns a normal draw with the given mean and standard deviation.
 func (s *Source) Normal(mean, stddev float64) float64 {
-	return mean + stddev*s.r.NormFloat64()
+	return mean + stddev*s.normFloat64()
 }
 
 // LogNormal returns a lognormal draw parameterized by the mean and stddev of
@@ -110,6 +114,12 @@ type OU struct {
 
 	x   float64
 	src *Source
+
+	// Cached discretization coefficients: callers step with a fixed dt
+	// (one frame time), so the Exp/Sqrt terms are invariant between
+	// parameter changes and need not be recomputed every step.
+	cacheDt, cacheTheta, cacheSigma float64
+	decay, diff                     float64
 }
 
 // NewOU returns an OU process started at its mean.
@@ -123,14 +133,18 @@ func (o *OU) Step(dt float64) float64 {
 	if dt <= 0 {
 		return o.x
 	}
-	decay := math.Exp(-o.Theta * dt)
-	var v float64
-	if o.Theta > 0 {
-		v = o.Sigma * o.Sigma / (2 * o.Theta) * (1 - decay*decay)
-	} else {
-		v = o.Sigma * o.Sigma * dt
+	if dt != o.cacheDt || o.Theta != o.cacheTheta || o.Sigma != o.cacheSigma {
+		o.decay = math.Exp(-o.Theta * dt)
+		var v float64
+		if o.Theta > 0 {
+			v = o.Sigma * o.Sigma / (2 * o.Theta) * (1 - o.decay*o.decay)
+		} else {
+			v = o.Sigma * o.Sigma * dt
+		}
+		o.diff = math.Sqrt(v)
+		o.cacheDt, o.cacheTheta, o.cacheSigma = dt, o.Theta, o.Sigma
 	}
-	o.x = o.Mean + (o.x-o.Mean)*decay + math.Sqrt(v)*o.src.r.NormFloat64()
+	o.x = o.Mean + (o.x-o.Mean)*o.decay + o.diff*o.src.normFloat64()
 	return o.x
 }
 

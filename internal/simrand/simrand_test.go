@@ -2,6 +2,7 @@ package simrand
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -212,6 +213,23 @@ func TestChildStreamsIndependent(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		if c.Int63() != d.Int63() {
 			t.Fatal("same-label child streams diverge")
+		}
+	}
+}
+
+// TestZigguratMatchesStdlib pins the ported normal sampler to math/rand:
+// both must consume the source stream identically and return bit-identical
+// draws, or every seeded experiment result downstream would move.
+func TestZigguratMatchesStdlib(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		a := New(seed)
+		ref := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200000; i++ {
+			got := a.normFloat64()
+			want := ref.NormFloat64()
+			if got != want {
+				t.Fatalf("seed %d draw %d: %v != %v", seed, i, got, want)
+			}
 		}
 	}
 }

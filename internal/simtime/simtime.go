@@ -2,6 +2,11 @@
 // discrete-event scheduler. Every simulated subsystem in this repository
 // (network links, codecs, render loops) advances on this clock rather than
 // the wall clock, so experiments are exactly reproducible from a seed.
+//
+// The scheduler is built for an allocation-free steady state: event nodes
+// are pooled and recycled after they fire, hot callers can schedule a
+// package-level function plus argument (AtArg) instead of a fresh closure,
+// and Ticker allocates its trampoline closure once, not per tick.
 package simtime
 
 import (
@@ -46,30 +51,44 @@ func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) 
 // String formats the virtual time as seconds with millisecond precision.
 func (t Time) String() string { return fmt.Sprintf("t+%.3fs", t.Seconds()) }
 
-// Event is a scheduled callback. Events fire in timestamp order; ties are
-// broken by scheduling order (FIFO), which keeps runs deterministic.
-type Event struct {
-	At       Time
-	Run      func()
+// event is a pooled scheduler node. Events fire in timestamp order; ties are
+// broken by scheduling order (FIFO), which keeps runs deterministic. Nodes
+// are recycled once popped, so external code only ever holds a Handle.
+type event struct {
+	at  Time
+	run func()
+	// runArg+arg is the closure-free variant: a long-lived function pointer
+	// applied to a per-event argument (typically a pooled struct pointer).
+	runArg   func(any)
+	arg      any
 	seq      uint64
-	index    int // heap index; -1 once popped or cancelled
+	index    int // heap index; -1 once popped
+	gen      uint32
 	canceled bool
 }
 
+// Handle refers to a scheduled event. The zero Handle is valid and inert.
+// Handles stay safe after the event has fired or been cancelled: the node is
+// recycled under a new generation, so a stale Cancel is a no-op.
+type Handle struct {
+	e   *event
+	gen uint32
+}
+
 // Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+// already fired (or was already cancelled, or a zero Handle) is a no-op.
+func (h Handle) Cancel() {
+	if h.e != nil && h.e.gen == h.gen {
+		h.e.canceled = true
 	}
 }
 
-type eventHeap []*Event
+type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
@@ -79,7 +98,7 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
+	e := x.(*event)
 	e.index = len(*h)
 	*h = append(*h, e)
 }
@@ -101,6 +120,7 @@ type Scheduler struct {
 	queue  eventHeap
 	seq    uint64
 	nsteps uint64
+	free   []*event
 }
 
 // NewScheduler returns a scheduler whose clock starts at zero.
@@ -116,32 +136,83 @@ func (s *Scheduler) Steps() uint64 { return s.nsteps }
 // have not yet been reaped).
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
-// At schedules fn to run at the absolute virtual time at. Scheduling in the
-// past panics: that is always a logic error in a discrete-event simulation.
-func (s *Scheduler) At(at Time, fn func()) *Event {
+func (s *Scheduler) alloc(at Time) *event {
 	if at < s.now {
 		panic(fmt.Sprintf("simtime: scheduling at %v which is before now %v", at, s.now))
 	}
-	e := &Event{At: at, Run: fn, seq: s.seq}
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.at = at
+	e.seq = s.seq
 	s.seq++
 	heap.Push(&s.queue, e)
 	return e
 }
 
+// recycle returns a popped node to the pool under a fresh generation, so
+// stale Handles can never touch its next occupant.
+func (s *Scheduler) recycle(e *event) {
+	e.gen++
+	e.run = nil
+	e.runArg = nil
+	e.arg = nil
+	e.canceled = false
+	s.free = append(s.free, e)
+}
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in the
+// past panics: that is always a logic error in a discrete-event simulation.
+func (s *Scheduler) At(at Time, fn func()) Handle {
+	e := s.alloc(at)
+	e.run = fn
+	return Handle{e: e, gen: e.gen}
+}
+
+// AtArg schedules fn(arg) at the absolute virtual time at. Unlike At, the
+// hot path allocates nothing when fn is a package-level function and arg is
+// a pointer (pointers box into an interface without allocating), which makes
+// it the scheduling primitive for per-packet work.
+func (s *Scheduler) AtArg(at Time, fn func(any), arg any) Handle {
+	e := s.alloc(at)
+	e.runArg = fn
+	e.arg = arg
+	return Handle{e: e, gen: e.gen}
+}
+
 // After schedules fn to run d after the current time.
-func (s *Scheduler) After(d Duration, fn func()) *Event { return s.At(s.now.Add(d), fn) }
+func (s *Scheduler) After(d Duration, fn func()) Handle { return s.At(s.now.Add(d), fn) }
+
+// AfterArg schedules fn(arg) to run d after the current time.
+func (s *Scheduler) AfterArg(d Duration, fn func(any), arg any) Handle {
+	return s.AtArg(s.now.Add(d), fn, arg)
+}
 
 // Step executes the single next event, advancing the clock to its timestamp.
 // It reports whether an event was executed.
 func (s *Scheduler) Step() bool {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
+		e := heap.Pop(&s.queue).(*event)
 		if e.canceled {
+			s.recycle(e)
 			continue
 		}
-		s.now = e.At
+		s.now = e.at
 		s.nsteps++
-		e.Run()
+		run, runArg, arg := e.run, e.runArg, e.arg
+		// Recycle before running: the callback may schedule again and reuse
+		// this very node; its Handle generation is already retired.
+		s.recycle(e)
+		if runArg != nil {
+			runArg(arg)
+		} else {
+			run()
+		}
 		return true
 	}
 	return false
@@ -156,10 +227,10 @@ func (s *Scheduler) RunUntil(deadline Time) {
 		// Peek: queue[0] is the earliest event.
 		next := s.queue[0]
 		if next.canceled {
-			heap.Pop(&s.queue)
+			s.recycle(heap.Pop(&s.queue).(*event))
 			continue
 		}
-		if next.At > deadline {
+		if next.at > deadline {
 			break
 		}
 		s.Step()
@@ -182,12 +253,15 @@ func (s *Scheduler) Run() {
 
 // Ticker invokes fn every interval until stop is called, starting one
 // interval from now. It is the building block for frame loops and periodic
-// probes.
+// probes. A ticker allocates its trampoline once at construction; each tick
+// then reuses a pooled scheduler node, so steady-state ticking is
+// allocation-free.
 type Ticker struct {
 	s        *Scheduler
 	interval Duration
 	fn       func(Time)
-	ev       *Event
+	run      func() // allocated once; rescheduled every tick
+	h        Handle
 	stopped  bool
 }
 
@@ -198,24 +272,21 @@ func NewTicker(s *Scheduler, interval Duration, fn func(Time)) *Ticker {
 		panic("simtime: non-positive ticker interval")
 	}
 	t := &Ticker{s: s, interval: interval, fn: fn}
-	t.schedule()
-	return t
-}
-
-func (t *Ticker) schedule() {
-	t.ev = t.s.After(t.interval, func() {
+	t.run = func() {
 		if t.stopped {
 			return
 		}
-		t.fn(t.s.Now())
+		t.fn(t.s.now)
 		if !t.stopped {
-			t.schedule()
+			t.h = t.s.At(t.s.now.Add(t.interval), t.run)
 		}
-	})
+	}
+	t.h = s.At(s.now.Add(interval), t.run)
+	return t
 }
 
 // Stop cancels the ticker. Safe to call multiple times.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	t.ev.Cancel()
+	t.h.Cancel()
 }

@@ -12,16 +12,25 @@ import (
 )
 
 // Sample is an accumulating collection of float64 observations. The zero
-// value is an empty sample ready to use.
+// value is an empty sample ready to use. Quantile queries work on a
+// separate sorted buffer, so Values() keeps insertion order no matter what
+// is asked of the sample.
 type Sample struct {
-	xs     []float64
-	sorted bool
+	xs      []float64
+	sortBuf []float64
+	sorted  bool
 }
 
 // NewSample returns a sample pre-populated with xs (copied).
 func NewSample(xs ...float64) *Sample {
 	s := &Sample{xs: append([]float64(nil), xs...)}
 	return s
+}
+
+// NewSampleCap returns an empty sample with capacity for n observations, so
+// callers that know their rep/bin counts avoid append regrowth.
+func NewSampleCap(n int) *Sample {
+	return &Sample{xs: make([]float64, 0, n)}
 }
 
 // Add appends observations to the sample.
@@ -33,7 +42,8 @@ func (s *Sample) Add(xs ...float64) {
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
-// Values returns the raw observations (not a copy; callers must not mutate).
+// Values returns the raw observations in insertion order (not a copy;
+// callers must not mutate).
 func (s *Sample) Values() []float64 { return s.xs }
 
 // Mean returns the arithmetic mean, or NaN for an empty sample.
@@ -68,8 +78,7 @@ func (s *Sample) Min() float64 {
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
-	s.sort()
-	return s.xs[0]
+	return s.sort()[0]
 }
 
 // Max returns the largest observation, or NaN for an empty sample.
@@ -77,8 +86,8 @@ func (s *Sample) Max() float64 {
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
-	s.sort()
-	return s.xs[len(s.xs)-1]
+	sorted := s.sort()
+	return sorted[len(sorted)-1]
 }
 
 // Sum returns the total of all observations.
@@ -90,11 +99,16 @@ func (s *Sample) Sum() float64 {
 	return t
 }
 
-func (s *Sample) sort() {
+// sort returns the observations in ascending order without touching the
+// insertion-ordered backing array: Values() documents raw observations, so
+// quantile queries sort a separate buffer.
+func (s *Sample) sort() []float64 {
 	if !s.sorted {
-		sort.Float64s(s.xs)
+		s.sortBuf = append(s.sortBuf[:0], s.xs...)
+		sort.Float64s(s.sortBuf)
 		s.sorted = true
 	}
+	return s.sortBuf
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) using linear
@@ -110,15 +124,15 @@ func (s *Sample) Percentile(p float64) float64 {
 	if p >= 100 {
 		return s.Max()
 	}
-	s.sort()
+	sorted := s.sort()
 	rank := p / 100 * float64(n-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s.xs[lo]
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Median returns the 50th percentile.
@@ -130,9 +144,9 @@ func (s *Sample) FractionBelow(x float64) float64 {
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
-	s.sort()
-	i := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
-	return float64(i) / float64(len(s.xs))
+	sorted := s.sort()
+	i := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(sorted))
 }
 
 // Box is the five-number summary plus mean used by the paper's whisker
@@ -142,7 +156,23 @@ type Box struct {
 	N                               int
 }
 
-// BoxStats computes the Box summary of the sample.
+// meanSorted is the mean summed in ascending value order: deterministic in
+// floating point regardless of insertion order, and identical to what the
+// historical in-place sort produced for quantile-then-mean call sequences.
+func (s *Sample) meanSorted() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range s.sort() {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// BoxStats computes the Box summary of the sample. Its Mean is summed over
+// the sorted observations, so the box is a pure function of the observed
+// value multiset.
 func (s *Sample) BoxStats() Box {
 	return Box{
 		P5:     s.Percentile(5),
@@ -150,7 +180,7 @@ func (s *Sample) BoxStats() Box {
 		Median: s.Median(),
 		P75:    s.Percentile(75),
 		P95:    s.Percentile(95),
-		Mean:   s.Mean(),
+		Mean:   s.meanSorted(),
 		N:      s.N(),
 	}
 }
@@ -207,15 +237,15 @@ func (s *Sample) CDF() []CDFPoint {
 	if len(s.xs) == 0 {
 		return nil
 	}
-	s.sort()
-	n := float64(len(s.xs))
+	sorted := s.sort()
+	n := float64(len(sorted))
 	var out []CDFPoint
-	for i := 0; i < len(s.xs); i++ {
+	for i := 0; i < len(sorted); i++ {
 		// Collapse runs of equal values to the last index.
-		if i+1 < len(s.xs) && s.xs[i+1] == s.xs[i] {
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
 			continue
 		}
-		out = append(out, CDFPoint{Value: s.xs[i], Fraction: float64(i+1) / n})
+		out = append(out, CDFPoint{Value: sorted[i], Fraction: float64(i+1) / n})
 	}
 	return out
 }

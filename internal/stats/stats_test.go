@@ -278,3 +278,32 @@ func TestSampleMarshalJSON(t *testing.T) {
 		t.Errorf("empty sample -> %s, %v", b, err)
 	}
 }
+
+// TestValuesOrderSurvivesQuantiles pins the Values() contract: "raw
+// observations" means insertion order, and no quantile query may reorder the
+// backing array callers might hold.
+func TestValuesOrderSurvivesQuantiles(t *testing.T) {
+	in := []float64{5, 1, 4, 2, 3}
+	s := NewSample(in...)
+	held := s.Values()
+	if got := s.Percentile(50); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+	s.Min()
+	s.Max()
+	s.CDF()
+	s.FractionBelow(2.5)
+	for i, v := range held {
+		if v != in[i] {
+			t.Fatalf("Values()[%d] = %v after quantile queries, want %v (insertion order destroyed)", i, v, in[i])
+		}
+	}
+	// Later additions must be visible to subsequent quantile queries.
+	s.Add(0)
+	if got := s.Min(); got != 0 {
+		t.Errorf("Min after Add = %v, want 0", got)
+	}
+	if got := s.Values()[len(s.Values())-1]; got != 0 {
+		t.Errorf("last value = %v, want 0", got)
+	}
+}

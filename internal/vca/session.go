@@ -43,6 +43,11 @@ type SessionConfig struct {
 	// SemanticMode selects the spatial-persona encoding (default:
 	// paper-faithful float32).
 	SemanticMode semantic.Mode
+	// RetainPackets keeps full per-packet capture records (O(packets)
+	// memory). The default streaming mode aggregates throughput and
+	// protocol counts online at the AP tap; enable retention only for
+	// analyses that need packet-level records (UplinkRecords etc.).
+	RetainPackets bool
 }
 
 // DefaultSessionConfig returns a ready-to-run two-user configuration.
@@ -117,6 +122,42 @@ type Session struct {
 	staleNs    []int64        // per receiver: accumulated unavailable time
 	latSum     []float64
 	latN       []int
+
+	relayFree []*relayJob // pooled SFU forwarding jobs
+}
+
+// relayJob carries one uplink packet from the SFU ingress to its delayed
+// fan-out without a per-packet closure or payload copy.
+type relayJob struct {
+	s    *Session
+	from int
+	size int
+	pkt  []byte
+}
+
+func (s *Session) getRelayJob() *relayJob {
+	if n := len(s.relayFree) - 1; n >= 0 {
+		j := s.relayFree[n]
+		s.relayFree[n] = nil
+		s.relayFree = s.relayFree[:n]
+		return j
+	}
+	return &relayJob{s: s}
+}
+
+// relayFn forwards a processed uplink packet to every other participant's
+// downlink, then recycles the job.
+func relayFn(a any) {
+	j := a.(*relayJob)
+	s := j.s
+	for k := 0; k < len(s.down); k++ {
+		if k == j.from {
+			continue
+		}
+		s.down[k].Send(netem.Frame{Size: j.size, Payload: j.pkt})
+	}
+	j.pkt = nil
+	s.relayFree = append(s.relayFree, j)
 }
 
 // NewSession plans and wires a session.
@@ -157,6 +198,15 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	s.latN = make([]int, n)
 
 	spec := SpecFor(cfg.App)
+	// mkCap builds the per-user AP capture: streaming aggregation with the
+	// protocol classifier at the tap; full records only on request.
+	mkCap := func(i int, links ...*netem.Link) {
+		c := capture.New(cfg.Participants[i].ID)
+		c.SetClassifier(analysis.ClassIndex)
+		c.SetRetain(cfg.RetainPackets)
+		c.Attach(links...)
+		s.caps[i] = c
+	}
 	mkPipe := func(i int, a, b geo.Location, extraMs float64) {
 		oneWay := cfg.PathModel.BaseRTTMs(a, b)/2 + extraMs
 		p := netem.NewPipe(s.sched, s.rng.Split(fmt.Sprintf("pipe%d", i)), netem.Config{
@@ -165,8 +215,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 			JitterMs: 0.3,
 		})
 		s.up[i], s.down[i] = p.AB, p.BA
-		s.caps[i] = capture.New(cfg.Participants[i].ID)
-		s.caps[i].Attach(p.AB, p.BA)
+		mkCap(i, p.AB, p.BA)
 	}
 	if plan.P2P {
 		// One pipe between the two users; each user's "uplink" is their
@@ -177,10 +226,8 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		})
 		s.up[0], s.down[0] = p.AB, p.BA
 		s.up[1], s.down[1] = p.BA, p.AB
-		s.caps[0] = capture.New(cfg.Participants[0].ID)
-		s.caps[0].Attach(p.AB, p.BA)
-		s.caps[1] = capture.New(cfg.Participants[1].ID)
-		s.caps[1].Attach(p.BA, p.AB)
+		mkCap(0, p.AB, p.BA)
+		mkCap(1, p.BA, p.AB)
 	} else {
 		for i := range cfg.Participants {
 			mkPipe(i, cfg.Participants[i].Loc, plan.Server, spec.ServerProcMs/2)
@@ -212,7 +259,9 @@ func (s *Session) DownlinkShaper(i int) *netem.Shaper { return s.down[i].Shaper(
 func (s *Session) Capture(i int) *capture.Capture { return s.caps[i] }
 
 // UplinkRecords returns the delivered frames of user i's uplink only — the
-// direction a passive observer attributes to this user's sending.
+// direction a passive observer attributes to this user's sending. Requires
+// SessionConfig.RetainPackets; the default streaming capture keeps no
+// per-packet records and yields nil here.
 func (s *Session) UplinkRecords(i int) []capture.Record {
 	return s.caps[i].Filter(func(r capture.Record) bool {
 		return r.Dir == netem.Egress && r.Link == s.up[i].Name()
@@ -220,6 +269,7 @@ func (s *Session) UplinkRecords(i int) []capture.Record {
 }
 
 // DownlinkRecords returns the delivered frames of user i's downlink only.
+// Requires SessionConfig.RetainPackets, like UplinkRecords.
 func (s *Session) DownlinkRecords(i int) []capture.Record {
 	return s.caps[i].Filter(func(r capture.Record) bool {
 		return r.Dir == netem.Egress && r.Link == s.down[i].Name()
@@ -293,7 +343,10 @@ func (s *Session) wireSpatial() {
 		}
 	}
 
-	// Senders: keypoint generators at SpatialFPS plus 24 kbps audio.
+	// Senders: keypoint generators at SpatialFPS plus 24 kbps audio. The
+	// stamp and audio buffers are per-sender scratch: SendMessage copies
+	// into pooled connection buffers, so reuse here is safe and the steady
+	// state allocates nothing but the encoder's wire frame.
 	interval := simtime.Duration(float64(simtime.Second) / s.cfg.SpatialFPS)
 	for i := 0; i < n; i++ {
 		i := i
@@ -302,18 +355,23 @@ func (s *Session) wireSpatial() {
 			SensorNoise: 0.0004,
 		})
 		enc := semantic.NewEncoder(s.cfg.SemanticMode)
+		var stamped []byte
 		simtime.NewTicker(s.sched, interval, func(now simtime.Time) {
 			f := gen.Next()
 			s.stats[i].FramesSent++
 			wire := enc.Encode(&f)
-			stamped := make([]byte, 8+len(wire))
+			if cap(stamped) < 8+len(wire) {
+				stamped = make([]byte, 8+len(wire))
+			}
+			stamped = stamped[:8+len(wire)]
 			putTime(stamped, now)
 			copy(stamped[8:], wire)
 			s.quicUp[i].SendMessage(stamped)
 		})
 		// Audio: 60-byte frames every 20 ms ~ 24 kbps.
+		audioBuf := make([]byte, 60)
 		simtime.NewTicker(s.sched, 20*simtime.Millisecond, func(simtime.Time) {
-			s.quicUp[i].SendMessage(make([]byte, 60))
+			s.quicUp[i].SendMessage(audioBuf)
 		})
 	}
 }
@@ -340,7 +398,9 @@ func (s *Session) onSpatialFrame(i, j int, data []byte, now simtime.Time) {
 	}
 	sent := getTime(data[:8])
 	wire := data[8:]
-	if _, err := s.decoders[i][j].Decode(wire); err != nil {
+	// Validate applies Decode's integrity checks (header, CRC, size)
+	// without materializing keypoints no session measurement reads.
+	if err := s.decoders[i][j].Validate(wire); err != nil {
 		s.stats[j].FramesUndecodable++
 		return
 	}
@@ -418,7 +478,9 @@ func (s *Session) wireVideo() error {
 				continue
 			}
 			sent := getTime(frame[:8])
-			if _, err := s.vdecs[i][j].Decode(frame[8:]); err != nil {
+			// Validate replicates Decode's success/error behavior without
+			// reconstructing pixels nobody reads.
+			if err := s.vdecs[i][j].Validate(frame[8:]); err != nil {
 				s.stats[j].FramesUndecodable++
 				continue
 			}
@@ -438,16 +500,13 @@ func (s *Session) wireVideo() error {
 		for i := 0; i < n; i++ {
 			i := i
 			s.up[i].SetHandler(func(now simtime.Time, f netem.Frame) {
-				pkt := append([]byte(nil), f.Payload...)
-				size := f.Size
-				s.sched.After(procDelay, func() {
-					for j := 0; j < n; j++ {
-						if j == i {
-							continue
-						}
-						s.down[j].Send(netem.Frame{Size: size, Payload: pkt})
-					}
-				})
+				// SFU fan-out: take ownership of the delivered payload
+				// (the sender never reuses packet buffers) instead of
+				// copying it, and carry it to the forwarding instant in a
+				// pooled job rather than a fresh closure.
+				j := s.getRelayJob()
+				j.from, j.size, j.pkt = i, f.Size, f.Payload
+				s.sched.AfterArg(procDelay, relayFn, j)
 			})
 			s.down[i].SetHandler(func(now simtime.Time, f netem.Frame) {
 				var h rtp.Header
@@ -462,7 +521,8 @@ func (s *Session) wireVideo() error {
 		}
 	}
 
-	// Senders.
+	// Senders. The stamp buffer is per-sender scratch (Packetize copies
+	// frame bytes into each packet); the audio payload is a constant.
 	interval := simtime.Duration(float64(simtime.Second) / s.cfg.VideoFPS)
 	for i := 0; i < n; i++ {
 		i := i
@@ -470,6 +530,7 @@ func (s *Session) wireVideo() error {
 		if s.cfg.App == FaceTime {
 			audio.PT = rtp.PTFaceTimeAudio
 		}
+		var stamped []byte
 		simtime.NewTicker(s.sched, interval, func(now simtime.Time) {
 			frame := s.scenes[i].Next()
 			ef, err := s.encoders[i].Encode(frame)
@@ -477,15 +538,19 @@ func (s *Session) wireVideo() error {
 				return
 			}
 			s.stats[i].FramesSent++
-			stamped := make([]byte, 8+len(ef.Data))
+			if cap(stamped) < 8+len(ef.Data) {
+				stamped = make([]byte, 8+len(ef.Data))
+			}
+			stamped = stamped[:8+len(ef.Data)]
 			putTime(stamped, now)
 			copy(stamped[8:], ef.Data)
 			for _, pkt := range s.packers[i].Packetize(stamped, now.Seconds()) {
 				s.up[i].Send(netem.Frame{Size: len(pkt) + 28, Payload: pkt}) // +IP/UDP overhead
 			}
 		})
+		audioBuf := make([]byte, 60)
 		simtime.NewTicker(s.sched, 20*simtime.Millisecond, func(now simtime.Time) {
-			for _, pkt := range audio.Packetize(make([]byte, 60), now.Seconds()) {
+			for _, pkt := range audio.Packetize(audioBuf, now.Seconds()) {
 				s.up[i].Send(netem.Frame{Size: len(pkt) + 28, Payload: pkt})
 			}
 		})
@@ -501,16 +566,13 @@ func (s *Session) Run() *Results {
 	for i := 0; i < n; i++ {
 		st := s.stats[i]
 		st.ID = s.cfg.Participants[i].ID
-		upRecs := s.caps[i].Filter(func(r capture.Record) bool {
-			return r.Dir == netem.Egress && r.Link == s.up[i].Name()
-		})
-		downRecs := s.caps[i].Filter(func(r capture.Record) bool {
-			return r.Dir == netem.Egress && r.Link == s.down[i].Name()
-		})
-		st.Uplink = analysis.ThroughputSample(upRecs, simtime.Second)
-		st.Downlink = analysis.ThroughputSample(downRecs, simtime.Second)
-		proto, _ := analysis.ClassifyCapture(append(upRecs, downRecs...))
-		st.Protocol = proto
+		// Throughput and protocol come from the streaming AP aggregates,
+		// computed online at the tap — no record scan, no retained packets.
+		upName, downName := s.up[i].Name(), s.down[i].Name()
+		st.Uplink = s.caps[i].EgressThroughputSample(upName)
+		st.Downlink = s.caps[i].EgressThroughputSample(downName)
+		cls, _ := s.caps[i].DominantClass(upName, downName)
+		st.Protocol = analysis.Protocol(cls)
 		if s.latN[i] > 0 {
 			st.MeanFrameLatencyMs = s.latSum[i] / float64(s.latN[i])
 		}

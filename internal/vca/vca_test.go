@@ -353,6 +353,7 @@ func TestFaceTime2DKeepsPayloadTypeOnWire(t *testing.T) {
 	})
 	cfg.Duration = 3 * simtime.Second
 	cfg.Seed = 5
+	cfg.RetainPackets = true // this test reads per-packet records
 	sess, err := NewSession(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -389,6 +390,7 @@ func TestSpatialTrafficOpaqueAtAP(t *testing.T) {
 	})
 	cfg.Duration = 2 * simtime.Second
 	cfg.Seed = 6
+	cfg.RetainPackets = true // this test inspects captured payload bytes
 	sess, err := NewSession(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -421,5 +423,42 @@ func TestSpatialTrafficOpaqueAtAP(t *testing.T) {
 	// scrambled data; systematic presence would mean no encryption.
 	if frac := float64(leaks) / float64(len(recs)); frac > 0.05 {
 		t.Errorf("plaintext semantic signature visible in %.0f%% of packets", frac*100)
+	}
+}
+
+// TestDefaultSessionCaptureIsStreaming pins the memory-O(1) acceptance: in
+// the default capture mode a session keeps no per-packet records — only
+// streaming aggregates — yet still produces throughput and protocol
+// results.
+func TestDefaultSessionCaptureIsStreaming(t *testing.T) {
+	cfg := DefaultSessionConfig(FaceTime, []Participant{
+		vp("u1", geo.Ashburn), vp("u2", geo.NewYork),
+	})
+	cfg.Duration = 2 * simtime.Second
+	cfg.Seed = 7
+	sess, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sess.Run()
+	for i := range res.Users {
+		if sess.Capture(i).Retaining() {
+			t.Fatalf("user %d capture retains records by default", i)
+		}
+		if n := len(sess.Capture(i).Records()); n != 0 {
+			t.Fatalf("user %d capture stored %d records in streaming mode", i, n)
+		}
+		if sess.Capture(i).Len() == 0 {
+			t.Errorf("user %d capture observed no frames", i)
+		}
+	}
+	if res.Users[0].Uplink.N() == 0 {
+		t.Error("streaming capture produced no throughput sample")
+	}
+	if res.Users[0].Protocol != analysis.ProtoQUIC {
+		t.Errorf("streaming protocol verdict = %v, want QUIC", res.Users[0].Protocol)
+	}
+	if recs := sess.UplinkRecords(0); recs != nil {
+		t.Errorf("UplinkRecords returned %d records without RetainPackets", len(recs))
 	}
 }

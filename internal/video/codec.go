@@ -4,6 +4,12 @@
 // scene generator. Zoom/Webex/Teams and FaceTime's 2D persona all deliver
 // this kind of stream (§4.2); per-app resolution and target bitrate come
 // from the vca package.
+//
+// Both codec directions run allocation-free in steady state: encoder and
+// decoder double-buffer their reference frames, reuse their coefficient and
+// body scratch, and hold reusable entropy coders. Encode's returned Data
+// and Decode's returned Frame are therefore owned by the codec and valid
+// only until the next call — callers that retain them must copy.
 package video
 
 import (
@@ -76,72 +82,79 @@ func PSNR(a, b *Frame) float64 {
 
 // --- 8x8 DCT ---
 
-var dctCos [8][8]float64
+var (
+	dctCos [8][8]float64
+	// dctCosT is the transpose (dctCosT[n][k] == dctCos[k][n]), giving the
+	// idct inner loops a contiguous access pattern.
+	dctCosT [8][8]float64
+)
 
 func init() {
 	for k := 0; k < 8; k++ {
 		for n := 0; n < 8; n++ {
 			dctCos[k][n] = math.Cos(math.Pi / 8 * (float64(n) + 0.5) * float64(k))
+			dctCosT[n][k] = dctCos[k][n]
 		}
 	}
+}
+
+// dctC is the orthonormalization factor for coefficient k.
+func dctC(k int) float64 {
+	if k == 0 {
+		return 1 / (2 * math.Sqrt2)
+	}
+	return 0.5
+}
+
+// dot8 is the unrolled 8-term inner product. The additions associate left
+// to right exactly like the accumulation loop it replaces, so results are
+// bit-identical.
+func dot8(a, b *[8]float64) float64 {
+	s := a[0]*b[0] + a[1]*b[1] + a[2]*b[2] + a[3]*b[3]
+	s = s + a[4]*b[4] + a[5]*b[5] + a[6]*b[6] + a[7]*b[7]
+	return s
 }
 
 func fdct8(block *[64]float64) {
 	var tmp [64]float64
 	for y := 0; y < 8; y++ { // rows
+		row := (*[8]float64)(block[y*8 : y*8+8])
 		for k := 0; k < 8; k++ {
-			var s float64
-			for n := 0; n < 8; n++ {
-				s += block[y*8+n] * dctCos[k][n]
-			}
-			c := 0.5
-			if k == 0 {
-				c = 1 / (2 * math.Sqrt2)
-			}
-			tmp[y*8+k] = s * c
+			tmp[y*8+k] = dot8(row, &dctCos[k]) * dctC(k)
 		}
 	}
+	var col [8]float64
 	for x := 0; x < 8; x++ { // cols
+		for n := 0; n < 8; n++ {
+			col[n] = tmp[n*8+x]
+		}
 		for k := 0; k < 8; k++ {
-			var s float64
-			for n := 0; n < 8; n++ {
-				s += tmp[n*8+x] * dctCos[k][n]
-			}
-			c := 0.5
-			if k == 0 {
-				c = 1 / (2 * math.Sqrt2)
-			}
-			block[k*8+x] = s * c
+			block[k*8+x] = dot8(&col, &dctCos[k]) * dctC(k)
 		}
 	}
 }
 
 func idct8(block *[64]float64) {
 	var tmp [64]float64
+	// Hoist the per-coefficient scale: the products (c*coef)*cos match the
+	// historical c*coef*cos association exactly, so outputs are
+	// bit-identical while the inner loops lose a branch and a multiply.
+	var scaled [8]float64
 	for x := 0; x < 8; x++ { // cols
+		for k := 0; k < 8; k++ {
+			scaled[k] = dctC(k) * block[k*8+x]
+		}
 		for n := 0; n < 8; n++ {
-			var s float64
-			for k := 0; k < 8; k++ {
-				c := 0.5
-				if k == 0 {
-					c = 1 / (2 * math.Sqrt2)
-				}
-				s += c * block[k*8+x] * dctCos[k][n]
-			}
-			tmp[n*8+x] = s
+			tmp[n*8+x] = dot8(&scaled, &dctCosT[n])
 		}
 	}
 	for y := 0; y < 8; y++ { // rows
+		row := (*[8]float64)(tmp[y*8 : y*8+8])
+		for k := 0; k < 8; k++ {
+			scaled[k] = dctC(k) * row[k]
+		}
 		for n := 0; n < 8; n++ {
-			var s float64
-			for k := 0; k < 8; k++ {
-				c := 0.5
-				if k == 0 {
-					c = 1 / (2 * math.Sqrt2)
-				}
-				s += c * tmp[y*8+k] * dctCos[k][n]
-			}
-			block[y*8+n] = s
+			block[y*8+n] = dot8(&scaled, &dctCosT[n])
 		}
 	}
 }
@@ -194,6 +207,8 @@ func DefaultConfig(w, h int, targetBps float64) Config {
 
 // EncodedFrame is one compressed frame.
 type EncodedFrame struct {
+	// Data is owned by the encoder and valid until the next Encode call;
+	// copy to retain.
 	Data []byte
 	Key  bool
 	// QScale records the quantizer used (for diagnostics/ABR tests).
@@ -205,9 +220,14 @@ type EncodedFrame struct {
 type Encoder struct {
 	cfg     Config
 	ref     *Frame // last reconstruction
+	spare   *Frame // recycled reconstruction target
 	n       int    // frames encoded
 	qscale  float64
 	bitDebt float64 // rate-control integrator
+
+	body []byte // coefficient stream scratch
+	out  []byte // header + compressed output scratch
+	cmp  *entropy.Compressor
 }
 
 // NewEncoder validates cfg and returns an encoder.
@@ -224,7 +244,7 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 	if cfg.FPS <= 0 {
 		cfg.FPS = 30
 	}
-	return &Encoder{cfg: cfg, qscale: cfg.Quality}, nil
+	return &Encoder{cfg: cfg, qscale: cfg.Quality, cmp: entropy.NewCompressor()}, nil
 }
 
 // Config returns the encoder configuration (with defaults applied).
@@ -235,7 +255,8 @@ const (
 	frameDelta = 0x50 // 'P'
 )
 
-// Encode compresses f. Frames must match the configured dimensions.
+// Encode compresses f. Frames must match the configured dimensions. The
+// returned EncodedFrame (and its Data) is reused by the next Encode call.
 func (e *Encoder) Encode(f *Frame) (*EncodedFrame, error) {
 	if f.W != e.cfg.W || f.H != e.cfg.H {
 		return nil, fmt.Errorf("video: frame %dx%d vs config %dx%d", f.W, f.H, e.cfg.W, e.cfg.H)
@@ -245,10 +266,14 @@ func (e *Encoder) Encode(f *Frame) (*EncodedFrame, error) {
 
 	bw := (f.W + 7) / 8
 	bh := (f.H + 7) / 8
-	recon := NewFrame(f.W, f.H)
+	recon := e.spare
+	if recon == nil {
+		recon = NewFrame(f.W, f.H)
+	}
+	e.spare = nil
 
 	// Payload: per block, a skip flag byte stream and coefficient stream.
-	body := make([]byte, 0, bw*bh*8)
+	body := e.body[:0]
 	var vbuf [binary.MaxVarintLen64]byte
 	putUv := func(v uint64) {
 		n := binary.PutUvarint(vbuf[:], v)
@@ -258,22 +283,50 @@ func (e *Encoder) Encode(f *Frame) (*EncodedFrame, error) {
 
 	q := e.quantTable()
 	var block [64]float64
+	w := f.W
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
 			ox, oy := bx*8, by*8
+			interior := ox+8 <= f.W && oy+8 <= f.H
 			// P-frame skip decision against the reference reconstruction.
 			if !key {
-				var sad float64
-				for y := 0; y < 8; y++ {
-					for x := 0; x < 8; x++ {
-						sad += math.Abs(float64(f.At(ox+x, oy+y)) - float64(e.ref.At(ox+x, oy+y)))
+				var sad int
+				if interior {
+					base := oy*w + ox
+					for y := 0; y < 8; y++ {
+						cur := f.Pix[base+y*w : base+y*w+8 : base+y*w+8]
+						prev := e.ref.Pix[base+y*w : base+y*w+8 : base+y*w+8]
+						for x := 0; x < 8; x++ {
+							d := int(cur[x]) - int(prev[x])
+							if d < 0 {
+								d = -d
+							}
+							sad += d
+						}
 					}
-				}
-				if sad/64 < e.cfg.SkipThreshold {
-					body = append(body, 0) // skip
+				} else {
 					for y := 0; y < 8; y++ {
 						for x := 0; x < 8; x++ {
-							recon.Set(ox+x, oy+y, e.ref.At(ox+x, oy+y))
+							d := int(f.At(ox+x, oy+y)) - int(e.ref.At(ox+x, oy+y))
+							if d < 0 {
+								d = -d
+							}
+							sad += d
+						}
+					}
+				}
+				if float64(sad)/64 < e.cfg.SkipThreshold {
+					body = append(body, 0) // skip
+					if interior {
+						base := oy*w + ox
+						for y := 0; y < 8; y++ {
+							copy(recon.Pix[base+y*w:base+y*w+8], e.ref.Pix[base+y*w:base+y*w+8])
+						}
+					} else {
+						for y := 0; y < 8; y++ {
+							for x := 0; x < 8; x++ {
+								recon.Set(ox+x, oy+y, e.ref.At(ox+x, oy+y))
+							}
 						}
 					}
 					continue
@@ -281,15 +334,32 @@ func (e *Encoder) Encode(f *Frame) (*EncodedFrame, error) {
 				body = append(body, 1) // coded
 			}
 			// Residual (or intra) block.
-			for y := 0; y < 8; y++ {
-				for x := 0; x < 8; x++ {
-					v := float64(f.At(ox+x, oy+y))
-					if !key {
-						v -= float64(e.ref.At(ox+x, oy+y))
+			if interior {
+				base := oy*w + ox
+				for y := 0; y < 8; y++ {
+					cur := f.Pix[base+y*w : base+y*w+8 : base+y*w+8]
+					if key {
+						for x := 0; x < 8; x++ {
+							block[y*8+x] = float64(int(cur[x]) - 128)
+						}
 					} else {
-						v -= 128
+						prev := e.ref.Pix[base+y*w : base+y*w+8 : base+y*w+8]
+						for x := 0; x < 8; x++ {
+							block[y*8+x] = float64(int(cur[x]) - int(prev[x]))
+						}
 					}
-					block[y*8+x] = v
+				}
+			} else {
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						v := float64(f.At(ox+x, oy+y))
+						if !key {
+							v -= float64(e.ref.At(ox+x, oy+y))
+						} else {
+							v -= 128
+						}
+						block[y*8+x] = v
+					}
 				}
 			}
 			fdct8(&block)
@@ -309,22 +379,41 @@ func (e *Encoder) Encode(f *Frame) (*EncodedFrame, error) {
 			putUv(uint64(run) | 1<<20) // end-of-block marker: impossible run
 			// Reconstruct exactly as the decoder will.
 			idct8(&block)
-			for y := 0; y < 8; y++ {
-				for x := 0; x < 8; x++ {
-					v := block[y*8+x]
-					if !key {
-						v += float64(e.ref.At(ox+x, oy+y))
+			if interior {
+				base := oy*w + ox
+				for y := 0; y < 8; y++ {
+					dst := recon.Pix[base+y*w : base+y*w+8 : base+y*w+8]
+					if key {
+						for x := 0; x < 8; x++ {
+							dst[x] = clamp255(block[y*8+x] + 128)
+						}
 					} else {
-						v += 128
+						prev := e.ref.Pix[base+y*w : base+y*w+8 : base+y*w+8]
+						for x := 0; x < 8; x++ {
+							dst[x] = clamp255(block[y*8+x] + float64(prev[x]))
+						}
 					}
-					recon.Set(ox+x, oy+y, clamp255(v))
+				}
+			} else {
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						v := block[y*8+x]
+						if !key {
+							v += float64(e.ref.At(ox+x, oy+y))
+						} else {
+							v += 128
+						}
+						recon.Set(ox+x, oy+y, clamp255(v))
+					}
 				}
 			}
 		}
 	}
+	e.body = body
+	e.spare = e.ref
 	e.ref = recon
 
-	hdr := make([]byte, 0, 16)
+	hdr := e.out[:0]
 	if key {
 		hdr = append(hdr, frameKey)
 	} else {
@@ -335,10 +424,10 @@ func (e *Encoder) Encode(f *Frame) (*EncodedFrame, error) {
 	binary.LittleEndian.PutUint16(d[2:], uint16(f.H))
 	binary.LittleEndian.PutUint32(d[4:], math.Float32bits(float32(e.qscale)))
 	hdr = append(hdr, d[:]...)
-	out := entropy.Compress(hdr, body)
+	e.out = e.cmp.Compress(hdr, body)
 
-	ef := &EncodedFrame{Data: out, Key: key, QScale: e.qscale}
-	e.adaptRate(len(out))
+	ef := &EncodedFrame{Data: e.out, Key: key, QScale: e.qscale}
+	e.adaptRate(len(e.out))
 	return ef, nil
 }
 
@@ -386,16 +475,24 @@ func (e *Encoder) adaptRate(actualBytes int) {
 
 // Decoder decompresses the encoder's output.
 type Decoder struct {
-	ref *Frame
+	ref   *Frame
+	spare *Frame
+	body  []byte
+	dec   *entropy.Decompressor
+
+	// Validate-mode reference bookkeeping (dimensions only).
+	valRefW, valRefH int
 }
 
 // NewDecoder returns an empty decoder.
-func NewDecoder() *Decoder { return &Decoder{} }
+func NewDecoder() *Decoder { return &Decoder{dec: entropy.NewDecompressor()} }
 
 // ErrCorrupt reports an undecodable video frame.
 var ErrCorrupt = errors.New("video: corrupt frame")
 
-// Decode reconstructs one frame.
+// Decode reconstructs one frame. The returned Frame is the decoder's
+// reference buffer: it is valid (and must not be modified) only until the
+// next Decode call; copy with Clone to retain.
 func (d *Decoder) Decode(data []byte) (*Frame, error) {
 	if len(data) < 9 {
 		return nil, ErrCorrupt
@@ -414,10 +511,11 @@ func (d *Decoder) Decode(data []byte) (*Frame, error) {
 	if !key && (d.ref == nil || d.ref.W != w || d.ref.H != h) {
 		return nil, fmt.Errorf("%w: delta frame without reference", ErrCorrupt)
 	}
-	body, err := entropy.Decompress(nil, data[9:])
+	body, err := d.dec.Decompress(d.body[:0], data[9:])
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
+	d.body = body
 
 	var q [64]float64
 	for i, v := range jpegLuma {
@@ -437,12 +535,17 @@ func (d *Decoder) Decode(data []byte) (*Frame, error) {
 		return v, nil
 	}
 
-	out := NewFrame(w, h)
+	out := d.spare
+	if out == nil || out.W != w || out.H != h {
+		out = NewFrame(w, h)
+	}
+	d.spare = nil
 	bw, bh := (w+7)/8, (h+7)/8
 	var block [64]float64
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
 			ox, oy := bx*8, by*8
+			interior := ox+8 <= w && oy+8 <= h
 			if !key {
 				if pos >= len(body) {
 					return nil, ErrCorrupt
@@ -450,9 +553,16 @@ func (d *Decoder) Decode(data []byte) (*Frame, error) {
 				flag := body[pos]
 				pos++
 				if flag == 0 { // skipped block
-					for y := 0; y < 8; y++ {
-						for x := 0; x < 8; x++ {
-							out.Set(ox+x, oy+y, d.ref.At(ox+x, oy+y))
+					if interior {
+						base := oy*w + ox
+						for y := 0; y < 8; y++ {
+							copy(out.Pix[base+y*w:base+y*w+8], d.ref.Pix[base+y*w:base+y*w+8])
+						}
+					} else {
+						for y := 0; y < 8; y++ {
+							for x := 0; x < 8; x++ {
+								out.Set(ox+x, oy+y, d.ref.At(ox+x, oy+y))
+							}
 						}
 					}
 					continue
@@ -486,19 +596,118 @@ func (d *Decoder) Decode(data []byte) (*Frame, error) {
 				zi++
 			}
 			idct8(&block)
-			for y := 0; y < 8; y++ {
-				for x := 0; x < 8; x++ {
-					v := block[y*8+x]
+			if interior {
+				base := oy*w + ox
+				for y := 0; y < 8; y++ {
+					dst := out.Pix[base+y*w : base+y*w+8 : base+y*w+8]
 					if key {
-						v += 128
+						for x := 0; x < 8; x++ {
+							dst[x] = clamp255(block[y*8+x] + 128)
+						}
 					} else {
-						v += float64(d.ref.At(ox+x, oy+y))
+						prev := d.ref.Pix[base+y*w : base+y*w+8 : base+y*w+8]
+						for x := 0; x < 8; x++ {
+							dst[x] = clamp255(block[y*8+x] + float64(prev[x]))
+						}
 					}
-					out.Set(ox+x, oy+y, clamp255(v))
+				}
+			} else {
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						v := block[y*8+x]
+						if key {
+							v += 128
+						} else {
+							v += float64(d.ref.At(ox+x, oy+y))
+						}
+						out.Set(ox+x, oy+y, clamp255(v))
+					}
 				}
 			}
 		}
 	}
+	d.spare = d.ref
 	d.ref = out
-	return out.Clone(), nil
+	return out, nil
+}
+
+// Validate parses one encoded frame exactly as Decode does — same header
+// checks, same entropy decode, same coefficient-stream walk, same
+// reference-presence rules — but skips pixel reconstruction, which no
+// session measurement depends on. For a given stream, drive a Decoder with
+// either Decode or Validate, not a mixture: Validate tracks only the
+// reference dimensions, so a delta frame Decoded after a Validated
+// keyframe has no reference pixels to reconstruct from and errors.
+// Measurement pipelines that only need decodability and timing (the vca
+// receive path) use Validate; consumers that need pixels use Decode.
+func (d *Decoder) Validate(data []byte) error {
+	if len(data) < 9 {
+		return ErrCorrupt
+	}
+	kind := data[0]
+	w := int(binary.LittleEndian.Uint16(data[1:]))
+	h := int(binary.LittleEndian.Uint16(data[3:]))
+	qscale := float64(math.Float32frombits(binary.LittleEndian.Uint32(data[5:])))
+	if w <= 0 || h <= 0 || qscale <= 0 {
+		return ErrCorrupt
+	}
+	key := kind == frameKey
+	if !key && kind != frameDelta {
+		return ErrCorrupt
+	}
+	hasRef := (d.valRefW == w && d.valRefH == h) || (d.ref != nil && d.ref.W == w && d.ref.H == h)
+	if !key && !hasRef {
+		return fmt.Errorf("%w: delta frame without reference", ErrCorrupt)
+	}
+	body, err := d.dec.Decompress(d.body[:0], data[9:])
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	d.body = body
+
+	pos := 0
+	getUv := func() (uint64, error) {
+		v, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, ErrCorrupt
+		}
+		pos += n
+		return v, nil
+	}
+	bw, bh := (w+7)/8, (h+7)/8
+	for b := 0; b < bw*bh; b++ {
+		if !key {
+			if pos >= len(body) {
+				return ErrCorrupt
+			}
+			flag := body[pos]
+			pos++
+			if flag == 0 {
+				continue // skipped block
+			}
+			if flag != 1 {
+				return ErrCorrupt
+			}
+		}
+		zi := 0
+		for {
+			run, err := getUv()
+			if err != nil {
+				return err
+			}
+			if run >= 1<<20 { // end of block
+				break
+			}
+			zi += int(run)
+			if _, err := getUv(); err != nil {
+				return err
+			}
+			if zi >= 64 {
+				return ErrCorrupt
+			}
+			zi++
+		}
+	}
+	d.valRefW, d.valRefH = w, h
+	return nil
 }

@@ -21,6 +21,7 @@ type Scene struct {
 	headS    *simrand.OU
 	handAmp  *simrand.OU
 	bg       []uint8
+	frame    *Frame // reused render target; returned by Next
 	t        float64
 	fps      float64
 	// NoiseLevel is the camera noise std dev in grey levels.
@@ -61,11 +62,17 @@ func NewScene(rng *simrand.Source, w, h int, fps float64) *Scene {
 	return s
 }
 
-// Next renders the following frame.
+// Next renders the following frame. The returned Frame is the scene's
+// reused render target: it is valid until the next call to Next; Clone it
+// to retain.
 func (s *Scene) Next() *Frame {
 	dt := 1 / s.fps
 	s.t += dt
-	f := &Frame{W: s.W, H: s.H, Pix: append([]uint8(nil), s.bg...)}
+	if s.frame == nil {
+		s.frame = NewFrame(s.W, s.H)
+	}
+	f := s.frame
+	copy(f.Pix, s.bg)
 
 	cx := float64(s.W)/2 + s.headX.Step(dt)*float64(s.W)/4
 	cy := float64(s.H)*0.45 + s.headY.Step(dt)*float64(s.H)/6
@@ -74,14 +81,31 @@ func (s *Scene) Next() *Frame {
 	ry := float64(s.H) * 0.28 * scale
 
 	fill := func(ecx, ecy, erx, ery float64, shade uint8) {
+		// Clip the ellipse's bounding box to the frame up front; the
+		// interior test is unchanged, so painted pixels are identical to
+		// the historical per-pixel bounds-checked Set.
 		x0, x1 := int(ecx-erx)-1, int(ecx+erx)+1
 		y0, y1 := int(ecy-ery)-1, int(ecy+ery)+1
+		if x0 < 0 {
+			x0 = 0
+		}
+		if x1 >= s.W {
+			x1 = s.W - 1
+		}
+		if y0 < 0 {
+			y0 = 0
+		}
+		if y1 >= s.H {
+			y1 = s.H - 1
+		}
 		for y := y0; y <= y1; y++ {
+			row := f.Pix[y*s.W : y*s.W+s.W : y*s.W+s.W]
+			dy := (float64(y) - ecy) / ery
+			dy2 := dy * dy
 			for x := x0; x <= x1; x++ {
 				dx := (float64(x) - ecx) / erx
-				dy := (float64(y) - ecy) / ery
-				if dx*dx+dy*dy <= 1 {
-					f.Set(x, y, shade)
+				if dx*dx+dy2 <= 1 {
+					row[x] = shade
 				}
 			}
 		}

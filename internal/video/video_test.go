@@ -260,10 +260,10 @@ func TestSceneDeterminism(t *testing.T) {
 
 func TestSceneHasMotion(t *testing.T) {
 	s := NewScene(simrand.New(11), 80, 60, 30)
-	a := s.Next()
+	a := s.Next().Clone() // Next reuses its buffer; Clone to hold a frame
 	var diff int
 	for i := 0; i < 30; i++ {
-		b := s.Next()
+		b := s.Next().Clone()
 		for j := range a.Pix {
 			d := int(a.Pix[j]) - int(b.Pix[j])
 			if d < 0 {
@@ -293,7 +293,7 @@ func BenchmarkEncode360p(b *testing.B) {
 	enc, _ := NewEncoder(DefaultConfig(640, 360, 1.5e6))
 	frames := make([]*Frame, 16)
 	for i := range frames {
-		frames[i] = scene.Next()
+		frames[i] = scene.Next().Clone()
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -307,12 +307,54 @@ func BenchmarkDecode360p(b *testing.B) {
 	scene := NewScene(simrand.New(13), 640, 360, 30)
 	enc, _ := NewEncoder(DefaultConfig(640, 360, 1.5e6))
 	ef, _ := enc.Encode(scene.Next())
+	dec := NewDecoder()
 	b.SetBytes(int64(len(ef.Data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dec := NewDecoder()
 		if _, err := dec.Decode(ef.Data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestValidateMatchesDecode pins Validate to Decode over a live stream:
+// same accept/reject verdicts for intact, cold-start and corrupt input,
+// since the session receive path counts decodability through Validate.
+func TestValidateMatchesDecode(t *testing.T) {
+	rng := simrand.New(14)
+	scene := NewScene(rng, 96, 96, 30)
+	enc, _ := NewEncoder(Config{W: 96, H: 96, FPS: 30, Quality: 1, GOP: 10, SkipThreshold: 2})
+	val := NewDecoder()
+	ref := NewDecoder()
+	for i := 0; i < 30; i++ {
+		ef, err := enc.Encode(scene.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		vErr := val.Validate(ef.Data)
+		_, dErr := ref.Decode(ef.Data)
+		if (vErr == nil) != (dErr == nil) {
+			t.Fatalf("frame %d: Validate err=%v, Decode err=%v", i, vErr, dErr)
+		}
+	}
+	// Cold start on a P frame must be rejected by both.
+	enc.Encode(scene.Next()) // ensure next frame is a delta
+	p, _ := enc.Encode(scene.Next())
+	if p.Key {
+		t.Fatal("expected P frame")
+	}
+	if NewDecoder().Validate(p.Data) == nil {
+		t.Error("Validate accepted cold-start P frame")
+	}
+	if _, err := NewDecoder().Decode(p.Data); err == nil {
+		t.Error("Decode accepted cold-start P frame")
+	}
+	// Truncated data must be rejected by both.
+	if val.Validate(p.Data[:5]) == nil {
+		t.Error("Validate accepted truncated frame")
+	}
+	if _, err := ref.Decode(p.Data[:5]); err == nil {
+		t.Error("Decode accepted truncated frame")
 	}
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# bench_fleet.sh — run the fleet benchmarks and emit BENCH_fleet.json, the
+# perf-trajectory record future PRs compare against.
+#
+# Usage: scripts/bench_fleet.sh [output.json]
+#
+# Captures ns/op, B/op, allocs/op and rows for the sequential fleet suite
+# and the repetition-heavy keypoints benchmark. Run on an otherwise idle
+# machine; results are wall-clock sensitive.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_fleet.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run NONE \
+  -bench 'BenchmarkFleetSuiteSequential|BenchmarkFleetKeypoints8RepsSequential' \
+  -benchtime=1x -benchmem -count=1 . | tee "$raw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""; rows = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "rows")      rows = $i
+    }
+    printf "%s{\"benchmark\":\"%s\",\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s", sep, name, ns, bytes, allocs
+    if (rows != "") {
+        printf ",\"rows\":%s,\"rows_per_sec\":%.3f", rows, rows / (ns / 1e9)
+    }
+    printf "}"
+    sep = ",\n  "
+}
+BEGIN { printf "{\n \"generated\":\"" date "\",\n \"commit\":\"" commit "\",\n \"results\":[\n  " }
+END   { printf "\n ]\n}\n" }
+' "$raw" > "$out"
+
+echo "wrote $out" >&2
