@@ -102,8 +102,8 @@ func ExampleKeypointStreaming() {
 
 func TestPublicFleetAPI(t *testing.T) {
 	exps := tp.Experiments()
-	if len(exps) < 14 {
-		t.Fatalf("%d experiments registered, want >=14", len(exps))
+	if len(exps) < 17 {
+		t.Fatalf("%d experiments registered, want >=17", len(exps))
 	}
 	if _, ok := tp.LookupExperiment("fig5"); !ok {
 		t.Error("fig5 not addressable by name")
@@ -130,5 +130,72 @@ func TestPublicFleetAPI(t *testing.T) {
 	m := tp.NewFleetManifest(opts, 4, 0, results)
 	if m.Seed != 5 || len(m.Experiments) != 2 {
 		t.Errorf("manifest = %+v", m)
+	}
+}
+
+// TestPublicScenarioAPI drives a session under a schedule built entirely
+// through the public surface: schedule authoring, trace import, binding,
+// and link-stat accessors.
+func TestPublicScenarioAPI(t *testing.T) {
+	cfg := tp.DefaultSessionConfig(tp.FaceTime, []tp.Participant{
+		{ID: "u1", Loc: tp.Ashburn, Device: tp.VisionPro},
+		{ID: "u2", Loc: tp.NewYork, Device: tp.VisionPro},
+	})
+	cfg.Duration = 4 * tp.Second
+	cfg.Seed = 7
+	sess, err := tp.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := tp.NewSchedule().
+		StepAt(tp.Second, tp.Impairment{ExtraDelayMs: 400}).
+		RampTo(2*tp.Second, tp.Second, tp.Impairment{
+			Burst: &tp.BurstParams{GoodToBad: 0.05, BadToGood: 0.2, LossBad: 1},
+		})
+	if err := sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Bind(sess.Scheduler(), sess.UplinkShaper(0)); err != nil {
+		t.Fatal(err)
+	}
+	res := sess.Run()
+	if res.Users[1].FramesDecoded == 0 {
+		t.Error("impaired session decoded nothing")
+	}
+	if up := sess.UplinkStats(0); up.DroppedBurst == 0 {
+		t.Error("burst segment dropped nothing on the uplink")
+	}
+}
+
+func TestPublicSweepAPI(t *testing.T) {
+	if len(tp.SweepTargets()) < 3 {
+		t.Fatalf("%d sweep targets, want >=3", len(tp.SweepTargets()))
+	}
+	if _, ok := tp.LookupSweepTarget("congestion"); !ok {
+		t.Fatal("congestion not addressable by name")
+	}
+	opts := tp.Quick(3)
+	opts.SessionDuration = 4 * tp.Second
+	spec := tp.SweepSpec{Target: "handover", Axes: []tp.SweepAxis{
+		{Name: "delay_ms", Values: []float64{250}},
+	}}
+	results, err := tp.FleetRunSweep(spec, opts, tp.FleetConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := tp.NewMemorySink()
+	if err := tp.FleetWriteSweep(results, sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(sink.Rows))
+	}
+	row, ok := sink.Rows[0].(tp.HandoverRow)
+	if !ok || row.StepDelayMs != 250 {
+		t.Errorf("row = %#v", sink.Rows[0])
+	}
+	m := tp.NewFleetSweepManifest(spec, opts, 2, 0, results)
+	if m.Target != "handover" || m.Cells != 1 || m.Rows != 1 {
+		t.Errorf("sweep manifest = %+v", m)
 	}
 }

@@ -1,22 +1,31 @@
 // Command vpfleet drives the experiment fleet: it lists the registered
 // experiments and runs any subset (or the whole suite) concurrently,
 // sharding each experiment's repetitions across a bounded worker pool and
-// writing per-experiment JSONL or CSV plus a run manifest.
+// writing per-experiment JSONL or CSV plus a run manifest. The sweep
+// subcommand runs a cartesian parameter grid over one registered sweep
+// target (the scenario experiments' schedule parameters), sharding grid
+// cells across the same kind of pool.
 //
 // Results are deterministic: for a fixed seed, `run all -workers 8`
-// produces byte-identical experiment output to `-workers 1`.
+// produces byte-identical experiment output to `-workers 1`, and the same
+// holds for every sweep grid (cell seeds derive from the cell's parameter
+// values, never its grid position or worker).
 //
 // Usage:
 //
 //	vpfleet list
 //	vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
 //	            [-cpuprofile FILE] [-memprofile FILE] all|<name>...
+//	vpfleet sweep <target> -axis name=v1,v2,... [-axis name=...]
+//	            [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
 //
 // Examples:
 //
 //	vpfleet run all -workers 8
 //	vpfleet run fig5 fig7 -seed 7 -format csv -out results/
 //	vpfleet run all -workers 1 -cpuprofile cpu.out -memprofile mem.out
+//	vpfleet sweep handover -axis delay_ms=0,100,250,500,1000 -workers 8
+//	vpfleet sweep burstloss -axis p_good_bad=0.01,0.05 -axis p_bad_good=0.1,0.3
 package main
 
 import (
@@ -28,13 +37,15 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	tp "telepresence"
 )
 
-// writeManifest renders the run manifest as indented JSON.
-func writeManifest(w io.WriteCloser, m tp.FleetManifest) error {
+// writeManifest renders a run or sweep manifest as indented JSON.
+func writeManifest(w io.WriteCloser, m any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(m); err != nil {
@@ -53,6 +64,8 @@ func main() {
 		list()
 	case "run":
 		runCmd(os.Args[2:])
+	case "sweep":
+		sweepCmd(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "vpfleet: unknown command %q\n\n", os.Args[1])
 		usage()
@@ -62,7 +75,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   vpfleet list
-  vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv] all|<name>...`)
+  vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv] all|<name>...
+  vpfleet sweep <target> -axis name=v1,v2,... [-axis name=...] [-seed N] [-full]
+                [-workers N] [-out DIR] [-format jsonl|csv]`)
 	os.Exit(2)
 }
 
@@ -76,53 +91,172 @@ func list() {
 	for _, e := range tp.Experiments() {
 		fmt.Printf("%-10s %-5d %s\n", e.Name, e.Reps(tp.Quick(1)), e.Desc)
 	}
+	fmt.Printf("\nsweep targets (vpfleet sweep <target> -axis name=v1,v2,...):\n")
+	fmt.Printf("%-10s %-40s %s\n", "target", "parameters (default)", "description")
+	for _, t := range tp.SweepTargets() {
+		params := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			params[i] = fmt.Sprintf("%s (%g)", p.Name, p.Default)
+		}
+		fmt.Printf("%-10s %-40s %s\n", t.Name, strings.Join(params, ", "), t.Desc)
+	}
 }
 
-func runCmd(args []string) {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	seed := fs.Int64("seed", 1, "experiment seed")
-	full := fs.Bool("full", false, "paper-scale runs (120 s sessions, 5 reps); slow")
-	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs)")
-	out := fs.String("out", "fleet-out", "output directory")
-	format := fs.String("format", "jsonl", "row format: jsonl or csv")
-	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memProfile := fs.String("memprofile", "", "write a heap profile after the run to this file")
-	// Accept experiment names and flags in any order ("run all -workers 8"
-	// reads naturally): peel non-flag arguments off between Parse calls.
-	var names []string
+// commonFlags holds the flags and parsing behavior the run and sweep
+// subcommands share: scale/seed/pool/output options, and the peeling Parse
+// loop that accepts bare names and flags in any order.
+type commonFlags struct {
+	fs      *flag.FlagSet
+	seed    *int64
+	full    *bool
+	workers *int
+	out     *string
+	format  *string
+}
+
+func newCommonFlags(name string) *commonFlags {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &commonFlags{
+		fs:      fs,
+		seed:    fs.Int64("seed", 1, "experiment seed"),
+		full:    fs.Bool("full", false, "paper-scale runs (120 s sessions, 5 reps); slow"),
+		workers: fs.Int("workers", 0, "worker pool size (0 = all CPUs)"),
+		out:     fs.String("out", "fleet-out", "output directory"),
+		format:  fs.String("format", "jsonl", "row format: jsonl or csv"),
+	}
+}
+
+// parseMixed parses args, peeling non-flag arguments (experiment or target
+// names) off between Parse calls so "run all -workers 8" reads naturally.
+func (c *commonFlags) parseMixed(args []string) (names []string) {
 	rest := args
 	for {
-		fs.Parse(rest)
-		rest = fs.Args()
+		c.fs.Parse(rest)
+		rest = c.fs.Args()
 		if len(rest) == 0 {
-			break
+			return names
 		}
 		names = append(names, rest[0])
 		rest = rest[1:]
 	}
+}
+
+// resolve validates the shared flags and materializes the run inputs: the
+// effective worker count (recorded in manifests, so the GOMAXPROCS default
+// is resolved here), the scaled options, and the created output directory.
+func (c *commonFlags) resolve() (workers int, opts tp.Options, outDir, format string) {
+	if *c.format != "jsonl" && *c.format != "csv" {
+		fail(fmt.Errorf("unknown format %q", *c.format))
+	}
+	workers = *c.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opts = tp.Quick(*c.seed)
+	if *c.full {
+		opts = tp.Full(*c.seed)
+	}
+	if err := os.MkdirAll(*c.out, 0o755); err != nil {
+		fail(err)
+	}
+	return workers, opts, *c.out, *c.format
+}
+
+// axisFlags collects repeated -axis name=v1,v2,... flags in order.
+type axisFlags []tp.SweepAxis
+
+func (a *axisFlags) String() string { return fmt.Sprint(*a) }
+
+func (a *axisFlags) Set(s string) error {
+	name, list, ok := strings.Cut(s, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" || list == "" {
+		return fmt.Errorf("axis %q not of the form name=v1,v2,...", s)
+	}
+	var values []float64
+	for _, part := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("axis %s: bad value %q", name, part)
+		}
+		values = append(values, v)
+	}
+	*a = append(*a, tp.SweepAxis{Name: name, Values: values})
+	return nil
+}
+
+func sweepCmd(args []string) {
+	c := newCommonFlags("sweep")
+	var axes axisFlags
+	c.fs.Var(&axes, "axis", "swept parameter as name=v1,v2,... (repeatable)")
+	names := c.parseMixed(args)
+	if len(names) != 1 {
+		usage()
+	}
+	spec := tp.SweepSpec{Target: names[0], Axes: axes}
+	target, ok := tp.LookupSweepTarget(spec.Target)
+	if !ok {
+		fail(fmt.Errorf("unknown sweep target %q (try: list)", spec.Target))
+	}
+	if err := spec.Validate(); err != nil {
+		fail(err)
+	}
+	workers, opts, out, format := c.resolve()
+
+	start := time.Now()
+	results, runErr := tp.FleetRunSweep(spec, opts, tp.FleetConfig{Workers: workers})
+	wall := time.Since(start)
+
+	path := filepath.Join(out, "sweep-"+spec.Target+"."+format)
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := tp.FleetWriteSweep(results, newFileSink(f, format, target.Row)); err != nil {
+		fail(err)
+	}
+
+	manifest := tp.NewFleetSweepManifest(spec, opts, workers, wall, results)
+	manifest.File = path
+	// Per-target manifest name, so sweeping two targets into one output
+	// directory preserves both runs' provenance.
+	mf, err := os.Create(filepath.Join(out, "sweep-"+spec.Target+"-manifest.json"))
+	if err != nil {
+		fail(err)
+	}
+	if err := writeManifest(mf, manifest); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%-5s %-40s %-7s %-9s %s\n", "cell", "params", "rows", "wall", "status")
+	for _, r := range results {
+		status := "ok"
+		if r.Err != nil {
+			status = "ERROR: " + r.Err.Error()
+		}
+		fmt.Printf("%-5d %-40s %-7d %-9s %s\n",
+			r.Cell.Index, r.Cell.Label, len(r.Rows), r.Wall.Round(time.Millisecond), status)
+	}
+	fmt.Printf("\nsweep %s: %d cells in %s (workers=%d); rows: %s\n",
+		spec.Target, len(results), wall.Round(time.Millisecond), workers, path)
+	if runErr != nil {
+		fail(runErr)
+	}
+}
+
+func runCmd(args []string) {
+	c := newCommonFlags("run")
+	cpuProfile := c.fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := c.fs.String("memprofile", "", "write a heap profile after the run to this file")
+	names := c.parseMixed(args)
 	if len(names) == 0 {
 		usage()
 	}
-	if *format != "jsonl" && *format != "csv" {
-		fail(fmt.Errorf("unknown format %q", *format))
-	}
-
 	exps, err := tp.SelectExperiments(names...)
 	if err != nil {
 		fail(err)
 	}
-	if *workers <= 0 {
-		// Resolve the default here so the manifest records the effective
-		// pool size, not the flag's zero value.
-		*workers = runtime.GOMAXPROCS(0)
-	}
-	opts := tp.Quick(*seed)
-	if *full {
-		opts = tp.Full(*seed)
-	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fail(err)
-	}
+	workers, opts, out, format := c.resolve()
 
 	// Profiling hooks for the hot-path work the ROADMAP tracks: profile
 	// exactly the experiment execution, not sink I/O.
@@ -139,7 +273,7 @@ func runCmd(args []string) {
 	}
 
 	start := time.Now()
-	results, runErr := tp.FleetRun(exps, opts, tp.FleetConfig{Workers: *workers})
+	results, runErr := tp.FleetRun(exps, opts, tp.FleetConfig{Workers: workers})
 	wall := time.Since(start)
 
 	if cpuFile != nil {
@@ -165,26 +299,23 @@ func runCmd(args []string) {
 	// One output file per experiment, named by the registry.
 	files := map[string]string{}
 	err = tp.FleetWrite(results, func(e tp.Experiment) (tp.Sink, error) {
-		path := filepath.Join(*out, e.Name+"."+*format)
+		path := filepath.Join(out, e.Name+"."+format)
 		files[e.Name] = path
 		f, err := os.Create(path)
 		if err != nil {
 			return nil, err
 		}
-		if *format == "csv" {
-			return closeSink{tp.NewCSVSink(f, e.Row), f}, nil
-		}
-		return closeSink{tp.NewJSONLSink(f), f}, nil
+		return newFileSink(f, format, e.Row), nil
 	})
 	if err != nil {
 		fail(err)
 	}
 
-	manifest := tp.NewFleetManifest(opts, *workers, wall, results)
+	manifest := tp.NewFleetManifest(opts, workers, wall, results)
 	for i := range manifest.Experiments {
 		manifest.Experiments[i].File = files[manifest.Experiments[i].Name]
 	}
-	mf, err := os.Create(filepath.Join(*out, "manifest.json"))
+	mf, err := os.Create(filepath.Join(out, "manifest.json"))
 	if err != nil {
 		fail(err)
 	}
@@ -202,10 +333,19 @@ func runCmd(args []string) {
 			r.Experiment.Name, r.Reps, len(r.Rows), r.Wall.Round(time.Millisecond), status)
 	}
 	fmt.Printf("\n%d experiments in %s (workers=%d); manifest: %s\n",
-		len(results), wall.Round(time.Millisecond), *workers, filepath.Join(*out, "manifest.json"))
+		len(results), wall.Round(time.Millisecond), workers, filepath.Join(out, "manifest.json"))
 	if runErr != nil {
 		fail(runErr)
 	}
+}
+
+// newFileSink wraps f in the row sink for format ("csv" or "jsonl",
+// validated by resolve), closing the file with the sink.
+func newFileSink(f *os.File, format string, row tp.ExperimentRow) tp.Sink {
+	if format == "csv" {
+		return closeSink{tp.NewCSVSink(f, row), f}
+	}
+	return closeSink{tp.NewJSONLSink(f), f}
 }
 
 // closeSink closes the backing file after the row sink finishes.

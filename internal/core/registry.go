@@ -44,6 +44,7 @@ type Experiment struct {
 var registry struct {
 	sync.Mutex
 	byName map[string]Experiment
+	sweeps map[string]SweepTarget
 }
 
 // Register adds an experiment to the global registry. It panics on an
@@ -82,6 +83,89 @@ func Lookup(name string) (Experiment, bool) {
 	defer registry.Unlock()
 	e, ok := registry.byName[name]
 	return e, ok
+}
+
+// SweepParam describes one recognized parameter of a sweep target, with
+// the value used when a sweep grid does not cover it.
+type SweepParam struct {
+	Name    string
+	Default float64
+	// Desc is a one-line description for listings.
+	Desc string
+}
+
+// CellRunner executes one cell of a parameter sweep, given a full
+// parameter map (every recognized parameter present). Like RepRunner,
+// cells MUST be independent and deterministic: same (opts, params) in,
+// same rows out, on any worker in any order. Implementations derive all
+// cell randomness from opts.Seed and the parameter values — typically via
+// SweepCellOptions — never from grid position, so the fleet can shard
+// grids across workers, merge byte-identical output at any worker count,
+// and reshape grids without moving any cell's rows.
+type CellRunner func(opts Options, params map[string]float64) ([]Row, error)
+
+// SweepTarget is a parameterized experiment for vpfleet's sweep grids: the
+// scenario experiments register one target per schedule family (handover,
+// burstloss, congestion), exposing their schedule parameters as named
+// sweep axes.
+type SweepTarget struct {
+	// Name addresses the target from the sweep CLI ("handover").
+	Name string
+	// Desc is a one-line description for listings.
+	Desc string
+	// Row is a zero value of the row type cells emit.
+	Row Row
+	// Params lists the recognized parameters with their defaults. Axes
+	// sweeping any other name are rejected before anything runs.
+	Params []SweepParam
+	// Run executes one cell.
+	Run CellRunner
+}
+
+// RegisterSweep adds a sweep target to the global registry; like Register
+// it panics on an empty or duplicate name at init time.
+func RegisterSweep(t SweepTarget) {
+	if t.Name == "" || t.Run == nil {
+		panic("core: RegisterSweep: target needs a name and Run")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.sweeps == nil {
+		registry.sweeps = map[string]SweepTarget{}
+	}
+	if _, dup := registry.sweeps[t.Name]; dup {
+		panic("core: RegisterSweep: duplicate target " + t.Name)
+	}
+	registry.sweeps[t.Name] = t
+}
+
+// SweepTargets returns all registered sweep targets sorted by name.
+func SweepTargets() []SweepTarget {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]SweepTarget, 0, len(registry.sweeps))
+	for _, t := range registry.sweeps {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LookupSweep finds a registered sweep target by name.
+func LookupSweep(name string) (SweepTarget, bool) {
+	registry.Lock()
+	defer registry.Unlock()
+	t, ok := registry.sweeps[name]
+	return t, ok
+}
+
+// DefaultParams returns the target's parameter map at its defaults.
+func (t SweepTarget) DefaultParams() map[string]float64 {
+	out := make(map[string]float64, len(t.Params))
+	for _, p := range t.Params {
+		out[p.Name] = p.Default
+	}
+	return out
 }
 
 // rows lifts a single typed row into a Row slice.

@@ -7,8 +7,53 @@ import (
 
 // expectedExperiments is the stable registry index documented in DESIGN.md.
 var expectedExperiments = []string{
-	"anycast", "fig4", "fig5", "fig6", "fig7", "keypoints", "latency",
-	"mesh", "protocols", "qoe", "rate", "remote", "servers", "viewport",
+	"anycast", "burstloss", "congestion", "fig4", "fig5", "fig6", "fig7",
+	"handover", "keypoints", "latency", "mesh", "protocols", "qoe", "rate",
+	"remote", "servers", "viewport",
+}
+
+// expectedSweepTargets is the stable sweep-target index.
+var expectedSweepTargets = []string{"burstloss", "congestion", "handover"}
+
+func TestSweepRegistryComplete(t *testing.T) {
+	var names []string
+	for _, tgt := range SweepTargets() {
+		names = append(names, tgt.Name)
+		if tgt.Desc == "" || tgt.Row == nil || len(tgt.Params) == 0 {
+			t.Errorf("%s: incomplete sweep target %+v", tgt.Name, tgt)
+		}
+		for _, p := range tgt.Params {
+			if p.Name == "" || p.Desc == "" {
+				t.Errorf("%s: incomplete parameter %+v", tgt.Name, p)
+			}
+		}
+	}
+	if !reflect.DeepEqual(names, expectedSweepTargets) {
+		t.Errorf("sweep registry drifted:\n got %v\nwant %v", names, expectedSweepTargets)
+	}
+	if _, ok := LookupSweep("handover"); !ok {
+		t.Error("LookupSweep(handover) failed")
+	}
+	if _, ok := LookupSweep("nope"); ok {
+		t.Error("LookupSweep invented a target")
+	}
+}
+
+func TestRegisterSweepRejectsBadTargets(t *testing.T) {
+	for _, tgt := range []SweepTarget{
+		{},
+		{Name: "x"},
+		{Name: "handover", Run: func(Options, map[string]float64) ([]Row, error) { return nil, nil }}, // duplicate
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RegisterSweep(%+v) did not panic", tgt)
+				}
+			}()
+			RegisterSweep(tgt)
+		}()
+	}
 }
 
 func TestRegistryComplete(t *testing.T) {
@@ -66,7 +111,7 @@ func TestRegisterRejectsBadExperiments(t *testing.T) {
 // identical rows.
 func TestRepRunnerIndependence(t *testing.T) {
 	opts := Quick(7)
-	for _, name := range []string{"fig5", "keypoints", "mesh", "servers"} {
+	for _, name := range []string{"fig5", "keypoints", "mesh", "servers", "handover", "burstloss"} {
 		e, ok := Lookup(name)
 		if !ok {
 			t.Fatalf("%s not registered", name)

@@ -1,0 +1,254 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"telepresence/internal/core"
+	"telepresence/internal/scenario"
+)
+
+// Axis is one swept parameter: a name recognized by the sweep target and
+// the grid values it takes.
+type Axis struct {
+	Name   string
+	Values []float64
+}
+
+// SweepSpec is a cartesian parameter grid over one registered sweep target
+// (core.SweepTarget): the grid is the cross product of the axes, enumerated
+// row-major with the FIRST axis slowest. Parameters not covered by an axis
+// hold the target's defaults.
+type SweepSpec struct {
+	// Target names the registered sweep target ("handover").
+	Target string
+	// Axes are the swept parameters; at least one is required.
+	Axes []Axis
+}
+
+// Validate checks the spec against the registry: the target must exist,
+// every axis must name one of its parameters exactly once, and every grid
+// value must be a finite number.
+func (s SweepSpec) Validate() error {
+	t, ok := core.LookupSweep(s.Target)
+	if !ok {
+		return fmt.Errorf("fleet: unknown sweep target %q (try: list)", s.Target)
+	}
+	if len(s.Axes) == 0 {
+		return fmt.Errorf("fleet: sweep %s: no axes", s.Target)
+	}
+	known := t.DefaultParams()
+	seen := map[string]bool{}
+	for _, a := range s.Axes {
+		if _, ok := known[a.Name]; !ok {
+			return fmt.Errorf("fleet: sweep %s: unknown parameter %q (have %v)",
+				s.Target, a.Name, paramNames(t))
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("fleet: sweep %s: duplicate axis %q", s.Target, a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Values) == 0 {
+			return fmt.Errorf("fleet: sweep %s: axis %q has no values", s.Target, a.Name)
+		}
+		for _, v := range a.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("fleet: sweep %s: axis %q value %v is not finite", s.Target, a.Name, v)
+			}
+		}
+	}
+	return nil
+}
+
+func paramNames(t core.SweepTarget) []string {
+	names := make([]string, len(t.Params))
+	for i, p := range t.Params {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// SweepCell is one grid point: its enumeration index, its full parameter
+// map (axis values over target defaults), and the canonical label the
+// per-cell seed derives from. The label depends only on the parameter
+// values, so reshaping or reordering a grid never changes a cell's rows.
+type SweepCell struct {
+	Index  int
+	Params map[string]float64
+	Label  string
+}
+
+// Cells enumerates the grid. The spec must have passed Validate.
+func (s SweepSpec) Cells() []SweepCell {
+	t, _ := core.LookupSweep(s.Target)
+	n := 1
+	for _, a := range s.Axes {
+		n *= len(a.Values)
+	}
+	cells := make([]SweepCell, 0, n)
+	idx := make([]int, len(s.Axes))
+	for i := 0; i < n; i++ {
+		params := t.DefaultParams()
+		for ai, a := range s.Axes {
+			params[a.Name] = a.Values[idx[ai]]
+		}
+		cells = append(cells, SweepCell{
+			Index:  i,
+			Params: params,
+			Label:  scenario.ParamLabel(params),
+		})
+		// Row-major increment: last axis fastest.
+		for ai := len(idx) - 1; ai >= 0; ai-- {
+			idx[ai]++
+			if idx[ai] < len(s.Axes[ai].Values) {
+				break
+			}
+			idx[ai] = 0
+		}
+	}
+	return cells
+}
+
+// SweepCellResult is one cell's merged outcome.
+type SweepCellResult struct {
+	Cell SweepCell
+	Rows []core.Row
+	Wall time.Duration
+	Err  error
+}
+
+// RunSweep executes every cell of the grid, sharding cells across a worker
+// pool of cfg.Workers goroutines. Per the CellRunner contract a cell's
+// rows are a pure function of (opts, parameter values) — cell seeds derive
+// from the run seed and the canonical parameter label, never from grid
+// position — so results come back in grid order with byte-identical rows
+// at any worker count, exactly like Run. A cell failure is recorded in its
+// result but does not stop the others; the returned error joins all cell
+// errors.
+func RunSweep(spec SweepSpec, opts core.Options, cfg Config) ([]SweepCellResult, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	target, _ := core.LookupSweep(spec.Target)
+	cells := spec.Cells()
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	results := make([]SweepCellResult, len(cells))
+	ch := make(chan int)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				cell := cells[i]
+				start := time.Now()
+				rows, err := target.Run(opts, cell.Params)
+				elapsed := time.Since(start)
+				if err != nil {
+					err = fmt.Errorf("fleet: sweep %s cell %d (%s): %w", spec.Target, cell.Index, cell.Label, err)
+				}
+				mu.Lock()
+				results[i] = SweepCellResult{Cell: cell, Rows: rows, Wall: elapsed, Err: err}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range cells {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+
+	var failures []error
+	for _, r := range results {
+		if r.Err != nil {
+			failures = append(failures, r.Err)
+		}
+	}
+	return results, errors.Join(failures...)
+}
+
+// WriteSweep streams every successful cell's rows through one sink, in
+// grid order. Failed cells are skipped (their error is already in the
+// results).
+func WriteSweep(results []SweepCellResult, sink Sink) error {
+	for _, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		for _, row := range res.Rows {
+			if err := sink.Write(row); err != nil {
+				sink.Close()
+				return err
+			}
+		}
+	}
+	return sink.Close()
+}
+
+// SweepAxisManifest records one swept axis in a sweep manifest.
+type SweepAxisManifest struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// SweepManifest is the provenance record of a sweep run.
+type SweepManifest struct {
+	Format             string              `json:"format"`
+	Target             string              `json:"target"`
+	Seed               int64               `json:"seed"`
+	SessionDurationSec float64             `json:"session_duration_sec"`
+	Workers            int                 `json:"workers"`
+	WallMs             float64             `json:"wall_ms"`
+	Axes               []SweepAxisManifest `json:"axes"`
+	Cells              int                 `json:"cells"`
+	Rows               int                 `json:"rows"`
+	File               string              `json:"file,omitempty"`
+	Errors             []string            `json:"errors,omitempty"`
+}
+
+// SweepManifestFormat identifies the sweep manifest schema version.
+const SweepManifestFormat = "telepresence-sweep/1"
+
+// NewSweepManifest builds the provenance record for a completed sweep.
+func NewSweepManifest(spec SweepSpec, opts core.Options, workers int, wall time.Duration, results []SweepCellResult) SweepManifest {
+	if n, err := opts.Normalize(); err == nil {
+		opts = n
+	}
+	m := SweepManifest{
+		Format:             SweepManifestFormat,
+		Target:             spec.Target,
+		Seed:               opts.Seed,
+		SessionDurationSec: opts.SessionDuration.Seconds(),
+		Workers:            workers,
+		WallMs:             float64(wall) / float64(time.Millisecond),
+		Cells:              len(results),
+	}
+	for _, a := range spec.Axes {
+		m.Axes = append(m.Axes, SweepAxisManifest{Name: a.Name, Values: a.Values})
+	}
+	for _, r := range results {
+		m.Rows += len(r.Rows)
+		if r.Err != nil {
+			m.Errors = append(m.Errors, r.Err.Error())
+		}
+	}
+	return m
+}

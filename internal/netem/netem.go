@@ -91,6 +91,17 @@ type Link struct {
 	busyUntil simtime.Time
 	queued    int // bytes currently in the serializer queue
 
+	// pending records, in serialization-completion order, the queued frames
+	// whose bytes still occupy the drop-tail queue. A frame leaves the queue
+	// when its serialization completes (its slice of busyUntil), NOT when it
+	// is delivered at the far end: bytes flying through the propagation pipe
+	// do not occupy the serializer queue, exactly as in tc-netem's
+	// rate-then-delay pipeline. Entries are reaped lazily (on Send and
+	// QueuedBytes) so the delivery event stream is untouched. pendHead
+	// indexes the first live entry; the ring is recycled in place.
+	pending  []pendingTx
+	pendHead int
+
 	// free holds recycled delivery nodes; together with the scheduler's
 	// pooled events this makes the per-frame path allocation-free.
 	free []*delivery
@@ -101,15 +112,39 @@ type Link struct {
 	stats LinkStats
 }
 
+// pendingTx is one queued frame's claim on the drop-tail queue: size bytes
+// are released once the virtual clock passes done.
+type pendingTx struct {
+	done simtime.Time
+	size int
+}
+
+// reapPending releases the bytes of every queued frame whose serialization
+// has completed by now. busyUntil only moves forward, so pending is sorted
+// by completion time and the scan stops at the first live entry.
+func (l *Link) reapPending(now simtime.Time) {
+	h := l.pendHead
+	for h < len(l.pending) && l.pending[h].done <= now {
+		l.queued -= l.pending[h].size
+		h++
+	}
+	if h == len(l.pending) {
+		l.pending = l.pending[:0]
+		h = 0
+	} else if h > 64 && 2*h >= len(l.pending) {
+		// Compact occasionally so the ring does not creep forever.
+		n := copy(l.pending, l.pending[h:])
+		l.pending = l.pending[:n]
+		h = 0
+	}
+	l.pendHead = h
+}
+
 // delivery is the pooled in-flight state of one frame: what the link needs
 // when the propagation timer fires. It replaces a per-frame closure.
 type delivery struct {
 	l *Link
 	f Frame
-	// counted records whether this frame incremented the serializer queue,
-	// so the decrement on delivery is exact (frames transmitted straight
-	// from an idle serializer never queue).
-	counted bool
 }
 
 func (l *Link) getDelivery() *delivery {
@@ -126,9 +161,6 @@ func (l *Link) getDelivery() *delivery {
 func deliverFn(a any) {
 	d := a.(*delivery)
 	l := d.l
-	if d.counted {
-		l.queued -= d.f.Size
-	}
 	l.stats.DeliveredFrames++
 	l.stats.DeliveredB += int64(d.f.Size)
 	l.tap(d.f, Egress)
@@ -136,7 +168,6 @@ func deliverFn(a any) {
 		l.handler(l.sched.Now(), d.f)
 	}
 	d.f = Frame{}
-	d.counted = false
 	l.free = append(l.free, d)
 }
 
@@ -145,6 +176,10 @@ type LinkStats struct {
 	SentFrames, SentBytes       int64
 	DeliveredFrames, DeliveredB int64
 	DroppedQueue, DroppedLoss   int64
+	// DroppedBurst counts frames lost to the shaper's Gilbert-Elliott burst
+	// model (a subset of total losses, tracked separately from the
+	// independent DroppedLoss coin flips).
+	DroppedBurst int64
 }
 
 // NewLink creates a link driven by sched. rng may not be nil.
@@ -152,7 +187,11 @@ func NewLink(sched *simtime.Scheduler, rng *simrand.Source, cfg Config) *Link {
 	if cfg.QueueBytes == 0 {
 		cfg.QueueBytes = 256 << 10
 	}
-	if cfg.DelayMs < 0 || cfg.RateBps < 0 || cfg.LossProb < 0 || cfg.LossProb > 1 {
+	// Inverted comparisons so NaN (which fails every ordered comparison)
+	// counts as invalid rather than slipping through.
+	if !(cfg.DelayMs >= 0) || !(cfg.RateBps >= 0) || !(cfg.JitterMs >= 0) || cfg.QueueBytes < 0 ||
+		!(cfg.LossProb >= 0 && cfg.LossProb <= 1) ||
+		!(cfg.ReorderProb >= 0 && cfg.ReorderProb <= 1) {
 		panic(fmt.Sprintf("netem: invalid config %+v", cfg))
 	}
 	l := &Link{cfg: cfg, sched: sched, rng: rng}
@@ -203,9 +242,31 @@ func (l *Link) Send(f Frame) bool {
 	l.stats.SentBytes += int64(f.Size)
 	l.tap(f, Ingress)
 
+	// Release queue bytes whose serialization has completed; must happen
+	// before the drop-tail admission check below sees l.queued.
+	l.reapPending(now)
+
+	// Reject invalid shaper values before they skew the experiment. The
+	// fast path is a few branch-predictable comparisons (shaper fields are
+	// public and mutable at any time, so there is no programming point to
+	// validate at instead); the descriptive error is built only on failure.
+	sh := l.shaper
+	if sh != nil && (!(sh.ExtraDelayMs >= 0) || !(sh.RateBps >= 0) ||
+		!(sh.LossProb >= 0 && sh.LossProb <= 1) ||
+		(sh.Burst != nil && !sh.Burst.valid())) {
+		panic("netem: " + sh.Validate().Error())
+	}
+
 	// Shaper-imposed random loss (tc netem loss).
-	if sh := l.shaper; sh != nil && sh.LossProb > 0 && l.rng.Bernoulli(sh.LossProb) {
+	if sh != nil && sh.LossProb > 0 && l.rng.Bernoulli(sh.LossProb) {
 		l.stats.DroppedLoss++
+		l.tap(f, Dropped)
+		return false
+	}
+	// Shaper-imposed burst loss (Gilbert-Elliott two-state model).
+	if sh != nil && sh.Burst != nil && sh.Burst.drop(l.rng) {
+		l.stats.DroppedLoss++
+		l.stats.DroppedBurst++
 		l.tap(f, Dropped)
 		return false
 	}
@@ -216,16 +277,27 @@ func (l *Link) Send(f Frame) bool {
 		return false
 	}
 
-	// Effective rate: the slower of the link rate and the shaper cap.
+	// Effective rate: the slower of the link rate and the shaper cap. The
+	// rate is sampled when the frame is accepted: a mid-backlog rate change
+	// applies to subsequently sent frames only, while frames already
+	// admitted keep the serialization schedule computed at admission (see
+	// Shaper.RateBps for the contract).
 	rate := l.cfg.RateBps
-	if sh := l.shaper; sh != nil && sh.RateBps > 0 && (rate == 0 || sh.RateBps < rate) {
+	if sh != nil && sh.RateBps > 0 && (rate == 0 || sh.RateBps < rate) {
 		rate = sh.RateBps
 	}
 
 	txDone := now
-	counted := false
+	if rate == 0 && l.busyUntil > now {
+		// The cap was lifted while a capped-era backlog is still in
+		// service. The serializer is FIFO: an uncapped frame serializes in
+		// zero time but still departs after the backlog drains — it must
+		// never overtake frames admitted before it.
+		txDone = l.busyUntil
+	}
 	if rate > 0 {
-		if l.busyUntil > now {
+		queued := l.busyUntil > now
+		if queued {
 			// Serializer busy: the frame queues.
 			if l.queued+f.Size > l.cfg.QueueBytes {
 				l.stats.DroppedQueue++
@@ -233,16 +305,21 @@ func (l *Link) Send(f Frame) bool {
 				return false
 			}
 			l.queued += f.Size
-			counted = true
 			txDone = l.busyUntil
 		}
 		ser := simtime.Duration(float64(f.Size*8) / rate * float64(simtime.Second))
 		txDone = txDone.Add(ser)
 		l.busyUntil = txDone
+		if queued {
+			// The frame's bytes leave the queue when its serialization
+			// completes; reapPending releases them once the clock passes
+			// txDone.
+			l.pending = append(l.pending, pendingTx{done: txDone, size: f.Size})
+		}
 	}
 
 	delay := simtime.Duration(l.cfg.DelayMs * float64(simtime.Millisecond))
-	if sh := l.shaper; sh != nil && sh.ExtraDelayMs > 0 {
+	if sh != nil && sh.ExtraDelayMs > 0 {
 		delay += simtime.Duration(sh.ExtraDelayMs * float64(simtime.Millisecond))
 	}
 	if l.cfg.JitterMs > 0 {
@@ -255,29 +332,142 @@ func (l *Link) Send(f Frame) bool {
 
 	d := l.getDelivery()
 	d.f = f
-	d.counted = counted
 	l.sched.AtArg(txDone.Add(delay), deliverFn, d)
 	return true
 }
 
-// QueuedBytes reports the bytes waiting in the serializer queue.
-func (l *Link) QueuedBytes() int { return l.queued }
+// QueuedBytes reports the bytes currently occupying the serializer's
+// drop-tail queue: frames admitted but whose serialization has not yet
+// completed. Bytes in the propagation pipe (serialized, in flight) do not
+// count.
+func (l *Link) QueuedBytes() int {
+	l.reapPending(l.sched.Now())
+	return l.queued
+}
 
 // Shaper is the mutable impairment stage of a link — the simulation's stand-
 // in for Linux tc (§4.3: "We use Linux tc to introduce extra network delays
 // ranging from 0 to 1,000 ms" and "to constrain the bandwidth"). Fields may
-// be changed at any time and apply to subsequently sent frames.
+// be changed at any time and apply to subsequently sent frames. Invalid
+// field values (negative delays or rates, probabilities outside [0,1]) are
+// rejected: Validate reports them, and Send panics on them, so a broken
+// schedule cannot silently skew an experiment.
 type Shaper struct {
 	// ExtraDelayMs adds fixed one-way delay.
 	ExtraDelayMs float64
-	// RateBps caps throughput (0 = uncapped).
+	// RateBps caps throughput (0 = uncapped). The cap is sampled when a
+	// frame is accepted by the serializer: changing it mid-backlog applies
+	// to subsequently sent frames, while already-admitted frames keep the
+	// serialization schedule computed at admission (the fluid-model
+	// equivalent of tc swapping a token-bucket rate under a live qdisc).
 	RateBps float64
-	// LossProb drops frames with this probability.
+	// LossProb drops frames independently with this probability.
 	LossProb float64
+	// Burst, when non-nil, applies two-state Gilbert-Elliott burst loss on
+	// top of LossProb. The model's Markov state lives in the struct, so one
+	// Burst instance must not be shared between links.
+	Burst *GilbertElliott
 }
 
 // Clear removes all impairments.
 func (s *Shaper) Clear() { *s = Shaper{} }
+
+// Validate reports whether every shaper field is a legal impairment value.
+// Comparisons are inverted so NaN counts as invalid.
+func (s *Shaper) Validate() error {
+	if !(s.ExtraDelayMs >= 0) {
+		return fmt.Errorf("shaper: invalid ExtraDelayMs %v", s.ExtraDelayMs)
+	}
+	if !(s.RateBps >= 0) {
+		return fmt.Errorf("shaper: invalid RateBps %v", s.RateBps)
+	}
+	if !(s.LossProb >= 0 && s.LossProb <= 1) {
+		return fmt.Errorf("shaper: LossProb %v outside [0,1]", s.LossProb)
+	}
+	if s.Burst != nil {
+		return s.Burst.Validate()
+	}
+	return nil
+}
+
+// GilbertElliott is the classic two-state Markov burst-loss model: the
+// channel alternates between a Good and a Bad state, with independent loss
+// probabilities in each. Per transmitted frame the chain first takes one
+// transition step, then draws the loss coin of the resulting state. Mean
+// burst (Bad-state dwell) length is 1/BadToGood frames; stationary loss is
+// pB*LossBad + pG*LossGood with pB = GoodToBad/(GoodToBad+BadToGood).
+//
+// The zero value never transitions out of Good and never drops (with
+// LossGood 0). The struct carries the chain's current state, so instances
+// must not be shared between links.
+type GilbertElliott struct {
+	// GoodToBad is the per-frame probability of entering the Bad state.
+	GoodToBad float64
+	// BadToGood is the per-frame probability of leaving the Bad state.
+	BadToGood float64
+	// LossGood is the loss probability while Good (usually 0 or tiny).
+	LossGood float64
+	// LossBad is the loss probability while Bad (usually near 1).
+	LossBad float64
+
+	bad bool // current chain state
+}
+
+// NewGilbertElliott builds the common reduced model: loss-free Good state,
+// lossBad losses while Bad.
+func NewGilbertElliott(goodToBad, badToGood, lossBad float64) *GilbertElliott {
+	return &GilbertElliott{GoodToBad: goodToBad, BadToGood: badToGood, LossBad: lossBad}
+}
+
+// valid is the branch-only probability-range check Send uses per frame;
+// NaN fails every comparison and so counts as invalid.
+func (g *GilbertElliott) valid() bool {
+	return g.GoodToBad >= 0 && g.GoodToBad <= 1 &&
+		g.BadToGood >= 0 && g.BadToGood <= 1 &&
+		g.LossGood >= 0 && g.LossGood <= 1 &&
+		g.LossBad >= 0 && g.LossBad <= 1
+}
+
+// Validate checks that all four chain parameters are probabilities (NaN is
+// invalid).
+func (g *GilbertElliott) Validate() error {
+	for _, p := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"GoodToBad", g.GoodToBad}, {"BadToGood", g.BadToGood},
+		{"LossGood", g.LossGood}, {"LossBad", g.LossBad},
+	} {
+		if !(p.v >= 0 && p.v <= 1) {
+			return fmt.Errorf("gilbert-elliott: %s %v outside [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// InBadState reports the chain's current state (for tests and probes).
+func (g *GilbertElliott) InBadState() bool { return g.bad }
+
+// Reset returns the chain to the Good state.
+func (g *GilbertElliott) Reset() { g.bad = false }
+
+// drop advances the chain one frame and reports whether that frame is lost.
+func (g *GilbertElliott) drop(rng *simrand.Source) bool {
+	if g.bad {
+		if g.BadToGood > 0 && rng.Bernoulli(g.BadToGood) {
+			g.bad = false
+		}
+	} else {
+		if g.GoodToBad > 0 && rng.Bernoulli(g.GoodToBad) {
+			g.bad = true
+		}
+	}
+	p := g.LossGood
+	if g.bad {
+		p = g.LossBad
+	}
+	return p > 0 && rng.Bernoulli(p)
+}
 
 // Pipe is a bidirectional pair of links between two named endpoints.
 type Pipe struct {

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"math"
 	"testing"
 
 	"telepresence/internal/simrand"
@@ -191,12 +192,315 @@ func TestZeroSizeFrameNormalized(t *testing.T) {
 }
 
 func TestInvalidConfigPanics(t *testing.T) {
+	bad := []Config{
+		{DelayMs: -1},
+		{JitterMs: -0.5},
+		{RateBps: -1e6},
+		{QueueBytes: -1},
+		{LossProb: -0.1},
+		{LossProb: 1.5},
+		{ReorderProb: -0.1},
+		{ReorderProb: 1.01},
+	}
+	for _, cfg := range bad {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid config accepted: %+v", cfg)
+				}
+			}()
+			NewLink(simtime.NewScheduler(), simrand.New(1), cfg)
+		}()
+	}
+}
+
+func TestNaNRejectedEverywhere(t *testing.T) {
+	// NaN fails every ordered comparison, so naive range checks let it
+	// through; every validation entry point must treat it as invalid.
+	nan := math.NaN()
+	for _, cfg := range []Config{
+		{DelayMs: nan}, {JitterMs: nan}, {RateBps: nan},
+		{LossProb: nan}, {ReorderProb: nan},
+	} {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLink accepted NaN config %+v", cfg)
+				}
+			}()
+			NewLink(simtime.NewScheduler(), simrand.New(1), cfg)
+		}()
+	}
+	for _, s := range []Shaper{
+		{ExtraDelayMs: nan}, {RateBps: nan}, {LossProb: nan},
+		{Burst: &GilbertElliott{GoodToBad: nan}},
+		{Burst: &GilbertElliott{LossBad: nan}},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Shaper.Validate accepted NaN: %+v", s)
+		}
+	}
+	s, l := newLink(t, Config{})
+	l.Shaper().ExtraDelayMs = nan
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send accepted a NaN shaper delay")
+			}
+		}()
+		l.Send(Frame{Size: 10})
+		s.Run()
+	}()
+}
+
+func TestShaperValidate(t *testing.T) {
+	ok := Shaper{ExtraDelayMs: 100, RateBps: 1e6, LossProb: 0.3,
+		Burst: NewGilbertElliott(0.01, 0.2, 0.9)}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid shaper rejected: %v", err)
+	}
+	bad := []Shaper{
+		{ExtraDelayMs: -1},
+		{RateBps: -1},
+		{LossProb: -0.01},
+		{LossProb: 1.01},
+		{Burst: &GilbertElliott{GoodToBad: 1.5}},
+		{Burst: &GilbertElliott{BadToGood: -0.2}},
+		{Burst: &GilbertElliott{LossBad: 2}},
+		{Burst: &GilbertElliott{LossGood: -1}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid shaper accepted: %+v", s)
+		}
+	}
+}
+
+func TestSendPanicsOnInvalidShaper(t *testing.T) {
+	s, l := newLink(t, Config{})
+	l.Shaper().LossProb = 1.5
 	defer func() {
 		if recover() == nil {
-			t.Fatal("negative delay accepted")
+			t.Fatal("Send accepted a shaper with LossProb 1.5")
 		}
 	}()
-	NewLink(simtime.NewScheduler(), simrand.New(1), Config{DelayMs: -1})
+	l.Send(Frame{Size: 10})
+	s.Run()
+}
+
+// TestQueueReleasedAtSerialization is the regression test for the
+// queue-accounting bug on long-delay, rate-capped links (the §4.3 regime):
+// queued bytes used to be released at *delivery*, so frames sitting in the
+// 500 ms propagation pipe still occupied the drop-tail queue and a link
+// carrying exactly its line rate reported spurious DroppedQueue.
+func TestQueueReleasedAtSerialization(t *testing.T) {
+	s, l := newLink(t, Config{DelayMs: 500, RateBps: 1e6, QueueBytes: 4000})
+	delivered := 0
+	l.SetHandler(func(simtime.Time, Frame) { delivered++ })
+	// Two back-to-back 1000 B frames every 16 ms is exactly 1 Mbps: the
+	// serializer keeps up (each pair is fully serialized before the next
+	// arrives), so nothing should ever overflow the queue.
+	const pairs = 125
+	for i := 0; i < pairs; i++ {
+		i := i
+		s.At(simtime.Time(i*16*int(simtime.Millisecond)), func() {
+			l.Send(Frame{Size: 1000})
+			l.Send(Frame{Size: 1000})
+		})
+	}
+	s.Run()
+	if got := l.Stats().DroppedQueue; got != 0 {
+		t.Errorf("DroppedQueue = %d at exactly line rate; propagation-pipe bytes still occupy the queue", got)
+	}
+	if delivered != 2*pairs {
+		t.Errorf("delivered %d/%d frames", delivered, 2*pairs)
+	}
+	if got := l.QueuedBytes(); got != 0 {
+		t.Errorf("drained link reports QueuedBytes = %d", got)
+	}
+}
+
+// TestQueuedBytesExcludesPropagationPipe pins the accounting instant: a
+// queued frame's bytes leave the queue when its serialization completes
+// (its slice of busyUntil), not when it lands after the propagation delay.
+func TestQueuedBytesExcludesPropagationPipe(t *testing.T) {
+	s, l := newLink(t, Config{DelayMs: 200, RateBps: 1e6})
+	l.SetHandler(func(simtime.Time, Frame) {})
+	// A transmits immediately (8 ms), B and C queue behind it.
+	for i := 0; i < 3; i++ {
+		l.Send(Frame{Size: 1000})
+	}
+	if got := l.QueuedBytes(); got != 2000 {
+		t.Fatalf("after sends: QueuedBytes = %d, want 2000 (B+C)", got)
+	}
+	// t=17ms: B's serialization completed at 16 ms; B flies the pipe until
+	// 216 ms but must no longer occupy the queue.
+	s.RunFor(17 * simtime.Millisecond)
+	if got := l.QueuedBytes(); got != 1000 {
+		t.Fatalf("after B serializes: QueuedBytes = %d, want 1000 (C only)", got)
+	}
+	// t=25ms: C serialized too; all three frames are still in flight.
+	s.RunFor(8 * simtime.Millisecond)
+	if got := l.QueuedBytes(); got != 0 {
+		t.Fatalf("after C serializes: QueuedBytes = %d, want 0", got)
+	}
+	if got := l.Stats().DeliveredFrames; got != 0 {
+		t.Fatalf("frames delivered before the 200 ms pipe: %d", got)
+	}
+	s.Run()
+	if got := l.Stats().DeliveredFrames; got != 3 {
+		t.Fatalf("delivered %d/3", got)
+	}
+}
+
+// TestMidBacklogRateChange pins the shaper's documented rate semantics: a
+// rate change applies to frames sent after it; frames already admitted to
+// the backlog keep the serialization schedule computed at admission.
+func TestMidBacklogRateChange(t *testing.T) {
+	s, l := newLink(t, Config{RateBps: 1e6})
+	var times []simtime.Time
+	l.SetHandler(func(now simtime.Time, f Frame) { times = append(times, now) })
+	l.Send(Frame{Size: 1000}) // serializes at 1 Mbps: done 8 ms
+	l.Send(Frame{Size: 1000}) // queued at 1 Mbps: done 16 ms
+	// Halve the rate mid-backlog: the two admitted frames keep their
+	// schedule; the next frame serializes at 0.5 Mbps after the backlog.
+	l.Shaper().RateBps = 0.5e6
+	l.Send(Frame{Size: 1000}) // 16 ms + 16 ms = done 32 ms
+	s.Run()
+	want := []simtime.Time{
+		simtime.Time(8 * simtime.Millisecond),
+		simtime.Time(16 * simtime.Millisecond),
+		simtime.Time(32 * simtime.Millisecond),
+	}
+	if len(times) != len(want) {
+		t.Fatalf("delivered %d frames, want %d", len(times), len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("frame %d delivered at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestReorderDelivery(t *testing.T) {
+	// ReorderProb 1 adds a uniform extra delay to every frame; frames sent
+	// 1 ms apart with a 2*25+1 ms reorder window must arrive out of order
+	// at least once in 200 sends, and nothing may be lost.
+	s, l := newLink(t, Config{DelayMs: 25, ReorderProb: 1})
+	var order []int
+	l.SetHandler(func(_ simtime.Time, f Frame) { order = append(order, int(f.Payload[0])<<8|int(f.Payload[1])) })
+	const n = 200
+	for i := 0; i < n; i++ {
+		i := i
+		s.At(simtime.Time(i*int(simtime.Millisecond)), func() {
+			l.Send(Frame{Payload: []byte{byte(i >> 8), byte(i)}})
+		})
+	}
+	s.Run()
+	if len(order) != n {
+		t.Fatalf("delivered %d/%d frames", len(order), n)
+	}
+	inversions := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Error("ReorderProb=1 produced perfectly ordered delivery")
+	}
+	st := l.Stats()
+	if st.DroppedLoss != 0 || st.DroppedQueue != 0 {
+		t.Errorf("reordering dropped frames: %+v", st)
+	}
+}
+
+func TestShaperClearMidSession(t *testing.T) {
+	// Clear while shaped frames are still in flight: in-flight frames keep
+	// their impairments, frames sent after Clear run clean.
+	s, l := newLink(t, Config{DelayMs: 5})
+	var times []simtime.Time
+	l.SetHandler(func(now simtime.Time, f Frame) { times = append(times, now) })
+	l.Shaper().ExtraDelayMs = 500
+	l.Send(Frame{Size: 10}) // shaped: arrives at 505 ms
+	l.Shaper().Clear()
+	l.Send(Frame{Size: 10}) // clean: arrives at 5 ms, before the shaped one
+	s.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(times))
+	}
+	if times[0] != simtime.Time(5*simtime.Millisecond) {
+		t.Errorf("post-Clear frame at %v, want 5ms", times[0])
+	}
+	if times[1] != simtime.Time(505*simtime.Millisecond) {
+		t.Errorf("in-flight shaped frame at %v, want 505ms (Clear must not touch it)", times[1])
+	}
+}
+
+// TestClearedRateCapKeepsFIFO pins serializer ordering across a mid-backlog
+// cap removal: frames sent after the cap clears serialize instantly but
+// still depart behind the capped-era backlog, never overtaking it.
+func TestClearedRateCapKeepsFIFO(t *testing.T) {
+	s, l := newLink(t, Config{DelayMs: 10})
+	l.Shaper().RateBps = 8000 // 1000 B = 1 s serialization
+	var order []byte
+	l.SetHandler(func(_ simtime.Time, f Frame) { order = append(order, f.Payload[0]) })
+	l.Send(Frame{Size: 1000, Payload: []byte{1}})
+	l.Send(Frame{Size: 1000, Payload: []byte{2}})
+	l.Shaper().Clear()
+	l.Send(Frame{Size: 1000, Payload: []byte{3}})
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("delivery order %v, want [1 2 3] (uncapped frame overtook the backlog)", order)
+	}
+}
+
+func TestGilbertElliottBurstLoss(t *testing.T) {
+	s, l := newLink(t, Config{})
+	ge := NewGilbertElliott(0.02, 0.25, 1)
+	l.Shaper().Burst = ge
+	var got []bool // per send: delivered?
+	l.SetHandler(func(simtime.Time, Frame) {})
+	const n = 50000
+	for i := 0; i < n; i++ {
+		got = append(got, l.Send(Frame{Size: 100}))
+		s.Run()
+	}
+	st := l.Stats()
+	if st.DroppedBurst == 0 {
+		t.Fatal("no burst drops with an always-lossy bad state")
+	}
+	if st.DroppedBurst != st.DroppedLoss {
+		t.Errorf("DroppedBurst %d != DroppedLoss %d with only the burst model active",
+			st.DroppedBurst, st.DroppedLoss)
+	}
+	// Stationary loss = pBad*LossBad with pBad = pGB/(pGB+pBG) = 0.074.
+	rate := float64(st.DroppedLoss) / n
+	if rate < 0.05 || rate > 0.10 {
+		t.Errorf("burst loss rate %.3f, want ~0.074", rate)
+	}
+	// Burstiness: mean run length of consecutive drops should approach the
+	// 1/BadToGood = 4-frame dwell, far above the ~1.08 an independent 7.4%
+	// coin would produce.
+	runs, inRun := 0, false
+	for _, ok := range got {
+		if !ok && !inRun {
+			runs++
+		}
+		inRun = !ok
+	}
+	meanRun := float64(st.DroppedLoss) / float64(runs)
+	if meanRun < 2 {
+		t.Errorf("mean drop-burst length %.2f, want >=2 (losses not bursty)", meanRun)
+	}
+	// Reset returns the chain to Good.
+	ge.bad = true
+	ge.Reset()
+	if ge.InBadState() {
+		t.Error("Reset left the chain in the bad state")
+	}
 }
 
 func TestPipeIsBidirectional(t *testing.T) {

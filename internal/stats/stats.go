@@ -251,12 +251,28 @@ func (s *Sample) CDF() []CDFPoint {
 }
 
 // Histogram bins the observations into nbins equal-width bins over
-// [min,max] and returns the bin counts.
+// [min,max] and returns the bin counts. Non-finite observations (NaN, ±Inf)
+// are excluded: they have no bounded place on the real line, and converting
+// their bin index to int is undefined behavior that used to misbin them —
+// so they contribute to no bin and do not distort the [min,max] range. A
+// sample with no finite observation yields (nil, nil) like an empty one.
 func (s *Sample) Histogram(nbins int) (edges []float64, counts []int) {
 	if len(s.xs) == 0 || nbins <= 0 {
 		return nil, nil
 	}
-	lo, hi := s.Min(), s.Max()
+	finite := func(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+	// Range over the finite observations only.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range s.xs {
+		if !finite(x) {
+			continue
+		}
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if lo > hi { // no finite observation
+		return nil, nil
+	}
 	if hi == lo {
 		hi = lo + 1
 	}
@@ -267,6 +283,9 @@ func (s *Sample) Histogram(nbins int) (edges []float64, counts []int) {
 	}
 	counts = make([]int, nbins)
 	for _, x := range s.xs {
+		if !finite(x) {
+			continue
+		}
 		i := int((x - lo) / w)
 		if i >= nbins {
 			i = nbins - 1

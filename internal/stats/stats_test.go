@@ -135,6 +135,60 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramSkipsNaN(t *testing.T) {
+	// NaN observations used to hit the undefined float->int conversion and
+	// land in an arbitrary bin; they must be excluded from both the range
+	// and the counts.
+	s := NewSample(1, math.NaN(), 2, 3, math.NaN(), 4)
+	edges, counts := s.Histogram(3)
+	if len(edges) != 4 || len(counts) != 3 {
+		t.Fatalf("histogram shape: %d edges, %d counts", len(edges), len(counts))
+	}
+	if edges[0] != 1 || edges[3] != 4 {
+		t.Errorf("range [%v,%v] distorted by NaN, want [1,4]", edges[0], edges[3])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("binned %d observations, want 4 (NaNs must not count)", total)
+	}
+	for i, e := range edges {
+		if math.IsNaN(e) {
+			t.Errorf("edge %d is NaN", i)
+		}
+	}
+}
+
+func TestHistogramAllNaN(t *testing.T) {
+	s := NewSample(math.NaN(), math.NaN())
+	edges, counts := s.Histogram(4)
+	if edges != nil || counts != nil {
+		t.Errorf("all-NaN sample: got edges=%v counts=%v, want nil/nil", edges, counts)
+	}
+}
+
+func TestHistogramSkipsInf(t *testing.T) {
+	// ±Inf is the same undefined-int-conversion class as NaN: it must not
+	// blow up the range (Inf edges) or land in a bin.
+	s := NewSample(1, math.Inf(1), 2, math.Inf(-1), 3)
+	edges, counts := s.Histogram(2)
+	if edges[0] != 1 || edges[2] != 3 {
+		t.Errorf("range [%v,%v] distorted by Inf, want [1,3]", edges[0], edges[2])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("binned %d observations, want 3 (Inf must not count)", total)
+	}
+	if e, c := func() ([]float64, []int) { return NewSample(math.Inf(1)).Histogram(3) }(); e != nil || c != nil {
+		t.Errorf("all-Inf sample: got edges=%v counts=%v, want nil/nil", e, c)
+	}
+}
+
 func TestHistogramDegenerate(t *testing.T) {
 	s := NewSample(5, 5, 5)
 	_, counts := s.Histogram(4)

@@ -248,6 +248,20 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 // Plan returns the session's connectivity decision.
 func (s *Session) Plan() Plan { return s.plan }
 
+// Scheduler exposes the session's discrete-event scheduler so callers can
+// bind impairment schedules (internal/scenario) or plant custom mid-call
+// events before Run. The scheduler is the session's single thread of
+// execution: do not drive it directly while Run is in progress.
+func (s *Session) Scheduler() *simtime.Scheduler { return s.sched }
+
+// UplinkStats returns a copy of the link counters of user i's uplink
+// (drops, deliveries, queue overflow) — the sender-side ground truth the
+// scenario experiments report alongside receiver-side QoE.
+func (s *Session) UplinkStats(i int) netem.LinkStats { return s.up[i].Stats() }
+
+// DownlinkStats returns a copy of the link counters of user i's downlink.
+func (s *Session) DownlinkStats(i int) netem.LinkStats { return s.down[i].Stats() }
+
 // UplinkShaper exposes the tc-equivalent impairment stage on user i's
 // uplink (§4.3's delay and bandwidth-cap experiments).
 func (s *Session) UplinkShaper(i int) *netem.Shaper { return s.up[i].Shaper() }

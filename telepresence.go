@@ -25,6 +25,7 @@ import (
 	"telepresence/internal/fleet"
 	"telepresence/internal/geo"
 	"telepresence/internal/render"
+	"telepresence/internal/scenario"
 	"telepresence/internal/semantic"
 	"telepresence/internal/simtime"
 	"telepresence/internal/stats"
@@ -133,6 +134,10 @@ type (
 	ServerPolicy            = core.ServerPolicy
 	ViewportDeliveryRow     = core.ViewportDeliveryRow
 	QoESweepRow             = core.QoESweepRow
+	// Scenario-experiment rows (time-varying impairment schedules).
+	HandoverRow   = core.HandoverRow
+	BurstLossRow  = core.BurstLossRow
+	CongestionRow = core.CongestionRow
 )
 
 // Server policies for the Implications-1 ablation.
@@ -142,10 +147,13 @@ const (
 	PolicyGeoDistributed = core.PolicyGeoDistributed
 )
 
-// Default sweeps used by the registry's latency and rate experiments.
+// Default sweeps used by the registry's latency, rate and scenario
+// experiments.
 var (
-	DefaultInjectedDelaysMs = core.DefaultInjectedDelaysMs
-	DefaultRateCaps         = core.DefaultRateCaps
+	DefaultInjectedDelaysMs     = core.DefaultInjectedDelaysMs
+	DefaultRateCaps             = core.DefaultRateCaps
+	DefaultHandoverDelaysMs     = core.DefaultHandoverDelaysMs
+	DefaultCongestionFloorsMbps = core.DefaultCongestionFloorsMbps
 )
 
 // Quick returns CI-scale experiment options.
@@ -198,6 +206,57 @@ type (
 	KeypointRow = core.KeypointRow
 )
 
+// Scenario engine: declarative timelines of network impairment (steps,
+// ramps, Gilbert-Elliott burst loss) that drive a session's shapers from
+// virtual-time callbacks, plus trace import. Bind a schedule with
+// Schedule.Bind(session.Scheduler(), session.UplinkShaper(i)) before Run.
+type (
+	// Schedule is a declarative impairment timeline.
+	Schedule = scenario.Schedule
+	// Impairment is one target shaper state on a timeline.
+	Impairment = scenario.Impairment
+	// BurstParams parameterize Gilbert-Elliott burst loss declaratively.
+	BurstParams = scenario.BurstParams
+	// ScheduleAction is one flattened shaper write of a schedule.
+	ScheduleAction = scenario.Action
+)
+
+// Scenario construction and trace import.
+var (
+	// NewSchedule returns an empty impairment timeline.
+	NewSchedule = scenario.New
+	// Preset §4.3-shaped timelines.
+	DelayStepSchedule     = scenario.DelayStep
+	BandwidthRampSchedule = scenario.BandwidthRamp
+	BurstLossSchedule     = scenario.BurstLoss
+	// ParseTraceCSV imports a "time_s,delay_ms,rate_kbps,loss" timeline.
+	ParseTraceCSV = scenario.ParseCSV
+	// ParseMahimahiTrace imports a mahimahi/VideoTransDemo-style
+	// packet-opportunity trace as a piecewise rate schedule.
+	ParseMahimahiTrace = scenario.ParseMahimahi
+)
+
+// Parameter sweeps: cartesian grids over a sweep target's schedule
+// parameters, sharded like experiment reps (see FleetRunSweep).
+type (
+	// SweepTarget is a parameterized experiment registered for sweeps.
+	SweepTarget = core.SweepTarget
+	// SweepParam is one recognized target parameter with its default.
+	SweepParam = core.SweepParam
+	// CellRunner executes one sweep cell.
+	CellRunner = core.CellRunner
+	// SweepAxis is one swept parameter with its grid values.
+	SweepAxis = fleet.Axis
+	// SweepSpec is a cartesian grid over one sweep target.
+	SweepSpec = fleet.SweepSpec
+	// SweepCell is one enumerated grid point.
+	SweepCell = fleet.SweepCell
+	// SweepCellResult is one cell's merged outcome.
+	SweepCellResult = fleet.SweepCellResult
+	// FleetSweepManifest is a sweep run's provenance record.
+	FleetSweepManifest = fleet.SweepManifest
+)
+
 // Fleet entry points.
 var (
 	// Experiments lists every registered experiment, sorted by name.
@@ -222,6 +281,21 @@ var (
 	NewJSONLSink  = fleet.NewJSONLSink
 	NewCSVSink    = fleet.NewCSVSink
 	NewMemorySink = fleet.NewMemorySink
+
+	// Sweep entry points: the sweep-target registry and the grid runner.
+	SweepTargets        = core.SweepTargets
+	LookupSweepTarget   = core.LookupSweep
+	RegisterSweepTarget = core.RegisterSweep
+	// SweepCellOptions derives a cell's options from the run seed and the
+	// cell's parameter values (for custom CellRunner implementations).
+	SweepCellOptions = core.SweepCellOptions
+	// FleetRunSweep shards a sweep grid's cells across a worker pool;
+	// merged output is byte-identical for any worker count.
+	FleetRunSweep = fleet.RunSweep
+	// FleetWriteSweep streams sweep results through one sink in grid order.
+	FleetWriteSweep = fleet.WriteSweep
+	// NewFleetSweepManifest builds the provenance record of a sweep run.
+	NewFleetSweepManifest = fleet.NewSweepManifest
 )
 
 // Statistics helpers (re-exported for consumers of experiment rows).
@@ -260,5 +334,10 @@ const (
 // Durations, re-exported so callers need not import simtime.
 type Duration = simtime.Duration
 
-// Second is one simulated second.
-const Second = simtime.Second
+// Simulated-duration units (schedule offsets, session lengths).
+const (
+	// Second is one simulated second.
+	Second = simtime.Second
+	// Millisecond is one simulated millisecond.
+	Millisecond = simtime.Millisecond
+)
