@@ -1,0 +1,85 @@
+// ratecontrol compares the three congestion controllers — open-loop
+// "fixed" (the paper's §4.3 senders), loss-based AIMD, and the GCC-style
+// delay-gradient controller — on the same impaired calls.
+//
+// Part 1 runs a 2D Zoom call under a static 0.9 Mbps uplink cap: the
+// closed loop retargets the video encoder (video.Encoder.SetTargetBps)
+// from RTCP-style receiver reports travelling back over the reverse path.
+//
+// Part 2 runs a spatial FaceTime call under the same cap: semantic frames
+// cannot shrink, so the controller sheds rate by thinning the persona
+// frame rate instead — turning the paper's "persona dies under a cap"
+// finding into a graceful 90->~40 fps degradation.
+//
+// Run: go run ./examples/ratecontrol
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tp "telepresence"
+)
+
+func controllers() []string { return append([]string{"open-loop"}, tp.RateControllerKinds()[1:]...) }
+
+func rcConfig(name string) *tp.RateControlConfig {
+	if name == "open-loop" {
+		return nil // no feedback, no controller: the paper's behavior
+	}
+	return &tp.RateControlConfig{Controller: name}
+}
+
+func run(app tp.App, devices [2]tp.Device, rc *tp.RateControlConfig, capMbps float64) (*tp.Session, *tp.SessionResults) {
+	cfg := tp.DefaultSessionConfig(app, []tp.Participant{
+		{ID: "u1", Loc: tp.Ashburn, Device: devices[0]},
+		{ID: "u2", Loc: tp.NewYork, Device: devices[1]},
+	})
+	cfg.Duration = 20 * tp.Second
+	cfg.Seed = 1
+	cfg.RateControl = rc
+	sess, err := tp.NewSession(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess.UplinkShaper(0).RateBps = capMbps * 1e6
+	return sess, sess.Run()
+}
+
+func main() {
+	const capMbps = 0.9
+
+	fmt.Printf("2D video (Zoom, P2P) under a %.1f Mbps uplink cap, 20 s:\n", capMbps)
+	fmt.Printf("%-10s %-12s %-14s %-12s %-10s\n",
+		"controller", "unavailable", "frame age", "queue drops", "target")
+	for _, name := range controllers() {
+		sess, res := run(tp.Zoom, [2]tp.Device{tp.VisionPro, tp.VisionPro}, rcConfig(name), capMbps)
+		up := sess.UplinkStats(0)
+		target := "1.40 Mbps (pinned)"
+		if mean := sess.RateTargetMeanBps(0); mean > 0 {
+			target = fmt.Sprintf("%.2f Mbps", mean/1e6)
+		}
+		fmt.Printf("%-10s %10.1f%% %11.0f ms %12d %-10s\n",
+			name, res.Users[1].UnavailableFrac*100, res.Users[1].MeanFrameLatencyMs,
+			up.DroppedQueue, target)
+	}
+
+	// The spatial stream runs ~0.7 Mbps, so the cap that strangles it is
+	// tighter than the 2D one.
+	const spatialCapMbps = 0.55
+	fmt.Printf("\nspatial persona (FaceTime, all Vision Pro) under a %.2f Mbps cap:\n", spatialCapMbps)
+	fmt.Printf("%-10s %-12s %-14s %-12s %-10s\n",
+		"controller", "unavailable", "frame age", "thinned", "persona fps")
+	for _, name := range controllers() {
+		_, res := run(tp.FaceTime, [2]tp.Device{tp.VisionPro, tp.VisionPro}, rcConfig(name), spatialCapMbps)
+		u1, u2 := res.Users[0], res.Users[1]
+		fps := float64(u1.FramesSent) / 20
+		fmt.Printf("%-10s %10.1f%% %11.0f ms %12d %8.0f\n",
+			name, u2.UnavailableFrac*100, u2.MeanFrameLatencyMs, u1.FramesThinned, fps)
+	}
+
+	fmt.Println("\nThe delay-gradient controller (gcc) keeps the call alive where the")
+	fmt.Println("open-loop sender drowns its own queue — and the loss-based controller")
+	fmt.Println("shows why delay matters: a drop-tail queue hides congestion from it")
+	fmt.Println("until seconds of latency are already standing.")
+}

@@ -7,13 +7,13 @@ import (
 
 // expectedExperiments is the stable registry index documented in DESIGN.md.
 var expectedExperiments = []string{
-	"anycast", "burstloss", "congestion", "fig4", "fig5", "fig6", "fig7",
-	"handover", "keypoints", "latency", "mesh", "protocols", "qoe", "rate",
-	"remote", "servers", "viewport",
+	"anycast", "burstloss", "ccramp", "ccrate", "congestion", "fig4", "fig5",
+	"fig6", "fig7", "handover", "keypoints", "latency", "mesh", "protocols",
+	"qoe", "rate", "remote", "servers", "viewport",
 }
 
 // expectedSweepTargets is the stable sweep-target index.
-var expectedSweepTargets = []string{"burstloss", "congestion", "handover"}
+var expectedSweepTargets = []string{"burstloss", "ccramp", "ccrate", "congestion", "handover"}
 
 func TestSweepRegistryComplete(t *testing.T) {
 	var names []string

@@ -223,3 +223,39 @@ func TestScenarioSweepMatchesExperiment(t *testing.T) {
 		t.Errorf("sweep cell and experiment rep diverge:\nsweep: %s\nexp:   %s", a, b)
 	}
 }
+
+// TestCCRateSweepDeterminism pins the closed-loop experiments' worker
+// invariance on a real grid: two ccrate cells (open-loop vs delay-gradient
+// at the same cap) must emit byte-identical rows at any worker count. The
+// full-suite TestDeterminismAcrossWorkers covers the complete ccrate and
+// ccramp grids in non-short runs; this small grid keeps the guarantee
+// exercised in -short CI too.
+func TestCCRateSweepDeterminism(t *testing.T) {
+	spec := SweepSpec{Target: "ccrate", Axes: []Axis{
+		{Name: "controller", Values: []float64{0, 2}},
+		{Name: "cap_mbps", Values: []float64{0.9}},
+	}}
+	opts := core.Quick(3)
+	seq, err := RunSweep(spec, opts, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSweep(spec, opts, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, g := sweepJSONL(t, seq), sweepJSONL(t, par)
+	if !bytes.Equal(w, g) {
+		t.Errorf("workers=1 and workers=2 ccrate sweep output differ\nseq: %s\npar: %s", w, g)
+	}
+	// The two controllers must actually diverge (the loop is closed).
+	open := seq[0].Rows[0].(core.CCRateRow)
+	gcc := seq[1].Rows[0].(core.CCRateRow)
+	if open.Controller != "fixed" || gcc.Controller != "gcc" {
+		t.Fatalf("controller labels wrong: %q, %q", open.Controller, gcc.Controller)
+	}
+	if gcc.UnavailableFrac >= open.UnavailableFrac {
+		t.Errorf("closed loop (%.3f) not more available than open loop (%.3f) under the same cap",
+			gcc.UnavailableFrac, open.UnavailableFrac)
+	}
+}

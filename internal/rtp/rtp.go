@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 )
 
 // HeaderLen is the fixed RTP header size.
@@ -348,36 +349,274 @@ func (d *Depacketizer) GC(beforeTS uint32) {
 	}
 }
 
-// ReceiverReport summarizes reception quality, RTCP RR style.
-type ReceiverReport struct {
-	SSRC          uint32
-	HighestSeq    uint16
-	PacketsRecv   int64
-	PacketsLost   int64
-	FractionLost  float64
-	JitterSamples int64
+// --------------------------------------------------------- SSRC numbering
+//
+// Session wiring assigns SSRCs by participant index from fixed bases, so a
+// demultiplexer (an SFU downlink, a feedback handler) can recover the
+// sending participant from any stream's SSRC without a side table.
+
+// SSRC bases for the per-participant media streams.
+const (
+	// VideoSSRCBase is participant 0's video SSRC; participant i sends
+	// video on VideoSSRCBase+i.
+	VideoSSRCBase uint32 = 7000
+	// AudioSSRCBase is participant 0's audio SSRC.
+	AudioSSRCBase uint32 = 8000
+	// maxSSRCParticipants bounds the per-base index range so the two bases
+	// can never collide.
+	maxSSRCParticipants = 1000
+)
+
+// VideoSSRC returns participant i's video stream SSRC.
+func VideoSSRC(i int) uint32 { return VideoSSRCBase + uint32(i) }
+
+// AudioSSRC returns participant i's audio stream SSRC.
+func AudioSSRC(i int) uint32 { return AudioSSRCBase + uint32(i) }
+
+// SenderOf recovers the sending participant index from a media SSRC. audio
+// reports which base the SSRC belongs to; ok is false for SSRCs outside
+// both ranges.
+func SenderOf(ssrc uint32) (sender int, audio, ok bool) {
+	if ssrc >= VideoSSRCBase && ssrc < VideoSSRCBase+maxSSRCParticipants {
+		return int(ssrc - VideoSSRCBase), false, true
+	}
+	if ssrc >= AudioSSRCBase && ssrc < AudioSSRCBase+maxSSRCParticipants {
+		return int(ssrc - AudioSSRCBase), true, true
+	}
+	return 0, false, false
 }
 
-// ReportFor derives a receiver report from observed sequence numbers.
+// -------------------------------------------------------- Receiver reports
+
+// ReceiverReport summarizes reception quality, RTCP RR style: cumulative
+// loss and extended-sequence state plus the per-report-interval signals
+// (receive rate, mean one-way delay, interarrival jitter) a congestion
+// controller consumes (internal/ratecontrol).
+type ReceiverReport struct {
+	// SSRC identifies the reported-on media stream (the sender's SSRC).
+	SSRC uint32
+	// HighestSeq is the highest sequence number seen, modulo 2^16.
+	HighestSeq uint16
+	// ExtHighestSeq is the extended highest sequence: wrap cycles in the
+	// high bits, RFC 3550 style, offset so the first packet of a stream
+	// starts one cycle up (the offset cancels in every difference).
+	ExtHighestSeq uint32
+	// PacketsRecv and PacketsLost are cumulative over the stream.
+	PacketsRecv int64
+	PacketsLost int64
+	// FractionLost is the loss fraction since the previous report.
+	FractionLost float64
+	// JitterMs is the RFC 3550 interarrival jitter estimate in ms.
+	JitterMs float64
+	// RecvRateBps is the receive rate over the report interval, wire bits
+	// per second (0 when nothing arrived).
+	RecvRateBps float64
+	// MeanOwdMs is the mean one-way delay of packets received in the
+	// interval, in ms (0 when nothing arrived).
+	MeanOwdMs float64
+	// IntervalMs is the report interval this report covers.
+	IntervalMs float64
+}
+
+// Report wire format: a 4-byte magic/version prefix followed by the fields
+// in order. The first byte's top bits are 01, so a report can never parse
+// as RTP (version 2) and IsRTP can never claim one.
+const (
+	reportMagic0 = 0x52 // 'R'
+	reportMagic1 = 0x43 // 'C'
+	reportVer    = 1
+	// ReportLen is the marshaled size of a ReceiverReport.
+	ReportLen = 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 8
+)
+
+// IsReport classifies a payload as a marshaled ReceiverReport.
+func IsReport(b []byte) bool {
+	return len(b) >= ReportLen && b[0] == reportMagic0 && b[1] == reportMagic1 && b[2] == reportVer
+}
+
+// Marshal appends the wire encoding of the report to b. HighestSeq is not
+// encoded separately: it is the low 16 bits of ExtHighestSeq.
+func (r *ReceiverReport) Marshal(b []byte) []byte {
+	b = append(b, reportMagic0, reportMagic1, reportVer, 0)
+	b = binary.BigEndian.AppendUint32(b, r.SSRC)
+	b = binary.BigEndian.AppendUint32(b, r.ExtHighestSeq)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.PacketsRecv))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.PacketsLost))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.FractionLost))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.JitterMs))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.RecvRateBps))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.MeanOwdMs))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.IntervalMs))
+	return b
+}
+
+// Unmarshal parses a marshaled report.
+func (r *ReceiverReport) Unmarshal(b []byte) error {
+	if !IsReport(b) {
+		return fmt.Errorf("%w: not a receiver report", ErrMalformed)
+	}
+	r.SSRC = binary.BigEndian.Uint32(b[4:])
+	r.ExtHighestSeq = binary.BigEndian.Uint32(b[8:])
+	r.HighestSeq = uint16(r.ExtHighestSeq)
+	r.PacketsRecv = int64(binary.BigEndian.Uint64(b[12:]))
+	r.PacketsLost = int64(binary.BigEndian.Uint64(b[20:]))
+	r.FractionLost = math.Float64frombits(binary.BigEndian.Uint64(b[28:]))
+	r.JitterMs = math.Float64frombits(binary.BigEndian.Uint64(b[36:]))
+	r.RecvRateBps = math.Float64frombits(binary.BigEndian.Uint64(b[44:]))
+	r.MeanOwdMs = math.Float64frombits(binary.BigEndian.Uint64(b[52:]))
+	r.IntervalMs = math.Float64frombits(binary.BigEndian.Uint64(b[60:]))
+	return nil
+}
+
+// extSeq tracks extended (wrap-cycle-counting) sequence numbers in arrival
+// order, RFC 3550 Appendix A.1 style. The extended space starts one cycle
+// up (1<<16) so a reordered packet just before the base cannot underflow.
+type extSeq struct {
+	init bool
+	base uint32 // lowest extended seq observed
+	max  uint32 // highest extended seq observed
+}
+
+// push ingests one sequence number and returns its extended value.
+func (e *extSeq) push(seq uint16) uint32 {
+	if !e.init {
+		e.init = true
+		e.base = 1<<16 | uint32(seq)
+		e.max = e.base
+		return e.base
+	}
+	// Circular delta from the current max: |d| < 2^15 distinguishes a new
+	// forward packet (possibly wrapping) from an old reordered one.
+	d := int16(seq - uint16(e.max))
+	ext := e.max + uint32(int32(d)) // two's-complement add handles d < 0
+	if d > 0 {
+		e.max = ext
+	}
+	if ext < e.base {
+		e.base = ext
+	}
+	return ext
+}
+
+// expected returns how many packets the observed sequence span covers.
+func (e *extSeq) expected() int64 {
+	if !e.init {
+		return 0
+	}
+	return int64(e.max) - int64(e.base) + 1
+}
+
+// ReportFor derives a receiver report from sequence numbers in arrival
+// order. Wrap cycles are tracked with extended sequence numbers, so streams
+// longer than 2^16 packets (or windows that straddle a wrap) count their
+// losses correctly — the raw min/max of the 16-bit values would alias every
+// 65,536 packets.
 func ReportFor(ssrc uint32, seqs []uint16, received int64) ReceiverReport {
 	rr := ReceiverReport{SSRC: ssrc, PacketsRecv: received}
 	if len(seqs) == 0 {
 		return rr
 	}
-	lo, hi := seqs[0], seqs[0]
+	var e extSeq
 	for _, s := range seqs {
-		if seqLess(s, lo) {
-			lo = s
-		}
-		if seqLess(hi, s) {
-			hi = s
-		}
+		e.push(s)
 	}
-	rr.HighestSeq = hi
-	expected := int64(hi-lo) + 1
-	if expected > received {
+	rr.HighestSeq = uint16(e.max)
+	rr.ExtHighestSeq = e.max
+	if expected := e.expected(); expected > received {
 		rr.PacketsLost = expected - received
 		rr.FractionLost = float64(rr.PacketsLost) / float64(expected)
 	}
+	return rr
+}
+
+// ReportBuilder accumulates one stream's receive statistics online — the
+// receiver side of the feedback loop. OnPacket ingests every arriving
+// packet; MakeReport snapshots a ReceiverReport covering the interval since
+// the previous one and resets the interval accumulators. All state is a few
+// scalars: building reports allocates nothing and costs O(1) per packet.
+type ReportBuilder struct {
+	// SSRC is stamped into every report (the reported-on sender's SSRC).
+	SSRC uint32
+
+	ext      extSeq
+	received int64 // cumulative packets
+
+	jitterMs   float64
+	prevOwdMs  float64
+	haveTranst bool
+
+	// Interval accumulators, reset by MakeReport.
+	intBytes   int64
+	intOwdSum  float64
+	intPackets int64
+
+	// Snapshot at the previous report.
+	lastMax      uint32
+	lastReceived int64
+	lastReportMs float64
+}
+
+// NewReportBuilder returns a builder for one stream.
+func NewReportBuilder(ssrc uint32) *ReportBuilder { return &ReportBuilder{SSRC: ssrc} }
+
+// OnPacket records one arriving packet: its sequence number, its send and
+// receive times in milliseconds, and its wire size in bytes.
+func (b *ReportBuilder) OnPacket(seq uint16, sendMs, recvMs float64, size int) {
+	b.ext.push(seq)
+	b.received++
+	owd := recvMs - sendMs
+	if b.haveTranst {
+		d := owd - b.prevOwdMs
+		if d < 0 {
+			d = -d
+		}
+		b.jitterMs += (d - b.jitterMs) / 16 // RFC 3550 jitter estimator
+	}
+	b.prevOwdMs = owd
+	b.haveTranst = true
+	b.intBytes += int64(size)
+	b.intOwdSum += owd
+	b.intPackets++
+}
+
+// Received reports the cumulative packet count.
+func (b *ReportBuilder) Received() int64 { return b.received }
+
+// MakeReport snapshots the stream state as of nowMs and starts the next
+// interval. An interval with no arrivals yields a report with zero
+// RecvRateBps and MeanOwdMs — the starvation signal congestion controllers
+// key on.
+func (b *ReportBuilder) MakeReport(nowMs float64) ReceiverReport {
+	rr := ReceiverReport{
+		SSRC:          b.SSRC,
+		HighestSeq:    uint16(b.ext.max),
+		ExtHighestSeq: b.ext.max,
+		PacketsRecv:   b.received,
+		JitterMs:      b.jitterMs,
+		IntervalMs:    nowMs - b.lastReportMs,
+	}
+	if expected := b.ext.expected(); expected > b.received {
+		rr.PacketsLost = expected - b.received
+	}
+	// Interval loss: expected-vs-received deltas since the last report.
+	var expInt int64
+	if b.lastMax != 0 {
+		expInt = int64(b.ext.max) - int64(b.lastMax)
+	} else {
+		expInt = b.ext.expected()
+	}
+	if recvInt := b.received - b.lastReceived; expInt > recvInt && expInt > 0 {
+		rr.FractionLost = float64(expInt-recvInt) / float64(expInt)
+	}
+	if b.intPackets > 0 {
+		rr.MeanOwdMs = b.intOwdSum / float64(b.intPackets)
+		if rr.IntervalMs > 0 {
+			rr.RecvRateBps = float64(b.intBytes*8) / (rr.IntervalMs / 1e3)
+		}
+	}
+	b.lastMax = b.ext.max
+	b.lastReceived = b.received
+	b.lastReportMs = nowMs
+	b.intBytes, b.intOwdSum, b.intPackets = 0, 0, 0
 	return rr
 }

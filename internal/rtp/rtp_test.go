@@ -388,3 +388,216 @@ func TestDepacketizerSteadyStateAllocs(t *testing.T) {
 		t.Errorf("packetize+push allocates %.1f per frame, budget 4", allocs)
 	}
 }
+
+func TestSSRCHelpers(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		if s, audio, ok := SenderOf(VideoSSRC(i)); !ok || audio || s != i {
+			t.Errorf("SenderOf(VideoSSRC(%d)) = (%d,%v,%v)", i, s, audio, ok)
+		}
+		if s, audio, ok := SenderOf(AudioSSRC(i)); !ok || !audio || s != i {
+			t.Errorf("SenderOf(AudioSSRC(%d)) = (%d,%v,%v)", i, s, audio, ok)
+		}
+	}
+	if _, _, ok := SenderOf(42); ok {
+		t.Error("SSRC 42 attributed to a sender")
+	}
+	if _, _, ok := SenderOf(0xDEADBEEF); ok {
+		t.Error("random SSRC attributed to a sender")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	in := ReceiverReport{
+		SSRC: VideoSSRC(3), HighestSeq: 0xBEEF, ExtHighestSeq: 5<<16 | 0xBEEF,
+		PacketsRecv: 123456, PacketsLost: 789, FractionLost: 0.0625,
+		JitterMs: 1.5, RecvRateBps: 1.9e6, MeanOwdMs: 23.25, IntervalMs: 100,
+	}
+	wire := in.Marshal(nil)
+	if len(wire) != ReportLen {
+		t.Fatalf("marshaled length %d, want %d", len(wire), ReportLen)
+	}
+	if !IsReport(wire) {
+		t.Fatal("marshaled report not classified by IsReport")
+	}
+	if IsRTP(wire) {
+		t.Fatal("marshaled report classified as RTP")
+	}
+	var out ReceiverReport
+	if err := out.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestReportRoundTripProperty drives the report wire format through
+// randomized field values: every finite report must survive a
+// Marshal/Unmarshal round trip bit-exactly, and the wire bytes must never
+// classify as RTP (the two formats share links).
+func TestReportRoundTripProperty(t *testing.T) {
+	f := func(ssrc, ext uint32, recv, lost int64, frac, jit, rate, owd, interval float64) bool {
+		in := ReceiverReport{
+			SSRC: ssrc, HighestSeq: uint16(ext), ExtHighestSeq: ext,
+			PacketsRecv: recv, PacketsLost: lost, FractionLost: frac,
+			JitterMs: jit, RecvRateBps: rate, MeanOwdMs: owd, IntervalMs: interval,
+		}
+		wire := in.Marshal(nil)
+		var out ReceiverReport
+		if err := out.Unmarshal(wire); err != nil {
+			return false
+		}
+		return out == in && IsReport(wire) && !IsRTP(wire)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportUnmarshalErrors(t *testing.T) {
+	var r ReceiverReport
+	if err := r.Unmarshal(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if err := r.Unmarshal(make([]byte, ReportLen-1)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	wire := (&ReceiverReport{SSRC: 1}).Marshal(nil)
+	wire[2] = 99 // unknown version
+	if err := r.Unmarshal(wire); err == nil {
+		t.Error("bad version accepted")
+	}
+	// An RTP packet must not parse as a report.
+	h := Header{PayloadType: PTGenericVideo, Seq: 1, SSRC: 2}
+	pkt := h.Marshal(nil)
+	pkt = append(pkt, make([]byte, ReportLen)...)
+	if err := r.Unmarshal(pkt); err == nil {
+		t.Error("RTP packet accepted as report")
+	}
+}
+
+// TestReportForSeqWraparound pins the wraparound fix: a stream longer than
+// 2^16 packets used to alias its expected-packet count modulo 65,536 and
+// undercount (or zero out) losses. Extended sequence tracking counts every
+// wrap cycle.
+func TestReportForSeqWraparound(t *testing.T) {
+	// 150,001 packets (two wraps), dropping every 100th interior packet:
+	// 1,500 lost inside the observed span.
+	var seqs []uint16
+	var received int64
+	const total = 150001
+	for i := 0; i < total; i++ {
+		if i%100 == 99 {
+			continue // lost
+		}
+		seqs = append(seqs, uint16(i))
+		received++
+	}
+	rr := ReportFor(7, seqs, received)
+	if want := int64(total) - received; rr.PacketsLost != want {
+		t.Errorf("PacketsLost = %d, want %d (wraparound aliasing)", rr.PacketsLost, want)
+	}
+	if got := rr.FractionLost; got < 0.0099 || got > 0.0101 {
+		t.Errorf("FractionLost = %v, want ~0.01", got)
+	}
+	if want := uint16((total - 1) % 65536); rr.HighestSeq != want {
+		t.Errorf("HighestSeq = %d, want %d", rr.HighestSeq, want)
+	}
+	if rr.ExtHighestSeq>>16 != 1+(total-1)>>16 {
+		t.Errorf("ExtHighestSeq cycles = %d, want %d", rr.ExtHighestSeq>>16, 1+(total-1)>>16)
+	}
+}
+
+// TestReportForWrapInsideWindow: a short window that straddles the 16-bit
+// wrap (reordered, with losses) must still count correctly.
+func TestReportForWrapInsideWindow(t *testing.T) {
+	// seqs 65530..65535,0..5 with 65533 and 2 missing, one reorder.
+	seqs := []uint16{65530, 65532, 65531, 65534, 65535, 0, 1, 3, 4, 5}
+	rr := ReportFor(9, seqs, int64(len(seqs)))
+	if rr.PacketsLost != 2 {
+		t.Errorf("PacketsLost = %d, want 2", rr.PacketsLost)
+	}
+	if rr.HighestSeq != 5 {
+		t.Errorf("HighestSeq = %d, want 5", rr.HighestSeq)
+	}
+}
+
+func TestReportBuilderIntervals(t *testing.T) {
+	b := NewReportBuilder(VideoSSRC(0))
+	// Interval 1: 10 packets, 1200 B each, 20 ms OWD, one gap (seq 5 lost).
+	now := 0.0
+	for i := 0; i < 11; i++ {
+		if i == 5 {
+			continue
+		}
+		now = float64(i) * 10
+		b.OnPacket(uint16(i), now, now+20, 1200)
+	}
+	rr := b.MakeReport(100)
+	if rr.PacketsRecv != 10 || rr.PacketsLost != 1 {
+		t.Errorf("recv/lost = %d/%d, want 10/1", rr.PacketsRecv, rr.PacketsLost)
+	}
+	if want := 1.0 / 11; rr.FractionLost < want-1e-9 || rr.FractionLost > want+1e-9 {
+		t.Errorf("FractionLost = %v, want %v", rr.FractionLost, want)
+	}
+	if rr.MeanOwdMs != 20 {
+		t.Errorf("MeanOwdMs = %v, want 20", rr.MeanOwdMs)
+	}
+	if want := float64(10*1200*8) / 0.1; rr.RecvRateBps != want {
+		t.Errorf("RecvRateBps = %v, want %v", rr.RecvRateBps, want)
+	}
+	if rr.IntervalMs != 100 {
+		t.Errorf("IntervalMs = %v, want 100", rr.IntervalMs)
+	}
+	// Interval 2: nothing arrives — the starvation report.
+	rr = b.MakeReport(200)
+	if rr.RecvRateBps != 0 || rr.MeanOwdMs != 0 || rr.FractionLost != 0 {
+		t.Errorf("empty interval report = %+v", rr)
+	}
+	if rr.PacketsRecv != 10 {
+		t.Errorf("cumulative count reset: %d", rr.PacketsRecv)
+	}
+	// Interval 3: the stream resumes at seq 11, no further loss.
+	b.OnPacket(11, 200, 225, 600)
+	rr = b.MakeReport(300)
+	if rr.FractionLost != 0 {
+		t.Errorf("interval 3 FractionLost = %v, want 0", rr.FractionLost)
+	}
+	if rr.MeanOwdMs != 25 {
+		t.Errorf("interval 3 MeanOwdMs = %v, want 25", rr.MeanOwdMs)
+	}
+}
+
+func TestReportBuilderJitterConverges(t *testing.T) {
+	b := NewReportBuilder(1)
+	// Alternating OWD 20/24 ms: |transit delta| is 4 ms every packet, so
+	// the RFC 3550 estimator converges toward 4 ms.
+	for i := 0; i < 400; i++ {
+		owd := 20.0
+		if i%2 == 1 {
+			owd = 24
+		}
+		tx := float64(i) * 10
+		b.OnPacket(uint16(i), tx, tx+owd, 100)
+	}
+	rr := b.MakeReport(4000)
+	if rr.JitterMs < 3 || rr.JitterMs > 4.1 {
+		t.Errorf("JitterMs = %v, want ~4", rr.JitterMs)
+	}
+}
+
+func TestReportBuilderWraparound(t *testing.T) {
+	b := NewReportBuilder(1)
+	// 70,000 packets in order across a wrap: zero loss.
+	for i := 0; i < 70000; i++ {
+		tx := float64(i)
+		b.OnPacket(uint16(i), tx, tx+10, 100)
+	}
+	rr := b.MakeReport(70000)
+	if rr.PacketsLost != 0 || rr.FractionLost != 0 {
+		t.Errorf("wrap counted as loss: %+v", rr)
+	}
+	if rr.PacketsRecv != 70000 {
+		t.Errorf("PacketsRecv = %d", rr.PacketsRecv)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"telepresence/internal/keypoints"
 	"telepresence/internal/netem"
 	"telepresence/internal/quic"
+	"telepresence/internal/ratecontrol"
 	"telepresence/internal/rtp"
 	"telepresence/internal/semantic"
 	"telepresence/internal/simrand"
@@ -48,6 +49,60 @@ type SessionConfig struct {
 	// protocol counts online at the AP tap; enable retention only for
 	// analyses that need packet-level records (UplinkRecords etc.).
 	RetainPackets bool
+	// RateControl, when non-nil, closes the feedback loop: every receiver
+	// periodically sends RTCP-style receiver reports back across the
+	// reverse network path, and every sender runs a
+	// ratecontrol.Controller that retargets its encoder (2D video) or
+	// thins its frame stream (spatial persona) from that feedback. Nil —
+	// the default — keeps the paper's open-loop behavior: no reports are
+	// sent, no controller state exists, and sessions are byte-identical
+	// to builds without the subsystem.
+	RateControl *RateControlConfig
+}
+
+// RateControlConfig wires a congestion controller into a session.
+type RateControlConfig struct {
+	// Controller selects the ratecontrol kind: "gcc" (delay-gradient),
+	// "loss" (loss-based AIMD) or "fixed" (open-loop baseline). Default
+	// "gcc".
+	Controller string
+	// Interval is the receiver-report period (default 100 ms).
+	Interval simtime.Duration
+	// MinBps / MaxBps bound the controller target. MaxBps defaults to the
+	// sender's nominal media rate (the encoder target for 2D video, 4 Mbps
+	// for spatial personas), so a closed-loop session never demands more
+	// than its open-loop twin; MinBps defaults to 150 kbps.
+	MinBps, MaxBps float64
+}
+
+// controllerKind returns the configured kind with the default applied.
+func (rc *RateControlConfig) controllerKind() string {
+	if rc.Controller == "" {
+		return "gcc"
+	}
+	return rc.Controller
+}
+
+// interval returns the report period with the default applied.
+func (rc *RateControlConfig) interval() simtime.Duration {
+	if rc.Interval <= 0 {
+		return 100 * simtime.Millisecond
+	}
+	return rc.Interval
+}
+
+// controllerConfig builds the ratecontrol.Config for a sender whose
+// open-loop media rate is nominalBps.
+func (rc *RateControlConfig) controllerConfig(nominalBps float64) ratecontrol.Config {
+	cfg := ratecontrol.Config{
+		InitialBps: nominalBps,
+		MinBps:     rc.MinBps,
+		MaxBps:     rc.MaxBps,
+	}
+	if cfg.MaxBps <= 0 {
+		cfg.MaxBps = nominalBps
+	}
+	return cfg
 }
 
 // DefaultSessionConfig returns a ready-to-run two-user configuration.
@@ -79,6 +134,11 @@ type UserStats struct {
 	// FramesUndecodable counts frames that arrived but failed the
 	// all-or-nothing semantic check.
 	FramesUndecodable int
+	// FramesThinned counts captured frames the sender's rate controller
+	// declined to transmit (spatial-persona sessions under RateControl:
+	// semantic frames cannot shrink, so the controller sheds rate by
+	// lowering the persona frame rate instead).
+	FramesThinned int
 	// UnavailableFrac is the fraction of session time the spatial persona
 	// was unavailable ("poor connection").
 	UnavailableFrac float64
@@ -124,6 +184,16 @@ type Session struct {
 	latN       []int
 
 	relayFree []*relayJob // pooled SFU forwarding jobs
+
+	// Rate-control state, nil/empty unless SessionConfig.RateControl is
+	// set (the closed loop draws nothing — no events, no rng, no frames —
+	// when disabled).
+	ctrls    []ratecontrol.Controller // per sender
+	builders [][]*rtp.ReportBuilder   // [sender][receiver] receive stats
+	ctrlSum  []float64                // per sender: sum of applied targets
+	ctrlN    []int                    // per sender: feedback count
+	thinAcc  []float64                // per spatial sender: frame-budget accumulator
+	nominal  []float64                // per spatial sender: measured nominal bps
 }
 
 // relayJob carries one uplink packet from the SFU ingress to its delayed
@@ -236,7 +306,9 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 
 	switch plan.Media {
 	case MediaSpatialPersona:
-		s.wireSpatial()
+		if err := s.wireSpatial(); err != nil {
+			return nil, err
+		}
 	case Media2DVideo:
 		if err := s.wireVideo(); err != nil {
 			return nil, err
@@ -272,6 +344,94 @@ func (s *Session) DownlinkShaper(i int) *netem.Shaper { return s.down[i].Shaper(
 // Capture returns the AP capture of user i.
 func (s *Session) Capture(i int) *capture.Capture { return s.caps[i] }
 
+// RateController returns sender i's congestion controller, or nil when the
+// session runs open loop (SessionConfig.RateControl unset).
+func (s *Session) RateController(i int) ratecontrol.Controller {
+	if s.ctrls == nil {
+		return nil
+	}
+	return s.ctrls[i]
+}
+
+// RateTargetBps returns sender i's current controller target, or 0 when
+// the session runs open loop.
+func (s *Session) RateTargetBps(i int) float64 {
+	if c := s.RateController(i); c != nil {
+		return c.TargetBps()
+	}
+	return 0
+}
+
+// RateTargetMeanBps returns the mean of sender i's controller target
+// sampled at every feedback arrival, or 0 before any feedback. The ccrate
+// and ccramp experiment rows report it next to the achieved rate.
+func (s *Session) RateTargetMeanBps(i int) float64 {
+	if s.ctrlN == nil || s.ctrlN[i] == 0 {
+		return 0
+	}
+	return s.ctrlSum[i] / float64(s.ctrlN[i])
+}
+
+// setupRateControl builds the per-sender controllers and per-stream report
+// builders; nominalBps is the open-loop media rate controllers start from.
+func (s *Session) setupRateControl(nominalBps float64) error {
+	rc := s.cfg.RateControl
+	n := len(s.cfg.Participants)
+	s.ctrls = make([]ratecontrol.Controller, n)
+	s.builders = make([][]*rtp.ReportBuilder, n)
+	s.ctrlSum = make([]float64, n)
+	s.ctrlN = make([]int, n)
+	for i := 0; i < n; i++ {
+		c, err := ratecontrol.New(rc.controllerKind(), rc.controllerConfig(nominalBps))
+		if err != nil {
+			return err
+		}
+		s.ctrls[i] = c
+		s.builders[i] = make([]*rtp.ReportBuilder, n)
+		for j := 0; j < n; j++ {
+			if j != i {
+				s.builders[i][j] = rtp.NewReportBuilder(rtp.VideoSSRC(i))
+			}
+		}
+	}
+	return nil
+}
+
+// onFeedback delivers one receiver report to sender i's controller and
+// applies the resulting target to the sender's encoder (2D video; spatial
+// senders read the target at the next frame tick and thin instead).
+func (s *Session) onFeedback(i int, rep *rtp.ReceiverReport, now simtime.Time) {
+	c := s.ctrls[i]
+	if c == nil {
+		return
+	}
+	c.OnFeedback(ratecontrol.Feedback{AtMs: now.Milliseconds(), Report: *rep})
+	target := c.TargetBps()
+	if s.encoders != nil && s.encoders[i] != nil {
+		s.encoders[i].SetTargetBps(target)
+	}
+	s.ctrlSum[i] += target
+	s.ctrlN[i]++
+}
+
+// handleReportFrame demuxes one wire payload that may be a marshaled
+// receiver report addressed to participant me. It reports whether the
+// payload was consumed (it was a report — valid or not, reports never fall
+// through to media parsing).
+func (s *Session) handleReportFrame(me int, payload []byte, now simtime.Time) bool {
+	if s.ctrls == nil || !rtp.IsReport(payload) {
+		return false
+	}
+	var rep rtp.ReceiverReport
+	if err := rep.Unmarshal(payload); err != nil {
+		return true
+	}
+	if sender, audio, ok := rtp.SenderOf(rep.SSRC); ok && !audio && sender == me {
+		s.onFeedback(me, &rep, now)
+	}
+	return true
+}
+
 // UplinkRecords returns the delivered frames of user i's uplink only — the
 // direction a passive observer attributes to this user's sending. Requires
 // SessionConfig.RetainPackets; the default streaming capture keeps no
@@ -295,8 +455,17 @@ func (s *Session) DownlinkRecords(i int) []capture.Record {
 // scheme: user i's uplink conn is 100+i (server side 200+i); the server's
 // downlink conn for sender i toward receiver j is 1000+i*16+j (user side
 // 2000+i*16+j), so receivers know which sender each frame came from.
-func (s *Session) wireSpatial() {
+func (s *Session) wireSpatial() error {
 	n := len(s.cfg.Participants)
+	if s.cfg.RateControl != nil {
+		// 4 Mbps is the default target ceiling for spatial senders: above
+		// the ~1.5 Mbps nominal stream, so an unimpaired closed-loop
+		// session behaves exactly like its open-loop twin (thinning ratio
+		// clamps at 1).
+		if err := s.setupRateControl(4e6); err != nil {
+			return err
+		}
+	}
 	s.quicUp = make([]*quic.Conn, n)
 	s.quicDown = make([][]*quic.Conn, n)
 	s.decoders = make([][]*semantic.Decoder, n)
@@ -361,6 +530,21 @@ func (s *Session) wireSpatial() {
 	// stamp and audio buffers are per-sender scratch: SendMessage copies
 	// into pooled connection buffers, so reuse here is safe and the steady
 	// state allocates nothing but the encoder's wire frame.
+	//
+	// Under RateControl the sender thins: semantic frames are
+	// all-or-nothing (§4.3 — they cannot shed bits per frame), so the only
+	// rate the controller can shed is frame rate. A deterministic budget
+	// accumulator keeps every k-th frame so the sent rate tracks the
+	// controller target, floored at 1/9 of nominal (a 10 fps persona at
+	// the default 90) so the stream never starves feedback entirely.
+	rc := s.cfg.RateControl
+	if rc != nil {
+		s.thinAcc = make([]float64, n)
+		s.nominal = make([]float64, n)
+		for i := range s.thinAcc {
+			s.thinAcc[i] = 1 // always send the first frame
+		}
+	}
 	interval := simtime.Duration(float64(simtime.Second) / s.cfg.SpatialFPS)
 	for i := 0; i < n; i++ {
 		i := i
@@ -371,7 +555,25 @@ func (s *Session) wireSpatial() {
 		enc := semantic.NewEncoder(s.cfg.SemanticMode)
 		var stamped []byte
 		simtime.NewTicker(s.sched, interval, func(now simtime.Time) {
-			f := gen.Next()
+			f := gen.Next() // motion advances even for thinned frames
+			if rc != nil {
+				keep := 1.0
+				if nom := s.nominal[i]; nom > 0 {
+					keep = s.ctrls[i].TargetBps() / nom
+					if keep > 1 {
+						keep = 1
+					}
+					if keep < 1.0/9 {
+						keep = 1.0 / 9
+					}
+				}
+				s.thinAcc[i] += keep
+				if s.thinAcc[i] < 1 {
+					s.stats[i].FramesThinned++
+					return
+				}
+				s.thinAcc[i]--
+			}
 			s.stats[i].FramesSent++
 			wire := enc.Encode(&f)
 			if cap(stamped) < 8+len(wire) {
@@ -380,6 +582,11 @@ func (s *Session) wireSpatial() {
 			stamped = stamped[:8+len(wire)]
 			putTime(stamped, now)
 			copy(stamped[8:], wire)
+			if rc != nil {
+				// Nominal = full-frame-rate wire cost of the stream, the
+				// denominator of the thinning ratio.
+				s.nominal[i] = float64(len(stamped)*8) * s.cfg.SpatialFPS
+			}
 			s.quicUp[i].SendMessage(stamped)
 		})
 		// Audio: 60-byte frames every 20 ms ~ 24 kbps.
@@ -388,6 +595,29 @@ func (s *Session) wireSpatial() {
 			s.quicUp[i].SendMessage(audioBuf)
 		})
 	}
+
+	// Receiver-report tickers: each receiver reports every remote spatial
+	// stream back over its own uplink QUIC conn; the server relays the
+	// report like any frame and the stream's sender demuxes it in
+	// onSpatialFrame.
+	if rc != nil {
+		var scratch []byte
+		for j := 0; j < n; j++ {
+			j := j
+			simtime.NewTicker(s.sched, rc.interval(), func(now simtime.Time) {
+				for i := 0; i < n; i++ {
+					b := s.builders[i][j]
+					if b == nil || b.Received() == 0 {
+						continue
+					}
+					rep := b.MakeReport(now.Milliseconds())
+					scratch = rep.Marshal(scratch[:0])
+					s.quicUp[j].SendMessage(scratch) // SendMessage copies
+				}
+			})
+		}
+	}
+	return nil
 }
 
 func putTime(b []byte, t simtime.Time) {
@@ -407,10 +637,24 @@ func getTime(b []byte) simtime.Time {
 
 // onSpatialFrame handles a reassembled message from sender i at receiver j.
 func (s *Session) onSpatialFrame(i, j int, data []byte, now simtime.Time) {
+	// Receiver reports ride the same relay fan-out as media; demux them
+	// before the size-based audio check (a report is shorter than a
+	// keypoint frame).
+	if s.handleReportFrame(j, data, now) {
+		return
+	}
 	if len(data) < 72 {
 		return // audio frame
 	}
 	sent := getTime(data[:8])
+	if s.builders != nil && s.builders[i][j] != nil {
+		// QUIC delivers frames reliably and in order, so a synthetic
+		// per-stream sequence number (the arrival count) stands in for an
+		// RTP seq: loss shows up as delay here, never as gaps — exactly
+		// the §4.3 semantics the delay-based controller exploits.
+		b := s.builders[i][j]
+		b.OnPacket(uint16(b.Received()), sent.Milliseconds(), now.Milliseconds(), len(data))
+	}
 	wire := data[8:]
 	// Validate applies Decode's integrity checks (header, CRC, size)
 	// without materializing keypoints no session measurement reads.
@@ -461,7 +705,7 @@ func (s *Session) wireVideo() error {
 		if s.cfg.App == FaceTime {
 			pt = rtp.PTFaceTimeVideo
 		}
-		s.packers[i] = rtp.NewPacketizer(pt, uint32(7000+i))
+		s.packers[i] = rtp.NewPacketizer(pt, rtp.VideoSSRC(i))
 		s.depacks[i] = make([]*rtp.Depacketizer, n)
 		s.vdecs[i] = make([]*video.Decoder, n)
 		for j := 0; j < n; j++ {
@@ -471,16 +715,36 @@ func (s *Session) wireVideo() error {
 			}
 		}
 	}
+	if s.cfg.RateControl != nil {
+		if err := s.setupRateControl(spec.VideoTargetBps); err != nil {
+			return err
+		}
+	}
 
 	// Wiring: uplink handler forwards RTP packets to other users'
 	// downlinks (SFU) or, in P2P, straight to the peer.
-	deliverTo := func(i, j int, pkt []byte, now simtime.Time) {
+	deliverTo := func(i, j int, pkt []byte, size int, now simtime.Time) {
 		var h rtp.Header
 		if _, err := h.Unmarshal(pkt); err != nil {
 			return
 		}
 		if h.PayloadType == rtp.PTGenericAudio || h.PayloadType == rtp.PTFaceTimeAudio {
 			return // audio contributes to throughput, not frame decode
+		}
+		if s.builders != nil && s.builders[i][j] != nil {
+			// RTP timestamps run at the packetizer clock rate (90 kHz), so
+			// the capture instant in ms is ts/90.
+			s.builders[i][j].OnPacket(h.Seq, float64(h.Timestamp)/90, now.Milliseconds(), size)
+		}
+		// Jitter-buffer timeout: an incomplete frame stalls the in-order
+		// anchor (decoders wait for retransmission they will never get);
+		// after 200 ms it is abandoned and later frames deliver. Without
+		// this, one lost packet wedges the stream for the whole session.
+		// Loss-free sessions never have a frame pending that long, so this
+		// is a no-op for them.
+		const gcHorizon = 200 * 90 // 200 ms at the 90 kHz RTP clock
+		if h.Timestamp > gcHorizon {
+			s.depacks[i][j].GC(h.Timestamp - gcHorizon)
 		}
 		// Receiver-side reassembly and decode accounting.
 		frames, err := s.depacks[i][j].Push(pkt)
@@ -499,16 +763,40 @@ func (s *Session) wireVideo() error {
 				continue
 			}
 			s.stats[j].FramesDecoded++
-			s.latSum[j] += float64(now.Sub(sent)) / float64(simtime.Millisecond)
+			lat := now.Sub(sent)
+			s.latSum[j] += float64(lat) / float64(simtime.Millisecond)
 			s.latN[j]++
+			if lat > s.cfg.LatencyLimit {
+				// Decoded but too old to count as a live persona frame;
+				// does not refresh availability (same rule as the spatial
+				// path — queueing under a cap drives frames past this).
+				continue
+			}
+			if s.lastDecode[j] != 0 {
+				if gap := now.Sub(s.lastDecode[j]); gap > s.cfg.FreshnessLimit {
+					s.staleNs[j] += int64(gap - s.cfg.FreshnessLimit)
+				}
+			}
 			s.lastDecode[j] = now
 		}
 	}
 
 	if s.plan.P2P {
 		// In P2P the pipe endpoints are shared; one handler per direction.
-		s.up[0].SetHandler(func(now simtime.Time, f netem.Frame) { deliverTo(0, 1, f.Payload, now) })
-		s.up[1].SetHandler(func(now simtime.Time, f netem.Frame) { deliverTo(1, 0, f.Payload, now) })
+		// Receiver reports ride the same reverse link as media and are
+		// demuxed off before RTP parsing.
+		s.up[0].SetHandler(func(now simtime.Time, f netem.Frame) {
+			if s.handleReportFrame(1, f.Payload, now) {
+				return
+			}
+			deliverTo(0, 1, f.Payload, f.Size, now)
+		})
+		s.up[1].SetHandler(func(now simtime.Time, f netem.Frame) {
+			if s.handleReportFrame(0, f.Payload, now) {
+				return
+			}
+			deliverTo(1, 0, f.Payload, f.Size, now)
+		})
 	} else {
 		procDelay := simtime.Duration(SpecFor(s.cfg.App).ServerProcMs * float64(simtime.Millisecond))
 		for i := 0; i < n; i++ {
@@ -517,19 +805,45 @@ func (s *Session) wireVideo() error {
 				// SFU fan-out: take ownership of the delivered payload
 				// (the sender never reuses packet buffers) instead of
 				// copying it, and carry it to the forwarding instant in a
-				// pooled job rather than a fresh closure.
+				// pooled job rather than a fresh closure. Receiver reports
+				// relay exactly like media: the SFU is payload-agnostic.
 				j := s.getRelayJob()
 				j.from, j.size, j.pkt = i, f.Size, f.Payload
 				s.sched.AfterArg(procDelay, relayFn, j)
 			})
 			s.down[i].SetHandler(func(now simtime.Time, f netem.Frame) {
+				if s.handleReportFrame(i, f.Payload, now) {
+					return
+				}
 				var h rtp.Header
 				if _, err := h.Unmarshal(f.Payload); err != nil {
 					return
 				}
-				sender := int(h.SSRC - 7000)
-				if sender >= 0 && sender < n && sender != i && s.depacks[sender][i] != nil {
-					deliverTo(sender, i, f.Payload, now)
+				sender, audio, ok := rtp.SenderOf(h.SSRC)
+				if ok && !audio && sender < n && sender != i && s.depacks[sender][i] != nil {
+					deliverTo(sender, i, f.Payload, f.Size, now)
+				}
+			})
+		}
+	}
+
+	// Receiver-report tickers: each receiver periodically reports every
+	// remote stream back across its own uplink; the SFU (or the P2P pipe)
+	// carries the report to the stream's sender like any other frame.
+	if rc := s.cfg.RateControl; rc != nil {
+		for j := 0; j < n; j++ {
+			j := j
+			simtime.NewTicker(s.sched, rc.interval(), func(now simtime.Time) {
+				for i := 0; i < n; i++ {
+					b := s.builders[i][j]
+					if b == nil || b.Received() == 0 {
+						continue // stream not flowing yet
+					}
+					rep := b.MakeReport(now.Milliseconds())
+					// The report buffer is retained by the network layer
+					// until delivery, so each send owns a fresh one.
+					wire := rep.Marshal(make([]byte, 0, rtp.ReportLen))
+					s.up[j].Send(netem.Frame{Size: len(wire) + 28, Payload: wire})
 				}
 			})
 		}
@@ -540,7 +854,7 @@ func (s *Session) wireVideo() error {
 	interval := simtime.Duration(float64(simtime.Second) / s.cfg.VideoFPS)
 	for i := 0; i < n; i++ {
 		i := i
-		audio := rtp.NewPacketizer(rtp.PTGenericAudio, uint32(8000+i))
+		audio := rtp.NewPacketizer(rtp.PTGenericAudio, rtp.AudioSSRC(i))
 		if s.cfg.App == FaceTime {
 			audio.PT = rtp.PTFaceTimeAudio
 		}
@@ -590,12 +904,15 @@ func (s *Session) Run() *Results {
 		if s.latN[i] > 0 {
 			st.MeanFrameLatencyMs = s.latSum[i] / float64(s.latN[i])
 		}
-		// Unavailability: stale gaps plus never-having-decoded time.
+		// Unavailability: stale gaps plus never-having-decoded time. A
+		// participant who never decoded a single live remote frame was
+		// unavailable for the whole session, whichever media the plan
+		// carries.
 		total := float64(s.cfg.Duration)
 		stale := float64(s.staleNs[i])
-		if s.lastDecode[i] == 0 && s.plan.Media == MediaSpatialPersona {
+		if s.lastDecode[i] == 0 {
 			stale = total
-		} else if s.lastDecode[i] != 0 {
+		} else {
 			// Tail gap after the last decode.
 			if gap := s.sched.Now().Sub(s.lastDecode[i]); gap > s.cfg.FreshnessLimit {
 				stale += float64(gap - s.cfg.FreshnessLimit)

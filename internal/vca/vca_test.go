@@ -462,3 +462,149 @@ func TestDefaultSessionCaptureIsStreaming(t *testing.T) {
 		t.Errorf("UplinkRecords returned %d records without RetainPackets", len(recs))
 	}
 }
+
+// TestVideoP2PUnderLoss exercises the P2P RTP path under random loss: the
+// depacketizer must drop incomplete frames without mis-framing, decode
+// accounting must stay consistent, and the unimpaired reverse direction
+// must not degrade.
+func TestVideoP2PUnderLoss(t *testing.T) {
+	cfg := DefaultSessionConfig(FaceTime, []Participant{
+		vp("u1", geo.Ashburn),
+		{ID: "u2", Loc: geo.NewYork, Device: MacBook},
+	})
+	cfg.Duration = 6 * simtime.Second
+	cfg.Seed = 11
+	sess, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Plan().P2P || sess.Plan().Media != Media2DVideo {
+		t.Fatalf("plan = %+v, want P2P 2D video", sess.Plan())
+	}
+	sess.UplinkShaper(0).LossProb = 0.05
+	res := sess.Run()
+	lossy, clean := res.Users[1], res.Users[0]
+	if lossy.FramesDecoded == 0 {
+		t.Fatal("no frames decoded through 5% loss")
+	}
+	// ~5% packet loss at several packets per frame kills a visible
+	// fraction of frames; the stream must degrade, not die.
+	lossyFrac := float64(lossy.FramesDecoded) / float64(clean.FramesSent)
+	if lossyFrac > 0.97 {
+		t.Errorf("lossy direction decoded %.0f%% of frames; loss had no effect", lossyFrac*100)
+	}
+	if lossyFrac < 0.3 {
+		t.Errorf("lossy direction decoded only %.0f%% of frames", lossyFrac*100)
+	}
+	cleanFrac := float64(clean.FramesDecoded) / float64(lossy.FramesSent)
+	if cleanFrac < 0.9 {
+		t.Errorf("unimpaired direction decoded only %.0f%% of frames", cleanFrac*100)
+	}
+	if up := sess.UplinkStats(0); up.DroppedLoss == 0 {
+		t.Error("shaper loss dropped nothing")
+	}
+}
+
+// TestClosedLoopVideoAdaptsToCap pins the closed loop end to end on the
+// RTP path: under a 0.7 Mbps cap the delay-gradient controller must pull
+// the encoder target down near the cap, where the open-loop twin drowns
+// its queue.
+func TestClosedLoopVideoAdaptsToCap(t *testing.T) {
+	run := func(rc *RateControlConfig) (*Results, *Session) {
+		cfg := DefaultSessionConfig(Zoom, []Participant{
+			vp("u1", geo.Ashburn), vp("u2", geo.NewYork),
+		})
+		cfg.Duration = 12 * simtime.Second
+		cfg.Seed = 12
+		cfg.RateControl = rc
+		sess, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.UplinkShaper(0).RateBps = 0.7e6
+		return sess.Run(), sess
+	}
+	openRes, _ := run(nil)
+	closedRes, closedSess := run(&RateControlConfig{Controller: "gcc"})
+
+	target := closedSess.RateTargetBps(0)
+	if target <= 0 || target > 0.9e6 {
+		t.Errorf("closed-loop target = %.0f bps, want adapted near the 0.7 Mbps cap", target)
+	}
+	if closedSess.RateTargetMeanBps(0) == 0 {
+		t.Error("no feedback ever reached the sender")
+	}
+	// The closed loop must deliver fresher frames: strictly lower receiver
+	// latency and unavailability than open loop.
+	if c, o := closedRes.Users[1].MeanFrameLatencyMs, openRes.Users[1].MeanFrameLatencyMs; c >= o {
+		t.Errorf("closed-loop latency %.0f ms not below open loop %.0f ms", c, o)
+	}
+	if c, o := closedRes.Users[1].UnavailableFrac, openRes.Users[1].UnavailableFrac; c >= o {
+		t.Errorf("closed-loop unavailability %.2f not below open loop %.2f", c, o)
+	}
+}
+
+// TestSpatialThinningUnderRateControl pins the semantic-layer scaling: a
+// spatial sender cannot shrink frames, so under a cap the controller thins
+// the frame rate — keeping the persona fresh where the open-loop session
+// goes permanently stale (§4.3's failure, fixed).
+func TestSpatialThinningUnderRateControl(t *testing.T) {
+	run := func(rc *RateControlConfig) *Results {
+		cfg := DefaultSessionConfig(FaceTime, []Participant{
+			vp("u1", geo.Ashburn), vp("u2", geo.NewYork),
+		})
+		cfg.Duration = 15 * simtime.Second
+		cfg.Seed = 13
+		cfg.RateControl = rc
+		sess, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.UplinkShaper(0).RateBps = 0.7e6
+		return sess.Run()
+	}
+	open := run(nil)
+	closed := run(&RateControlConfig{Controller: "gcc"})
+
+	if closed.Users[0].FramesThinned == 0 {
+		t.Error("capped spatial sender thinned no frames")
+	}
+	if open.Users[0].FramesThinned != 0 {
+		t.Error("open-loop sender thinned frames")
+	}
+	// Open loop collapses (pinned by TestRateCapKillsSpatialPersona);
+	// closed loop must stay mostly available at a reduced frame rate.
+	if c, o := closed.Users[1].UnavailableFrac, open.Users[1].UnavailableFrac; c >= o/2 {
+		t.Errorf("closed-loop unavailability %.2f, open loop %.2f; thinning should at least halve it", c, o)
+	}
+	if closed.Users[1].UnavailableFrac > 0.25 {
+		t.Errorf("closed-loop persona still unavailable %.0f%% of the session",
+			closed.Users[1].UnavailableFrac*100)
+	}
+	// Thinned but live: frames still decode at the reduced rate.
+	if closed.Users[1].FramesDecoded < 10*15/2 {
+		t.Errorf("closed loop decoded only %d frames", closed.Users[1].FramesDecoded)
+	}
+}
+
+// TestRateControlOffDrawsNothing pins the gate: an open-loop session built
+// with the rate-control subsystem present must behave byte-identically to
+// the pre-subsystem code — same rng draws, same events, same stats.
+func TestRateControlOffIsInert(t *testing.T) {
+	cfg := DefaultSessionConfig(FaceTime, []Participant{
+		vp("u1", geo.Ashburn), vp("u2", geo.NewYork),
+	})
+	cfg.Duration = 3 * simtime.Second
+	cfg.Seed = 42
+	sess, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.RateController(0) != nil || sess.RateTargetBps(0) != 0 || sess.RateTargetMeanBps(0) != 0 {
+		t.Error("open-loop session has controller state")
+	}
+	res := sess.Run()
+	if res.Users[0].FramesThinned != 0 {
+		t.Error("open-loop session thinned frames")
+	}
+}

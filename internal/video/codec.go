@@ -250,6 +250,15 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 // Config returns the encoder configuration (with defaults applied).
 func (e *Encoder) Config() Config { return e.cfg }
 
+// SetTargetBps retargets the closed-loop rate controller mid-stream: the
+// next Encode's quantizer adaptation steers frame sizes toward the new
+// target. This is the knob a congestion controller turns (see
+// internal/ratecontrol); <= 0 disables rate control (fixed quality).
+func (e *Encoder) SetTargetBps(bps float64) { e.cfg.TargetBps = bps }
+
+// TargetBps returns the current rate-control target.
+func (e *Encoder) TargetBps() float64 { return e.cfg.TargetBps }
+
 const (
 	frameKey   = 0x49 // 'I'
 	frameDelta = 0x50 // 'P'

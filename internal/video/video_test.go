@@ -358,3 +358,38 @@ func TestValidateMatchesDecode(t *testing.T) {
 		t.Error("Decode accepted truncated frame")
 	}
 }
+
+// TestSetTargetBpsRetargetsMidStream pins the congestion-control hook: after
+// SetTargetBps lowers the target mid-stream, the rate controller steers
+// steady-state frame sizes down toward the new budget.
+func TestSetTargetBpsRetargetsMidStream(t *testing.T) {
+	enc, err := NewEncoder(Config{W: 320, H: 240, FPS: 30, TargetBps: 1.2e6, Quality: 1,
+		GOP: 300, SkipThreshold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene := NewScene(simrand.New(1), 320, 240, 30)
+	meanSize := func(frames int) float64 {
+		var total int
+		for i := 0; i < frames; i++ {
+			ef, err := enc.Encode(scene.Next())
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(ef.Data)
+		}
+		return float64(total) / float64(frames)
+	}
+	meanSize(60) // converge at 1.2 Mbps
+	before := meanSize(30)
+	enc.SetTargetBps(0.3e6)
+	if got := enc.TargetBps(); got != 0.3e6 {
+		t.Fatalf("TargetBps = %v after SetTargetBps", got)
+	}
+	meanSize(60) // converge at the new target
+	after := meanSize(30)
+	if after >= before*0.55 {
+		t.Errorf("mean frame size %.0f -> %.0f B; want a ~4x target cut to shrink frames by >45%%",
+			before, after)
+	}
+}

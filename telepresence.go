@@ -24,6 +24,7 @@ import (
 	"telepresence/internal/core"
 	"telepresence/internal/fleet"
 	"telepresence/internal/geo"
+	"telepresence/internal/ratecontrol"
 	"telepresence/internal/render"
 	"telepresence/internal/scenario"
 	"telepresence/internal/semantic"
@@ -82,6 +83,23 @@ type (
 	SessionResults = vca.Results
 	// UserStats is one participant's measurements.
 	UserStats = vca.UserStats
+	// RateControlConfig closes the congestion-control feedback loop on a
+	// session (SessionConfig.RateControl); nil keeps the paper's
+	// open-loop behavior.
+	RateControlConfig = vca.RateControlConfig
+	// RateController is the sender-side congestion-control contract.
+	RateController = ratecontrol.Controller
+	// RateControllerConfig parameterizes a standalone controller.
+	RateControllerConfig = ratecontrol.Config
+)
+
+// Rate-control entry points (internal/ratecontrol).
+var (
+	// RateControllerKinds lists the controller kinds in the ccrate/ccramp
+	// grid order: "fixed" (open loop), "loss", "gcc".
+	RateControllerKinds = ratecontrol.Kinds
+	// NewRateController builds a controller by kind.
+	NewRateController = ratecontrol.New
 )
 
 // NewSession plans (per the paper's §4.1 matrix) and wires a session.
@@ -138,6 +156,9 @@ type (
 	HandoverRow   = core.HandoverRow
 	BurstLossRow  = core.BurstLossRow
 	CongestionRow = core.CongestionRow
+	// Closed-loop congestion-control rows (internal/ratecontrol).
+	CCRateRow = core.CCRateRow
+	CCRampRow = core.CCRampRow
 )
 
 // Server policies for the Implications-1 ablation.
@@ -154,6 +175,8 @@ var (
 	DefaultRateCaps             = core.DefaultRateCaps
 	DefaultHandoverDelaysMs     = core.DefaultHandoverDelaysMs
 	DefaultCongestionFloorsMbps = core.DefaultCongestionFloorsMbps
+	DefaultCCRateCaps           = core.DefaultCCRateCaps
+	DefaultCCRateControllers    = core.DefaultCCRateControllers
 )
 
 // Quick returns CI-scale experiment options.
