@@ -9,11 +9,13 @@ import (
 var expectedExperiments = []string{
 	"anycast", "burstloss", "ccramp", "ccrate", "congestion", "fig4", "fig5",
 	"fig6", "fig7", "handover", "keypoints", "latency", "mesh", "protocols",
-	"qoe", "rate", "remote", "servers", "viewport",
+	"qoe", "rate", "recovery", "recramp", "remote", "servers", "viewport",
 }
 
 // expectedSweepTargets is the stable sweep-target index.
-var expectedSweepTargets = []string{"burstloss", "ccramp", "ccrate", "congestion", "handover"}
+var expectedSweepTargets = []string{
+	"burstloss", "ccramp", "ccrate", "congestion", "handover", "recovery", "recramp",
+}
 
 func TestSweepRegistryComplete(t *testing.T) {
 	var names []string

@@ -42,28 +42,20 @@ func encodeJSONL(t *testing.T, results []ExperimentResult) map[string][]byte {
 
 // TestDeterminismAcrossWorkers is the fleet's core guarantee: `run all`
 // with one worker and with eight workers must produce byte-identical JSONL
-// for every experiment. The full double-suite run takes minutes; -short
-// compares a representative subset instead.
+// for every experiment. In -short mode every experiment runs a 1-rep subset
+// on both sides; non-short the sequential side reuses the cached golden
+// full-suite run (fullSuite), so the double-suite cost collapses to one
+// extra parallel run.
 func TestDeterminismAcrossWorkers(t *testing.T) {
-	exps := core.Experiments()
+	var want, got map[string][]byte
 	if testing.Short() {
-		var err error
-		exps, err = Select("fig4", "fig5", "mesh", "keypoints", "servers")
-		if err != nil {
-			t.Fatal(err)
-		}
+		exps := subsetExperiments(core.Experiments())
+		want = suiteJSONL(t, exps, 1)
+		got = suiteJSONL(t, exps, 8)
+	} else {
+		want = fullSuite(t)
+		got = suiteJSONL(t, core.Experiments(), 8)
 	}
-	opts := testOpts(1)
-	seq, err := Run(exps, opts, Config{Workers: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	par, err := Run(exps, opts, Config{Workers: 8})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := encodeJSONL(t, seq)
-	got := encodeJSONL(t, par)
 	if len(want) != len(got) {
 		t.Fatalf("experiment counts differ: %d vs %d", len(want), len(got))
 	}

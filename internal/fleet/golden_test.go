@@ -7,7 +7,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"testing"
+
+	"telepresence/internal/core"
 )
 
 // regenGolden rewrites the checked-in golden suite output. Run it only when a
@@ -18,16 +21,39 @@ var regenGolden = flag.Bool("regen-golden", false, "rewrite testdata/golden_suit
 
 const goldenPath = "testdata/golden_suite.jsonl"
 
-// goldenSuite renders the full registered suite at the golden options as one
-// deterministic byte stream: experiments sorted by name, each prefixed with a
-// '#' header line, rows as JSONL.
-func goldenSuite(t *testing.T, workers int) []byte {
+// suiteJSONL runs the given experiments at the golden options and renders
+// each one's rows as JSONL, keyed by name.
+func suiteJSONL(t *testing.T, exps []core.Experiment, workers int) map[string][]byte {
 	t.Helper()
-	results, err := RunAll(testOpts(1), Config{Workers: workers})
+	results, err := Run(exps, testOpts(1), Config{Workers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
-	byName := encodeJSONL(t, results)
+	return encodeJSONL(t, results)
+}
+
+// fullSuiteW1 caches the workers=1 full-suite run: it is both the golden
+// comparison subject and the sequential side of the worker-determinism
+// check, so sharing it saves a full multi-minute suite run per `go test`.
+var fullSuiteW1 struct {
+	once   sync.Once
+	byName map[string][]byte
+}
+
+func fullSuite(t *testing.T) map[string][]byte {
+	t.Helper()
+	fullSuiteW1.once.Do(func() {
+		fullSuiteW1.byName = suiteJSONL(t, core.Experiments(), 1)
+	})
+	if fullSuiteW1.byName == nil {
+		t.Fatal("full-suite run failed in an earlier test")
+	}
+	return fullSuiteW1.byName
+}
+
+// renderSuite flattens per-experiment JSONL into the golden byte stream:
+// experiments sorted by name, each prefixed with a '#' header line.
+func renderSuite(byName map[string][]byte) []byte {
 	names := make([]string, 0, len(byName))
 	for name := range byName {
 		names = append(names, name)
@@ -41,16 +67,60 @@ func goldenSuite(t *testing.T, workers int) []byte {
 	return buf.Bytes()
 }
 
-// TestGoldenSuite pins every experiment row to the checked-in pre-refactor
-// output: performance work on the session hot path (streaming capture,
-// buffer pooling, scheduler changes) must not move a single byte of any
-// experiment result. Run with -short to skip the full-suite run.
-func TestGoldenSuite(t *testing.T) {
-	if testing.Short() && !*regenGolden {
-		t.Skip("full-suite golden comparison skipped in -short mode")
+// subsetExperiments trims every experiment to its first repetition: the
+// -short golden and determinism subset. Because the fleet merges rows in
+// rep order, a 1-rep run's rows are a byte prefix of the full run's rows.
+func subsetExperiments(exps []core.Experiment) []core.Experiment {
+	out := make([]core.Experiment, len(exps))
+	for i, e := range exps {
+		orig := e.Reps
+		e.Reps = func(o core.Options) int {
+			if n := orig(o); n < 1 {
+				return n
+			}
+			return 1
+		}
+		out[i] = e
 	}
-	got := goldenSuite(t, 1)
+	return out
+}
+
+// goldenSections splits the golden file into per-experiment JSONL bodies.
+func goldenSections(t *testing.T, data []byte) map[string][]byte {
+	t.Helper()
+	sections := map[string][]byte{}
+	var name string
+	var body []byte
+	flush := func() {
+		if name != "" {
+			sections[name] = body
+		}
+	}
+	for _, line := range bytes.SplitAfter(data, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("# ")) {
+			flush()
+			name = string(bytes.TrimSpace(line[2:]))
+			body = nil
+			continue
+		}
+		body = append(body, line...)
+	}
+	flush()
+	if len(sections) == 0 {
+		t.Fatalf("golden file has no sections")
+	}
+	return sections
+}
+
+// TestGoldenSuite pins every experiment row to the checked-in output:
+// changes to the session hot path, the scheduler, or any substrate must not
+// move a single byte of any experiment result. In -short mode each
+// experiment runs its first repetition only and is checked as a byte prefix
+// of its golden section — real golden coverage in seconds instead of the
+// multi-minute full-suite run (which CI still performs non-short).
+func TestGoldenSuite(t *testing.T) {
 	if *regenGolden {
+		got := renderSuite(fullSuite(t))
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
 			t.Fatal(err)
 		}
@@ -64,6 +134,30 @@ func TestGoldenSuite(t *testing.T) {
 	if err != nil {
 		t.Fatalf("missing golden file (generate with -regen-golden): %v", err)
 	}
+	if testing.Short() {
+		got := suiteJSONL(t, subsetExperiments(core.Experiments()), 1)
+		sections := goldenSections(t, want)
+		if len(got) != len(sections) {
+			t.Fatalf("experiment count %d differs from golden sections %d", len(got), len(sections))
+		}
+		for name, rows := range got {
+			section, ok := sections[name]
+			if !ok {
+				t.Errorf("%s: no golden section (regen needed?)", name)
+				continue
+			}
+			if len(rows) == 0 {
+				t.Errorf("%s: 1-rep subset emitted no rows", name)
+				continue
+			}
+			if !bytes.HasPrefix(section, rows) {
+				t.Errorf("%s: 1-rep rows are not a prefix of the golden section\ngot:    %.200s\ngolden: %.200s",
+					name, rows, section)
+			}
+		}
+		return
+	}
+	got := renderSuite(fullSuite(t))
 	if bytes.Equal(want, got) {
 		return
 	}

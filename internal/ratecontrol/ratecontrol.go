@@ -86,9 +86,14 @@ type Config struct {
 	BackoffGapMs float64
 }
 
+// DefaultMinBps is the default lower bound on a controller target; callers
+// flooring derived targets (ratecontrol.ApplyOverhead in the session layer)
+// share it so their floor and the controller's clamp cannot diverge.
+const DefaultMinBps = 150e3
+
 func (c Config) withDefaults() Config {
 	if c.MinBps <= 0 {
-		c.MinBps = 150e3
+		c.MinBps = DefaultMinBps
 	}
 	if c.MaxBps <= 0 {
 		c.MaxBps = 6e6
@@ -157,6 +162,23 @@ func New(kind string, cfg Config) (Controller, error) {
 	default:
 		return nil, fmt.Errorf("ratecontrol: unknown controller kind %q (have %v)", kind, Kinds())
 	}
+}
+
+// ApplyOverhead charges redundancy overhead (FEC parity, retransmissions —
+// internal/recovery) against a controller target: with overheadRatio r of
+// redundancy bytes per media byte, the media share of the target is
+// target/(1+r), so media plus redundancy together stay within what the
+// controller granted. A non-positive ratio leaves the target unchanged; the
+// result never falls below minBps (pass 0 for no floor) — a pathological
+// overhead estimate must not starve the encoder entirely.
+func ApplyOverhead(targetBps, overheadRatio, minBps float64) float64 {
+	if overheadRatio > 0 {
+		targetBps /= 1 + overheadRatio
+	}
+	if targetBps < minBps {
+		targetBps = minBps
+	}
+	return targetBps
 }
 
 // ------------------------------------------------------------------ Fixed

@@ -182,3 +182,23 @@ func TestTrendSlope(t *testing.T) {
 		t.Errorf("zero-variance slope = %v, want 0", s)
 	}
 }
+
+func TestApplyOverhead(t *testing.T) {
+	if got := ApplyOverhead(1e6, 0, 0); got != 1e6 {
+		t.Errorf("zero overhead changed the target: %v", got)
+	}
+	if got := ApplyOverhead(1.2e6, 0.2, 0); got != 1e6 {
+		t.Errorf("20%% overhead: %v, want 1e6", got)
+	}
+	// Media (target/(1+r)) plus redundancy (r x media) equals the grant.
+	media := ApplyOverhead(2e6, 0.15, 0)
+	if total := media * 1.15; total < 2e6*0.999 || total > 2e6*1.001 {
+		t.Errorf("media+redundancy = %v, want 2e6", total)
+	}
+	if got := ApplyOverhead(1e6, 9, 300e3); got != 300e3 {
+		t.Errorf("floor not applied: %v", got)
+	}
+	if got := ApplyOverhead(1e6, -1, 0); got != 1e6 {
+		t.Errorf("negative ratio changed the target: %v", got)
+	}
+}

@@ -1,0 +1,139 @@
+// Package recovery implements pluggable loss recovery for RTP media
+// sessions: the repair half the paper's measured VCAs all have and the
+// simulation's sessions lacked. Without it, one lost RTP packet stalls the
+// receiver's in-order reassembly until the frame timeout concedes the frame
+// (internal/rtp.Depacketizer.GC); with it, the packet is either
+// retransmitted on request or reconstructed from XOR parity before the
+// timeout, and the frame decodes.
+//
+// Three strategies are provided (plus the "none" baseline):
+//
+//   - "nack": receiver-driven NACK/RTX. The receiver tracks sequence gaps
+//     and periodically requests missing packets (rtp.Nack over the reverse
+//     path, with a per-seq retry and deadline budget); the sender answers
+//     from a bounded retransmit cache. Costs ~one extra packet per loss but
+//     a NACK round trip of repair delay.
+//   - "fec": sender-side XOR parity over groups of k consecutive media
+//     packets (rtp.Parity). The receiver reconstructs any single missing
+//     packet of a group with zero feedback delay — but a burst that takes
+//     two packets of one group defeats the parity, which is exactly the
+//     strategy x burstiness contrast the recovery experiments measure.
+//   - "hybrid": FEC first, NACK for whatever parity cannot rebuild, with
+//     the parity group length adapted from the loss fraction the receiver
+//     reports (rtp.ReceiverReport.FractionLost): more loss, shorter groups,
+//     more redundancy — bounded so parity overhead stays within the
+//     redundancy budget (<= 1/MinGroupLen of the media rate).
+//
+// Everything is deterministic and rng-free: state advances only on packet
+// arrival, report arrival, and explicit Tick calls, so sessions stay
+// byte-identical per seed and the fleet's worker-count invariance holds.
+// Timestamps are plain float64 milliseconds; the package schedules nothing
+// itself (internal/vca owns the tickers).
+package recovery
+
+import "fmt"
+
+// Kinds lists the strategy kinds in grid order: the recovery and recramp
+// experiments sweep the index into this list, so the order is part of the
+// experiments' cell-seed contract and must stay stable. Index 0 is the
+// no-recovery baseline.
+func Kinds() []string { return []string{"none", "nack", "fec", "hybrid"} }
+
+// Plan describes what a strategy kind needs from the session wiring: which
+// halves to instantiate and which feedback flows to enable.
+type Plan struct {
+	// Nack enables receiver gap tracking with NACK feedback and the
+	// sender's retransmit cache.
+	Nack bool
+	// FEC enables sender parity emission and receiver reconstruction.
+	FEC bool
+	// Adaptive makes the sender adapt its parity group length from the
+	// loss fraction in receiver reports (requires report flow even when no
+	// rate controller is attached).
+	Adaptive bool
+}
+
+// Active reports whether the plan needs any wiring at all (false only for
+// the "none" baseline, which must behave exactly like no recovery).
+func (p Plan) Active() bool { return p.Nack || p.FEC }
+
+// PlanFor resolves a strategy kind to its wiring plan.
+func PlanFor(kind string) (Plan, error) {
+	switch kind {
+	case "none":
+		return Plan{}, nil
+	case "nack":
+		return Plan{Nack: true}, nil
+	case "fec":
+		return Plan{FEC: true}, nil
+	case "hybrid":
+		return Plan{Nack: true, FEC: true, Adaptive: true}, nil
+	default:
+		return Plan{}, fmt.Errorf("recovery: unknown strategy kind %q (have %v)", kind, Kinds())
+	}
+}
+
+// Config parameterizes a strategy. The zero value of every field selects a
+// sane default (see withDefaults). All durations are float64 milliseconds:
+// the package never touches simtime.
+type Config struct {
+	// NackDelayMs is the reordering grace: a gap must stay open this long
+	// before the first NACK goes out (default 10).
+	NackDelayMs float64
+	// NackRetryMs is the minimum spacing between NACKs for the same seq
+	// (default 40).
+	NackRetryMs float64
+	// NackRetries is the per-seq NACK budget (default 3).
+	NackRetries int
+	// NackDeadlineMs is the per-seq give-up horizon from first-missed;
+	// after it the seq counts as unrepaired (default 160). The session
+	// layer coordinates the depacketizer's frame timeout with it: a NACK'd
+	// frame must not be garbage-collected before its retry budget expires.
+	NackDeadlineMs float64
+	// CachePackets bounds the sender's retransmit cache (default 512).
+	CachePackets int
+	// GroupLen is the XOR parity group size k for the static "fec"
+	// strategy and the starting size for "hybrid" (default 6: parity adds
+	// ~1/6 of the media rate).
+	GroupLen int
+	// MinGroupLen / MaxGroupLen bound hybrid's loss-adaptive group length
+	// (defaults 6 and 12). MinGroupLen is the redundancy budget: parity
+	// overhead can never exceed 1/MinGroupLen of the media rate.
+	MinGroupLen, MaxGroupLen int
+}
+
+// WithDefaults returns the config with every zero field replaced by its
+// default — for callers that need the effective values (the session layer
+// coordinates its frame timeout with the effective NACK deadline).
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	if c.NackDelayMs <= 0 {
+		c.NackDelayMs = 10
+	}
+	if c.NackRetryMs <= 0 {
+		c.NackRetryMs = 40
+	}
+	if c.NackRetries <= 0 {
+		c.NackRetries = 3
+	}
+	if c.NackDeadlineMs <= 0 {
+		c.NackDeadlineMs = 160
+	}
+	if c.CachePackets <= 0 {
+		c.CachePackets = 512
+	}
+	if c.MinGroupLen < 2 {
+		c.MinGroupLen = 6
+	}
+	if c.MaxGroupLen < c.MinGroupLen {
+		c.MaxGroupLen = 12
+		if c.MaxGroupLen < c.MinGroupLen {
+			c.MaxGroupLen = c.MinGroupLen
+		}
+	}
+	if c.GroupLen < 2 {
+		c.GroupLen = c.MinGroupLen
+	}
+	return c
+}

@@ -1,0 +1,311 @@
+package recovery
+
+import (
+	"bytes"
+	"testing"
+
+	"telepresence/internal/rtp"
+)
+
+func mkPackets(t *testing.T, n, size int) [][]byte {
+	t.Helper()
+	p := rtp.NewPacketizer(rtp.PTGenericVideo, rtp.VideoSSRC(0))
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		frame := make([]byte, size)
+		for j := range frame {
+			frame[j] = byte(i*31 + j)
+		}
+		out = append(out, p.Packetize(frame, float64(i)/30)...)
+	}
+	return out
+}
+
+func newPair(t *testing.T, kind string, cfg Config) (*Sender, *Receiver) {
+	t.Helper()
+	s, err := NewSender(kind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReceiver(kind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+func TestPlanFor(t *testing.T) {
+	for _, kind := range Kinds() {
+		if _, err := PlanFor(kind); err != nil {
+			t.Errorf("PlanFor(%q): %v", kind, err)
+		}
+	}
+	if _, err := PlanFor("bogus"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if p, _ := PlanFor("none"); p.Active() {
+		t.Error("none plan is active")
+	}
+	if p, _ := PlanFor("hybrid"); !p.Nack || !p.FEC || !p.Adaptive {
+		t.Errorf("hybrid plan %+v", p)
+	}
+}
+
+func TestSenderParityEmission(t *testing.T) {
+	s, _ := newPair(t, "fec", Config{GroupLen: 4})
+	pkts := mkPackets(t, 1, 4*1100) // 4 equal-ish MTU packets
+	if len(pkts) != 4 {
+		t.Fatalf("%d packets, want 4", len(pkts))
+	}
+	var parity []byte
+	for i, pkt := range pkts {
+		p := s.OnPacket(pkt)
+		if i < 3 && p != nil {
+			t.Fatalf("parity emitted early at packet %d", i)
+		}
+		if i == 3 {
+			parity = p
+		}
+	}
+	if parity == nil {
+		t.Fatal("no parity after a full group")
+	}
+	var p rtp.Parity
+	if err := p.Unmarshal(parity); err != nil {
+		t.Fatal(err)
+	}
+	if p.Count != 4 || p.SSRC != rtp.VideoSSRC(0) {
+		t.Fatalf("parity header %+v", p)
+	}
+	// Manual reconstruction of packet 2 from the other three.
+	want := pkts[2]
+	buf := make([]byte, len(p.Data))
+	copy(buf, p.Data)
+	recLen := p.LenXor
+	for i, pkt := range pkts {
+		if i == 2 {
+			continue
+		}
+		recLen ^= uint16(len(pkt))
+		for j, b := range pkt {
+			buf[j] ^= b
+		}
+	}
+	if int(recLen) != len(want) || !bytes.Equal(buf[:recLen], want) {
+		t.Fatal("XOR reconstruction of a dropped packet failed")
+	}
+	if st := s.Stats(); st.ParityPackets != 1 || st.MediaPackets != 4 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestSenderCacheAndNack(t *testing.T) {
+	s, _ := newPair(t, "nack", Config{NackRetries: 2, CachePackets: 8})
+	pkts := mkPackets(t, 3, 500)
+	for _, pkt := range pkts {
+		if s.OnPacket(pkt) != nil {
+			t.Fatal("nack-only sender emitted parity")
+		}
+	}
+	n := &rtp.Nack{SSRC: rtp.VideoSSRC(0), Seqs: []uint16{1, 99}}
+	out := s.OnNack(n)
+	if len(out) != 1 || !bytes.Equal(out[0], pkts[1]) {
+		t.Fatalf("OnNack returned %d packets", len(out))
+	}
+	if st := s.Stats(); st.CacheMisses != 1 || st.RtxPackets != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	// Per-seq resend budget.
+	s.OnNack(n)
+	if out := s.OnNack(n); len(out) != 0 {
+		t.Error("resend budget not enforced")
+	}
+}
+
+func TestReceiverNackLifecycle(t *testing.T) {
+	cfg := Config{NackDelayMs: 10, NackRetryMs: 40, NackRetries: 2, NackDeadlineMs: 100}
+	_, r := newPair(t, "nack", cfg)
+	pkts := mkPackets(t, 6, 500) // seqs 0..5
+	r.OnMedia(pkts[0], 0)
+	r.OnMedia(pkts[3], 5) // gap: 1, 2
+	if got := r.Outstanding(); got != 2 {
+		t.Fatalf("outstanding %d, want 2", got)
+	}
+	if due := r.Tick(6, nil); len(due) != 0 {
+		t.Fatalf("NACK before the reordering grace: %v", due)
+	}
+	due := r.Tick(20, nil)
+	if len(due) != 2 || due[0] != 1 || due[1] != 2 {
+		t.Fatalf("due = %v, want [1 2]", due)
+	}
+	if due = r.Tick(30, nil); len(due) != 0 {
+		t.Fatalf("retry before NackRetryMs: %v", due)
+	}
+	// Seq 1 arrives (the retransmission); 2 stays out.
+	r.OnMedia(pkts[1], 40)
+	due = r.Tick(65, nil)
+	if len(due) != 1 || due[0] != 2 {
+		t.Fatalf("due = %v, want [2]", due)
+	}
+	if due = r.Tick(110, nil); len(due) != 0 {
+		t.Fatalf("retry budget exhausted but due = %v", due)
+	}
+	r.Tick(200, nil) // past the deadline
+	st := r.Stats()
+	if st.Missed != 2 || st.RepairedRtx != 1 || st.Unrepaired != 1 || r.Outstanding() != 0 {
+		t.Errorf("stats %+v, outstanding %d", st, r.Outstanding())
+	}
+	if len(st.RepairDelaysMs) != 1 || st.RepairDelaysMs[0] != 35 {
+		t.Errorf("repair delays %v, want [35]", st.RepairDelaysMs)
+	}
+}
+
+func TestFecRecoversSingleLoss(t *testing.T) {
+	s, r := newPair(t, "fec", Config{GroupLen: 4})
+	pkts := mkPackets(t, 1, 4*1100)
+	var parity []byte
+	for _, pkt := range pkts {
+		if p := s.OnPacket(pkt); p != nil {
+			parity = p
+		}
+	}
+	// Packet 2 lost; parity arrives after the rest.
+	for i, pkt := range pkts {
+		if i == 2 {
+			continue
+		}
+		if rec := r.OnMedia(pkt, float64(i)); rec != nil {
+			t.Fatal("recovered before parity arrived")
+		}
+	}
+	rec := r.OnParity(parity, 10)
+	if rec == nil {
+		t.Fatal("no reconstruction from parity")
+	}
+	if !bytes.Equal(rec, pkts[2]) {
+		t.Fatal("reconstructed packet differs from the lost one")
+	}
+	st := r.Stats()
+	if st.RepairedFec != 1 || st.Unrepaired != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestFecParityBeforeMembers(t *testing.T) {
+	// Jitter can deliver a group's parity before its last members: the
+	// parity must be buffered and retried as media arrives.
+	s, r := newPair(t, "fec", Config{GroupLen: 3})
+	pkts := mkPackets(t, 1, 3*1100)
+	var parity []byte
+	for _, pkt := range pkts {
+		if p := s.OnPacket(pkt); p != nil {
+			parity = p
+		}
+	}
+	if rec := r.OnMedia(pkts[0], 0); rec != nil {
+		t.Fatal("early recovery")
+	}
+	if rec := r.OnParity(parity, 1); rec != nil {
+		t.Fatal("recovered with two members missing")
+	}
+	// Packet 2 arrives; packet 1 is the single unknown now.
+	rec := r.OnMedia(pkts[2], 2)
+	if rec == nil || !bytes.Equal(rec, pkts[1]) {
+		t.Fatal("pending parity not retried on member arrival")
+	}
+	// The recovered seq was never NACK-tracked as unrepaired.
+	r.Tick(1000, nil)
+	if st := r.Stats(); st.RepairedFec != 1 || st.Unrepaired != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestHybridAdaptsGroupLen(t *testing.T) {
+	s, _ := newPair(t, "hybrid", Config{MinGroupLen: 6, MaxGroupLen: 12})
+	if s.Stats().GroupLen != 6 {
+		t.Fatalf("initial group %d, want 6 (MinGroupLen default start)", s.Stats().GroupLen)
+	}
+	// Clean reports: redundancy relaxes to the max group length.
+	for i := 0; i < 100; i++ {
+		s.OnReportLoss(0)
+	}
+	s.OnPacket(mkPackets(t, 1, 100)[0]) // boundary applies nextLen
+	if got := s.Stats().GroupLen; got != 12 {
+		t.Errorf("group after clean reports %d, want 12", got)
+	}
+	// Heavy loss: redundancy tightens back to the budget floor.
+	for i := 0; i < 100; i++ {
+		s.OnReportLoss(0.5)
+	}
+	pkts := mkPackets(t, 2, 100)
+	s.OnPacket(pkts[0])
+	s.OnPacket(pkts[1])
+	if got := s.Stats().GroupLen; got < 6 || got > 12 {
+		t.Errorf("group after lossy reports %d outside [6,12]", got)
+	}
+	// A non-adaptive strategy ignores reports.
+	fs, _ := newPair(t, "fec", Config{GroupLen: 4})
+	fs.OnReportLoss(0.9)
+	if fs.Stats().GroupLen != 4 {
+		t.Error("static fec adapted its group length")
+	}
+}
+
+func TestReceiverSeqWraparound(t *testing.T) {
+	cfg := Config{NackDelayMs: 1}
+	_, r := newPair(t, "nack", cfg)
+	p := rtp.NewPacketizer(rtp.PTGenericVideo, rtp.VideoSSRC(0))
+	// Drive the packetizer to just below the wrap.
+	mk := func(seq uint16) []byte {
+		h := rtp.Header{PayloadType: rtp.PTGenericVideo, Seq: seq, SSRC: p.SSRC}
+		return append(h.Marshal(nil), 1, 2, 3)
+	}
+	r.OnMedia(mk(0xFFFE), 0)
+	r.OnMedia(mk(2), 1) // gap: FFFF, 0, 1 across the wrap
+	if got := r.Outstanding(); got != 3 {
+		t.Fatalf("outstanding %d, want 3", got)
+	}
+	due := r.Tick(10, nil)
+	if len(due) != 3 || due[0] != 0xFFFF || due[1] != 0 || due[2] != 1 {
+		t.Fatalf("due = %v, want wrap-ordered [65535 0 1]", due)
+	}
+}
+
+func TestReceiverResyncAfterOutage(t *testing.T) {
+	_, r := newPair(t, "nack", Config{})
+	pkts := mkPackets(t, 1, 100)
+	r.OnMedia(pkts[0], 0)
+	h := rtp.Header{PayloadType: rtp.PTGenericVideo, Seq: 1000, SSRC: rtp.VideoSSRC(0)}
+	r.OnMedia(append(h.Marshal(nil), 9), 1)
+	if r.Outstanding() != 0 {
+		t.Error("outage gap tracked packet by packet")
+	}
+	st := r.Stats()
+	if st.Missed != 999 || st.Unrepaired != 999 {
+		t.Errorf("stats %+v, want 999 missed and unrepaired in bulk", st)
+	}
+}
+
+func TestNoneKindIsInert(t *testing.T) {
+	s, r := newPair(t, "none", Config{})
+	pkts := mkPackets(t, 8, 1000)
+	for i, pkt := range pkts {
+		if s.OnPacket(pkt) != nil {
+			t.Fatal("none sender emitted parity")
+		}
+		if i != 2 { // drop one
+			if r.OnMedia(pkt, float64(i)) != nil {
+				t.Fatal("none receiver recovered a packet")
+			}
+		}
+	}
+	if due := r.Tick(1000, nil); len(due) != 0 {
+		t.Fatalf("none receiver scheduled NACKs: %v", due)
+	}
+	if s.OverheadRatio() != 0 {
+		t.Error("none sender has overhead")
+	}
+	if out := s.OnNack(&rtp.Nack{Seqs: []uint16{2}}); out != nil {
+		t.Error("none sender answered a NACK")
+	}
+}

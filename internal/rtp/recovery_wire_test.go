@@ -1,0 +1,139 @@
+package rtp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNackRoundTrip(t *testing.T) {
+	in := Nack{SSRC: VideoSSRC(2), Seqs: []uint16{1, 7, 0xFFFF, 0}}
+	wire := in.Marshal(nil)
+	if !IsNack(wire) {
+		t.Fatal("marshaled nack not classified by IsNack")
+	}
+	var out Nack
+	if err := out.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if out.SSRC != in.SSRC || len(out.Seqs) != len(in.Seqs) {
+		t.Fatalf("round trip: %+v vs %+v", in, out)
+	}
+	for i := range in.Seqs {
+		if out.Seqs[i] != in.Seqs[i] {
+			t.Fatalf("seq %d: %d != %d", i, out.Seqs[i], in.Seqs[i])
+		}
+	}
+	// Reused Nack appends into the existing seq buffer.
+	prev := &out.Seqs[0]
+	if err := out.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if &out.Seqs[0] != prev {
+		t.Error("reused Nack reallocated its seq list")
+	}
+}
+
+func TestNackEmptyAndErrors(t *testing.T) {
+	empty := (&Nack{SSRC: 1}).Marshal(nil)
+	var out Nack
+	if err := out.Unmarshal(empty); err != nil || len(out.Seqs) != 0 {
+		t.Fatalf("empty nack: %v, seqs %v", err, out.Seqs)
+	}
+	if err := out.Unmarshal(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	// Truncated seq list.
+	trunc := (&Nack{SSRC: 1, Seqs: []uint16{1, 2, 3}}).Marshal(nil)
+	if err := out.Unmarshal(trunc[:len(trunc)-2]); err == nil {
+		t.Error("truncated seq list accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized nack did not panic")
+		}
+	}()
+	(&Nack{Seqs: make([]uint16, MaxNackSeqs+1)}).Marshal(nil)
+}
+
+func TestParityRoundTrip(t *testing.T) {
+	in := Parity{SSRC: VideoSSRC(1), BaseSeq: 0xFFFE, Count: 4, LenXor: 0x1234, Data: []byte{1, 2, 3, 4, 5}}
+	wire := in.Marshal(nil)
+	if !IsParity(wire) {
+		t.Fatal("marshaled parity not classified by IsParity")
+	}
+	var out Parity
+	if err := out.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if out.SSRC != in.SSRC || out.BaseSeq != in.BaseSeq || out.Count != in.Count ||
+		out.LenXor != in.LenXor || !bytes.Equal(out.Data, in.Data) {
+		t.Fatalf("round trip: %+v vs %+v", in, out)
+	}
+}
+
+func TestParityErrors(t *testing.T) {
+	var out Parity
+	if err := out.Unmarshal(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	bad := Parity{Count: 1, Data: []byte{1}}
+	if err := out.Unmarshal(bad.Marshal(nil)); err == nil {
+		t.Error("group of 1 accepted")
+	}
+}
+
+// TestWireFamiliesDisjoint extends the PR 4 first-byte disjointness property
+// to all three non-RTP families: for randomized field values, a marshaled
+// ReceiverReport, Nack, or Parity packet classifies as exactly its own
+// family — never as RTP, and never as either other family. The four formats
+// share links, so a misclassification would corrupt a stream.
+func TestWireFamiliesDisjoint(t *testing.T) {
+	classify := func(b []byte) (rtp, rep, nack, par bool) {
+		return IsRTP(b), IsReport(b), IsNack(b), IsParity(b)
+	}
+	exactlyOne := func(want string, b []byte) bool {
+		rtp, rep, nack, par := classify(b)
+		switch want {
+		case "report":
+			return !rtp && rep && !nack && !par
+		case "nack":
+			return !rtp && !rep && nack && !par
+		case "parity":
+			return !rtp && !rep && !nack && par
+		case "rtp":
+			return rtp && !rep && !nack && !par
+		}
+		return false
+	}
+	f := func(ssrc uint32, seqA, seqB, base uint16, count uint8, lenXor uint16, frac float64, data []byte) bool {
+		rep := ReceiverReport{SSRC: ssrc, FractionLost: frac}
+		n := Nack{SSRC: ssrc, Seqs: []uint16{seqA, seqB}}
+		if count < 2 {
+			count = 2
+		}
+		p := Parity{SSRC: ssrc, BaseSeq: base, Count: count, LenXor: lenXor, Data: data}
+		h := Header{PayloadType: PTGenericVideo, Seq: seqA, Timestamp: uint32(base), SSRC: ssrc}
+		pkt := append(h.Marshal(nil), data...)
+		return exactlyOne("report", rep.Marshal(nil)) &&
+			exactlyOne("nack", n.Marshal(nil)) &&
+			exactlyOne("parity", p.Marshal(nil)) &&
+			exactlyOne("rtp", pkt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Cross-parsing must error, not misread.
+	var n Nack
+	if err := n.Unmarshal((&ReceiverReport{}).Marshal(nil)); err == nil {
+		t.Error("nack parser accepted a report")
+	}
+	var p Parity
+	if err := p.Unmarshal((&Nack{}).Marshal(nil)); err == nil {
+		t.Error("parity parser accepted a nack")
+	}
+	var r ReceiverReport
+	if err := r.Unmarshal((&Parity{Count: 2, Data: make([]byte, 64)}).Marshal(nil)); err == nil {
+		t.Error("report parser accepted a parity packet")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"telepresence/internal/netem"
 	"telepresence/internal/quic"
 	"telepresence/internal/ratecontrol"
+	"telepresence/internal/recovery"
 	"telepresence/internal/rtp"
 	"telepresence/internal/semantic"
 	"telepresence/internal/simrand"
@@ -58,7 +59,29 @@ type SessionConfig struct {
 	// sent, no controller state exists, and sessions are byte-identical
 	// to builds without the subsystem.
 	RateControl *RateControlConfig
+	// Recovery, when non-nil, adds loss recovery to the RTP media path
+	// (internal/recovery): receiver-driven NACK/RTX, XOR-parity FEC, or
+	// both, with NACKs and parity riding the same links as media and
+	// receiver reports. Nil — the default — schedules no recovery events
+	// and draws no randomness, so sessions are byte-identical to builds
+	// without the subsystem (TestRecoveryOffIsInert, golden suite).
+	// Spatial sessions reject active recovery: their QUIC streams already
+	// retransmit, so there is nothing for the RTP-level machinery to do.
+	Recovery *RecoveryConfig
+	// FrameTimeout is how long the receiver's depacketizer holds an
+	// incomplete RTP frame before abandoning it (DefaultFrameTimeout when
+	// zero). Under Recovery with NACK the effective timeout is raised to
+	// cover the NACK deadline plus two scan intervals, so a NACK'd frame
+	// is never garbage-collected before its retry budget expires.
+	FrameTimeout simtime.Duration
 }
+
+// DefaultFrameTimeout is the default depacketizer incomplete-frame timeout:
+// how long a receiver waits for a missing packet before conceding the frame
+// and letting later frames deliver. 200 ms holds a frame across a NACK
+// round trip with retries yet stays under the 250 ms default LatencyLimit,
+// so a frame that completes just before the timeout still counts as live.
+const DefaultFrameTimeout = 200 * simtime.Millisecond
 
 // RateControlConfig wires a congestion controller into a session.
 type RateControlConfig struct {
@@ -105,6 +128,59 @@ func (rc *RateControlConfig) controllerConfig(nominalBps float64) ratecontrol.Co
 	return cfg
 }
 
+// RecoveryConfig wires a loss-recovery strategy into a session's RTP media
+// path. Zero-valued fields select the internal/recovery defaults.
+type RecoveryConfig struct {
+	// Strategy selects the recovery kind: "nack" (receiver-driven
+	// NACK/RTX), "fec" (XOR parity groups), "hybrid" (FEC with NACK
+	// fallback and loss-adaptive redundancy) or "none" (wired but inert —
+	// the experiments' baseline). Default "hybrid".
+	Strategy string
+	// Interval is the receiver's NACK/deadline scan period (default
+	// 25 ms). Each tick sends at most one burst of NACKs per remote
+	// stream.
+	Interval simtime.Duration
+	// NackRetries / NackDeadline bound the per-seq retry budget; zero
+	// selects the recovery defaults (3 retries, 160 ms).
+	NackRetries  int
+	NackDeadline simtime.Duration
+	// FECGroupLen is the XOR parity group size for "fec", and the start
+	// size for "hybrid" (default 6). MinGroupLen/MaxGroupLen bound
+	// hybrid's loss-adaptive group length (defaults 6 and 12).
+	FECGroupLen              int
+	MinGroupLen, MaxGroupLen int
+}
+
+// strategy returns the configured kind with the default applied.
+func (rc *RecoveryConfig) strategy() string {
+	if rc.Strategy == "" {
+		return "hybrid"
+	}
+	return rc.Strategy
+}
+
+// interval returns the scan period with the default applied.
+func (rc *RecoveryConfig) interval() simtime.Duration {
+	if rc.Interval <= 0 {
+		return 25 * simtime.Millisecond
+	}
+	return rc.Interval
+}
+
+// engineConfig maps the session knobs onto internal/recovery's config.
+func (rc *RecoveryConfig) engineConfig() recovery.Config {
+	cfg := recovery.Config{
+		NackRetries: rc.NackRetries,
+		GroupLen:    rc.FECGroupLen,
+		MinGroupLen: rc.MinGroupLen,
+		MaxGroupLen: rc.MaxGroupLen,
+	}
+	if rc.NackDeadline > 0 {
+		cfg.NackDeadlineMs = float64(rc.NackDeadline) / float64(simtime.Millisecond)
+	}
+	return cfg
+}
+
 // DefaultSessionConfig returns a ready-to-run two-user configuration.
 func DefaultSessionConfig(app App, parts []Participant) SessionConfig {
 	return SessionConfig{
@@ -139,6 +215,13 @@ type UserStats struct {
 	// semantic frames cannot shrink, so the controller sheds rate by
 	// lowering the persona frame rate instead).
 	FramesThinned int
+	// PacketsRepaired counts media packets this user's receivers restored
+	// via loss recovery (retransmission or FEC reconstruction), summed
+	// over all remote streams; zero unless SessionConfig.Recovery is set.
+	PacketsRepaired int
+	// PacketsUnrepaired counts media packets that stayed lost despite
+	// recovery (deadline or retry budget exhausted).
+	PacketsUnrepaired int
 	// UnavailableFrac is the fraction of session time the spatial persona
 	// was unavailable ("poor connection").
 	UnavailableFrac float64
@@ -194,6 +277,15 @@ type Session struct {
 	ctrlN    []int                    // per sender: feedback count
 	thinAcc  []float64                // per spatial sender: frame-budget accumulator
 	nominal  []float64                // per spatial sender: measured nominal bps
+
+	// Loss-recovery state, nil/empty unless SessionConfig.Recovery selects
+	// an active strategy (same inertness contract as rate control).
+	recPlan recovery.Plan
+	recSend []*recovery.Sender     // per sender
+	recRecv [][]*recovery.Receiver // [sender][receiver]
+	nackScr rtp.Nack               // reused NACK parse scratch
+	dueScr  []uint16               // reused due-seq scratch
+	gcTicks uint32                 // frame-timeout horizon in 90 kHz RTP ticks
 }
 
 // relayJob carries one uplink packet from the SFU ingress to its delayed
@@ -251,12 +343,26 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if cfg.LatencyLimit <= 0 {
 		cfg.LatencyLimit = 250 * simtime.Millisecond
 	}
+	if cfg.FrameTimeout <= 0 {
+		cfg.FrameTimeout = DefaultFrameTimeout
+	}
+	var recPlan recovery.Plan
+	if cfg.Recovery != nil {
+		recPlan, err = recovery.PlanFor(cfg.Recovery.strategy())
+		if err != nil {
+			return nil, err
+		}
+		if recPlan.Active() && plan.Media == MediaSpatialPersona {
+			return nil, fmt.Errorf("vca: recovery strategy %q on a spatial session: QUIC streams already retransmit, RTP-level recovery has nothing to repair", cfg.Recovery.strategy())
+		}
+	}
 	s := &Session{
 		cfg:   cfg,
 		plan:  plan,
 		sched: simtime.NewScheduler(),
 		rng:   simrand.New(cfg.Seed),
 	}
+	s.recPlan = recPlan
 	n := len(cfg.Participants)
 	s.up = make([]*netem.Link, n)
 	s.down = make([]*netem.Link, n)
@@ -372,21 +478,45 @@ func (s *Session) RateTargetMeanBps(i int) float64 {
 	return s.ctrlSum[i] / float64(s.ctrlN[i])
 }
 
-// setupRateControl builds the per-sender controllers and per-stream report
-// builders; nominalBps is the open-loop media rate controllers start from.
-func (s *Session) setupRateControl(nominalBps float64) error {
-	rc := s.cfg.RateControl
+// RecoverySenderStats returns sender i's loss-recovery counters (cache,
+// parity, retransmissions); ok is false when the session runs without an
+// active recovery strategy.
+func (s *Session) RecoverySenderStats(i int) (recovery.SenderStats, bool) {
+	if s.recSend == nil || s.recSend[i] == nil {
+		return recovery.SenderStats{}, false
+	}
+	return s.recSend[i].Stats(), true
+}
+
+// RecoveryReceiverStats returns receiver j's loss-recovery counters for
+// sender i's stream (gaps, repairs, repair delays); ok is false when the
+// session runs without an active recovery strategy.
+func (s *Session) RecoveryReceiverStats(i, j int) (recovery.ReceiverStats, bool) {
+	if s.recRecv == nil || s.recRecv[i] == nil || s.recRecv[i][j] == nil {
+		return recovery.ReceiverStats{}, false
+	}
+	return s.recRecv[i][j].Stats(), true
+}
+
+// RecoveryOverheadRatio returns sender i's redundancy overhead (parity plus
+// retransmission bytes per media byte), or 0 without active recovery.
+func (s *Session) RecoveryOverheadRatio(i int) float64 {
+	if s.recSend == nil || s.recSend[i] == nil {
+		return 0
+	}
+	return s.recSend[i].OverheadRatio()
+}
+
+// setupFeedback builds the per-stream report builders: the receiver half of
+// the feedback loop, needed by rate control and by hybrid recovery's
+// redundancy adaptation alike.
+func (s *Session) setupFeedback() {
+	if s.builders != nil {
+		return
+	}
 	n := len(s.cfg.Participants)
-	s.ctrls = make([]ratecontrol.Controller, n)
 	s.builders = make([][]*rtp.ReportBuilder, n)
-	s.ctrlSum = make([]float64, n)
-	s.ctrlN = make([]int, n)
 	for i := 0; i < n; i++ {
-		c, err := ratecontrol.New(rc.controllerKind(), rc.controllerConfig(nominalBps))
-		if err != nil {
-			return err
-		}
-		s.ctrls[i] = c
 		s.builders[i] = make([]*rtp.ReportBuilder, n)
 		for j := 0; j < n; j++ {
 			if j != i {
@@ -394,19 +524,61 @@ func (s *Session) setupRateControl(nominalBps float64) error {
 			}
 		}
 	}
+}
+
+// reportInterval is the receiver-report period: the rate-control setting
+// when present, its default otherwise (recovery-only sessions still need
+// report flow for redundancy adaptation).
+func (s *Session) reportInterval() simtime.Duration {
+	if rc := s.cfg.RateControl; rc != nil {
+		return rc.interval()
+	}
+	return 100 * simtime.Millisecond
+}
+
+// setupRateControl builds the per-sender controllers and per-stream report
+// builders; nominalBps is the open-loop media rate controllers start from.
+func (s *Session) setupRateControl(nominalBps float64) error {
+	rc := s.cfg.RateControl
+	n := len(s.cfg.Participants)
+	s.ctrls = make([]ratecontrol.Controller, n)
+	s.ctrlSum = make([]float64, n)
+	s.ctrlN = make([]int, n)
+	s.setupFeedback()
+	for i := 0; i < n; i++ {
+		c, err := ratecontrol.New(rc.controllerKind(), rc.controllerConfig(nominalBps))
+		if err != nil {
+			return err
+		}
+		s.ctrls[i] = c
+	}
 	return nil
 }
 
-// onFeedback delivers one receiver report to sender i's controller and
-// applies the resulting target to the sender's encoder (2D video; spatial
-// senders read the target at the next frame tick and thin instead).
+// onFeedback delivers one receiver report to sender i: hybrid recovery
+// adapts its redundancy from the reported loss, and the rate controller —
+// when present — retargets the sender's encoder (2D video; spatial senders
+// read the target at the next frame tick and thin instead). With both
+// subsystems active the redundancy bytes are charged against the controller
+// target (ratecontrol.ApplyOverhead): media plus parity plus RTX together
+// stay within what the controller granted.
 func (s *Session) onFeedback(i int, rep *rtp.ReceiverReport, now simtime.Time) {
-	c := s.ctrls[i]
-	if c == nil {
+	if s.recSend != nil && s.recSend[i] != nil {
+		s.recSend[i].OnReportLoss(rep.FractionLost)
+	}
+	if s.ctrls == nil || s.ctrls[i] == nil {
 		return
 	}
+	c := s.ctrls[i]
 	c.OnFeedback(ratecontrol.Feedback{AtMs: now.Milliseconds(), Report: *rep})
 	target := c.TargetBps()
+	if s.recSend != nil && s.recSend[i] != nil {
+		min := s.cfg.RateControl.MinBps
+		if min <= 0 {
+			min = ratecontrol.DefaultMinBps
+		}
+		target = ratecontrol.ApplyOverhead(target, s.recSend[i].BudgetOverheadRatio(), min)
+	}
 	if s.encoders != nil && s.encoders[i] != nil {
 		s.encoders[i].SetTargetBps(target)
 	}
@@ -419,7 +591,7 @@ func (s *Session) onFeedback(i int, rep *rtp.ReceiverReport, now simtime.Time) {
 // payload was consumed (it was a report — valid or not, reports never fall
 // through to media parsing).
 func (s *Session) handleReportFrame(me int, payload []byte, now simtime.Time) bool {
-	if s.ctrls == nil || !rtp.IsReport(payload) {
+	if s.builders == nil || !rtp.IsReport(payload) {
 		return false
 	}
 	var rep rtp.ReceiverReport
@@ -430,6 +602,42 @@ func (s *Session) handleReportFrame(me int, payload []byte, now simtime.Time) bo
 		s.onFeedback(me, &rep, now)
 	}
 	return true
+}
+
+// handleRecoveryFrame demuxes one wire payload that may be a recovery
+// packet as seen by participant me: a NACK for a stream me sends (answered
+// from the retransmit cache over me's own uplink) or a parity packet for a
+// stream me receives (handed to the stream's receiver, which may
+// reconstruct the missing packet). Like reports, recovery packets never
+// fall through to media parsing.
+func (s *Session) handleRecoveryFrame(me int, payload []byte, now simtime.Time) bool {
+	if s.recRecv == nil {
+		return false
+	}
+	if rtp.IsNack(payload) {
+		if err := s.nackScr.Unmarshal(payload); err != nil {
+			return true
+		}
+		sender, audio, ok := rtp.SenderOf(s.nackScr.SSRC)
+		if ok && !audio && sender == me && s.recSend[me] != nil {
+			for _, pkt := range s.recSend[me].OnNack(&s.nackScr) {
+				// Cached packets are immutable once handed out, so the
+				// retransmission can share them with the network layer.
+				s.up[me].Send(netem.Frame{Size: len(pkt) + 28, Payload: pkt})
+			}
+		}
+		return true
+	}
+	if rtp.IsParity(payload) {
+		sender, audio, ok := rtp.SenderOf(rtp.ParitySSRC(payload))
+		if ok && !audio && sender != me && sender < len(s.recRecv) && s.recRecv[sender][me] != nil {
+			if rec := s.recRecv[sender][me].OnParity(payload, now.Milliseconds()); rec != nil {
+				s.pushMedia(sender, me, rec, now)
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // UplinkRecords returns the delivered frames of user i's uplink only — the
@@ -680,6 +888,82 @@ func (s *Session) onSpatialFrame(i, j int, data []byte, now simtime.Time) {
 	s.lastDecode[j] = now
 }
 
+// deliverVideo runs one network-delivered wire packet of sender i's stream
+// through receiver j's pipeline: report accounting, recovery gap tracking
+// (which may reconstruct a buffered parity group's missing packet),
+// frame-timeout GC, then reassembly and decode.
+func (s *Session) deliverVideo(i, j int, pkt []byte, size int, now simtime.Time) {
+	var h rtp.Header
+	if _, err := h.Unmarshal(pkt); err != nil {
+		return
+	}
+	if h.PayloadType == rtp.PTGenericAudio || h.PayloadType == rtp.PTFaceTimeAudio {
+		return // audio contributes to throughput, not frame decode
+	}
+	// A late arrival — a retransmission or reordered duplicate — stays out
+	// of the report builder: its capture-stamped one-way delay includes
+	// the whole detection+NACK round trip, and feeding that to the
+	// congestion controller would read repair latency as queue buildup.
+	// Wire loss likewise stays visible: an RTX-repaired seq still counts
+	// lost in the transport stats, which is what actually happened.
+	late := s.recRecv != nil && s.recRecv[i][j] != nil && s.recRecv[i][j].IsLate(h.Seq)
+	if !late && s.builders != nil && s.builders[i][j] != nil {
+		// RTP timestamps run at the packetizer clock rate (90 kHz), so
+		// the capture instant in ms is ts/90.
+		s.builders[i][j].OnPacket(h.Seq, float64(h.Timestamp)/90, now.Milliseconds(), size)
+	}
+	if s.recRecv != nil && s.recRecv[i][j] != nil {
+		if rec := s.recRecv[i][j].OnMedia(pkt, now.Milliseconds()); rec != nil {
+			// This arrival left exactly one unknown in a buffered parity
+			// group; the reconstruction is an older packet, so it joins
+			// the reassembler first.
+			s.pushMedia(i, j, rec, now)
+		}
+	}
+	if h.Timestamp > s.gcTicks {
+		s.depacks[i][j].GC(h.Timestamp - s.gcTicks)
+	}
+	s.pushMedia(i, j, pkt, now)
+}
+
+// pushMedia feeds one media packet — network-delivered, retransmitted, or
+// FEC-reconstructed — to receiver j's reassembler and accounts every frame
+// that completes.
+func (s *Session) pushMedia(i, j int, pkt []byte, now simtime.Time) {
+	frames, err := s.depacks[i][j].Push(pkt)
+	if err != nil {
+		return
+	}
+	for _, frame := range frames {
+		if len(frame) < 9 {
+			continue
+		}
+		sent := getTime(frame[:8])
+		// Validate replicates Decode's success/error behavior without
+		// reconstructing pixels nobody reads.
+		if err := s.vdecs[i][j].Validate(frame[8:]); err != nil {
+			s.stats[j].FramesUndecodable++
+			continue
+		}
+		s.stats[j].FramesDecoded++
+		lat := now.Sub(sent)
+		s.latSum[j] += float64(lat) / float64(simtime.Millisecond)
+		s.latN[j]++
+		if lat > s.cfg.LatencyLimit {
+			// Decoded but too old to count as a live persona frame;
+			// does not refresh availability (same rule as the spatial
+			// path — queueing under a cap drives frames past this).
+			continue
+		}
+		if s.lastDecode[j] != 0 {
+			if gap := now.Sub(s.lastDecode[j]); gap > s.cfg.FreshnessLimit {
+				s.staleNs[j] += int64(gap - s.cfg.FreshnessLimit)
+			}
+		}
+		s.lastDecode[j] = now
+	}
+}
+
 // wireVideo sets up the RTP 2D-persona path used by Zoom/Webex/Teams and
 // non-all-Vision-Pro FaceTime.
 func (s *Session) wireVideo() error {
@@ -720,82 +1004,66 @@ func (s *Session) wireVideo() error {
 			return err
 		}
 	}
-
-	// Wiring: uplink handler forwards RTP packets to other users'
-	// downlinks (SFU) or, in P2P, straight to the peer.
-	deliverTo := func(i, j int, pkt []byte, size int, now simtime.Time) {
-		var h rtp.Header
-		if _, err := h.Unmarshal(pkt); err != nil {
-			return
-		}
-		if h.PayloadType == rtp.PTGenericAudio || h.PayloadType == rtp.PTFaceTimeAudio {
-			return // audio contributes to throughput, not frame decode
-		}
-		if s.builders != nil && s.builders[i][j] != nil {
-			// RTP timestamps run at the packetizer clock rate (90 kHz), so
-			// the capture instant in ms is ts/90.
-			s.builders[i][j].OnPacket(h.Seq, float64(h.Timestamp)/90, now.Milliseconds(), size)
-		}
-		// Jitter-buffer timeout: an incomplete frame stalls the in-order
-		// anchor (decoders wait for retransmission they will never get);
-		// after 200 ms it is abandoned and later frames deliver. Without
-		// this, one lost packet wedges the stream for the whole session.
-		// Loss-free sessions never have a frame pending that long, so this
-		// is a no-op for them.
-		const gcHorizon = 200 * 90 // 200 ms at the 90 kHz RTP clock
-		if h.Timestamp > gcHorizon {
-			s.depacks[i][j].GC(h.Timestamp - gcHorizon)
-		}
-		// Receiver-side reassembly and decode accounting.
-		frames, err := s.depacks[i][j].Push(pkt)
-		if err != nil {
-			return
-		}
-		for _, frame := range frames {
-			if len(frame) < 9 {
-				continue
+	if rcv := s.cfg.Recovery; rcv != nil && s.recPlan.Active() {
+		ecfg := rcv.engineConfig()
+		s.recSend = make([]*recovery.Sender, n)
+		s.recRecv = make([][]*recovery.Receiver, n)
+		for i := 0; i < n; i++ {
+			snd, err := recovery.NewSender(rcv.strategy(), ecfg)
+			if err != nil {
+				return err
 			}
-			sent := getTime(frame[:8])
-			// Validate replicates Decode's success/error behavior without
-			// reconstructing pixels nobody reads.
-			if err := s.vdecs[i][j].Validate(frame[8:]); err != nil {
-				s.stats[j].FramesUndecodable++
-				continue
-			}
-			s.stats[j].FramesDecoded++
-			lat := now.Sub(sent)
-			s.latSum[j] += float64(lat) / float64(simtime.Millisecond)
-			s.latN[j]++
-			if lat > s.cfg.LatencyLimit {
-				// Decoded but too old to count as a live persona frame;
-				// does not refresh availability (same rule as the spatial
-				// path — queueing under a cap drives frames past this).
-				continue
-			}
-			if s.lastDecode[j] != 0 {
-				if gap := now.Sub(s.lastDecode[j]); gap > s.cfg.FreshnessLimit {
-					s.staleNs[j] += int64(gap - s.cfg.FreshnessLimit)
+			s.recSend[i] = snd
+			s.recRecv[i] = make([]*recovery.Receiver, n)
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
 				}
+				rr, err := recovery.NewReceiver(rcv.strategy(), ecfg)
+				if err != nil {
+					return err
+				}
+				s.recRecv[i][j] = rr
 			}
-			s.lastDecode[j] = now
+		}
+		if s.recPlan.Adaptive {
+			// Hybrid adapts redundancy from receiver-report loss even when
+			// no rate controller is attached.
+			s.setupFeedback()
 		}
 	}
+	// Jitter-buffer timeout horizon: an incomplete frame stalls the
+	// in-order anchor (decoders wait for a packet that may never come);
+	// after FrameTimeout it is abandoned and later frames deliver. Under
+	// NACK recovery the horizon stretches to cover the NACK deadline plus
+	// two scan intervals, so a frame is never garbage-collected while its
+	// retransmission budget is still live. Loss-free sessions never have a
+	// frame pending that long, so the GC is a no-op for them.
+	timeoutMs := float64(s.cfg.FrameTimeout) / float64(simtime.Millisecond)
+	if s.recPlan.Nack {
+		e := s.cfg.Recovery.engineConfig().WithDefaults()
+		minMs := e.NackDeadlineMs + 2*float64(s.cfg.Recovery.interval())/float64(simtime.Millisecond)
+		if timeoutMs < minMs {
+			timeoutMs = minMs
+		}
+	}
+	s.gcTicks = uint32(timeoutMs * 90) // FrameTimeout at the 90 kHz RTP clock
 
 	if s.plan.P2P {
 		// In P2P the pipe endpoints are shared; one handler per direction.
-		// Receiver reports ride the same reverse link as media and are
-		// demuxed off before RTP parsing.
+		// Receiver reports, NACKs and parity ride the same reverse link as
+		// media and are demuxed off before RTP parsing.
 		s.up[0].SetHandler(func(now simtime.Time, f netem.Frame) {
-			if s.handleReportFrame(1, f.Payload, now) {
+			if s.handleReportFrame(1, f.Payload, now) || s.handleRecoveryFrame(1, f.Payload, now) {
 				return
 			}
-			deliverTo(0, 1, f.Payload, f.Size, now)
+			s.deliverVideo(0, 1, f.Payload, f.Size, now)
 		})
 		s.up[1].SetHandler(func(now simtime.Time, f netem.Frame) {
-			if s.handleReportFrame(0, f.Payload, now) {
+			if s.handleReportFrame(0, f.Payload, now) || s.handleRecoveryFrame(0, f.Payload, now) {
 				return
 			}
-			deliverTo(1, 0, f.Payload, f.Size, now)
+			s.deliverVideo(1, 0, f.Payload, f.Size, now)
 		})
 	} else {
 		procDelay := simtime.Duration(SpecFor(s.cfg.App).ServerProcMs * float64(simtime.Millisecond))
@@ -812,7 +1080,7 @@ func (s *Session) wireVideo() error {
 				s.sched.AfterArg(procDelay, relayFn, j)
 			})
 			s.down[i].SetHandler(func(now simtime.Time, f netem.Frame) {
-				if s.handleReportFrame(i, f.Payload, now) {
+				if s.handleReportFrame(i, f.Payload, now) || s.handleRecoveryFrame(i, f.Payload, now) {
 					return
 				}
 				var h rtp.Header
@@ -821,7 +1089,7 @@ func (s *Session) wireVideo() error {
 				}
 				sender, audio, ok := rtp.SenderOf(h.SSRC)
 				if ok && !audio && sender < n && sender != i && s.depacks[sender][i] != nil {
-					deliverTo(sender, i, f.Payload, f.Size, now)
+					s.deliverVideo(sender, i, f.Payload, f.Size, now)
 				}
 			})
 		}
@@ -830,10 +1098,11 @@ func (s *Session) wireVideo() error {
 	// Receiver-report tickers: each receiver periodically reports every
 	// remote stream back across its own uplink; the SFU (or the P2P pipe)
 	// carries the report to the stream's sender like any other frame.
-	if rc := s.cfg.RateControl; rc != nil {
+	// Builders exist when rate control or hybrid recovery needs reports.
+	if s.builders != nil {
 		for j := 0; j < n; j++ {
 			j := j
-			simtime.NewTicker(s.sched, rc.interval(), func(now simtime.Time) {
+			simtime.NewTicker(s.sched, s.reportInterval(), func(now simtime.Time) {
 				for i := 0; i < n; i++ {
 					b := s.builders[i][j]
 					if b == nil || b.Received() == 0 {
@@ -844,6 +1113,35 @@ func (s *Session) wireVideo() error {
 					// until delivery, so each send owns a fresh one.
 					wire := rep.Marshal(make([]byte, 0, rtp.ReportLen))
 					s.up[j].Send(netem.Frame{Size: len(wire) + 28, Payload: wire})
+				}
+			})
+		}
+	}
+
+	// Recovery scan tickers: each receiver periodically expires overdue
+	// gaps and NACKs the rest, batched per remote stream (at most
+	// MaxNackSeqs per packet); NACKs travel the receiver's own uplink like
+	// reports, and the stream's sender answers with retransmissions.
+	if s.recRecv != nil {
+		for j := 0; j < n; j++ {
+			j := j
+			simtime.NewTicker(s.sched, s.cfg.Recovery.interval(), func(now simtime.Time) {
+				nowMs := now.Milliseconds()
+				for i := 0; i < n; i++ {
+					rr := s.recRecv[i][j]
+					if rr == nil {
+						continue
+					}
+					s.dueScr = rr.Tick(nowMs, s.dueScr[:0])
+					for off := 0; off < len(s.dueScr); off += rtp.MaxNackSeqs {
+						end := off + rtp.MaxNackSeqs
+						if end > len(s.dueScr) {
+							end = len(s.dueScr)
+						}
+						nk := rtp.Nack{SSRC: rtp.VideoSSRC(i), Seqs: s.dueScr[off:end]}
+						wire := nk.Marshal(make([]byte, 0, 8+2*(end-off)))
+						s.up[j].Send(netem.Frame{Size: len(wire) + 28, Payload: wire})
+					}
 				}
 			})
 		}
@@ -873,7 +1171,16 @@ func (s *Session) wireVideo() error {
 			putTime(stamped, now)
 			copy(stamped[8:], ef.Data)
 			for _, pkt := range s.packers[i].Packetize(stamped, now.Seconds()) {
+				var parity []byte
+				if s.recSend != nil && s.recSend[i] != nil {
+					// Cache for retransmission and advance the XOR group
+					// (OnPacket copies; the network owns pkt after Send).
+					parity = s.recSend[i].OnPacket(pkt)
+				}
 				s.up[i].Send(netem.Frame{Size: len(pkt) + 28, Payload: pkt}) // +IP/UDP overhead
+				if parity != nil {
+					s.up[i].Send(netem.Frame{Size: len(parity) + 28, Payload: parity})
+				}
 			}
 		})
 		audioBuf := make([]byte, 60)
@@ -903,6 +1210,15 @@ func (s *Session) Run() *Results {
 		st.Protocol = analysis.Protocol(cls)
 		if s.latN[i] > 0 {
 			st.MeanFrameLatencyMs = s.latSum[i] / float64(s.latN[i])
+		}
+		if s.recRecv != nil {
+			for k := 0; k < n; k++ {
+				if rr := s.recRecv[k][i]; rr != nil {
+					rst := rr.Stats()
+					st.PacketsRepaired += int(rst.RepairedRtx + rst.RepairedFec)
+					st.PacketsUnrepaired += int(rst.Unrepaired)
+				}
+			}
 		}
 		// Unavailability: stale gaps plus never-having-decoded time. A
 		// participant who never decoded a single live remote frame was

@@ -510,6 +510,9 @@ func TestVideoP2PUnderLoss(t *testing.T) {
 // the encoder target down near the cap, where the open-loop twin drowns
 // its queue.
 func TestClosedLoopVideoAdaptsToCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 10 s capped sessions; skipped in -short (the -race CI job)")
+	}
 	run := func(rc *RateControlConfig) (*Results, *Session) {
 		cfg := DefaultSessionConfig(Zoom, []Participant{
 			vp("u1", geo.Ashburn), vp("u2", geo.NewYork),

@@ -25,6 +25,7 @@ import (
 	"telepresence/internal/fleet"
 	"telepresence/internal/geo"
 	"telepresence/internal/ratecontrol"
+	"telepresence/internal/recovery"
 	"telepresence/internal/render"
 	"telepresence/internal/scenario"
 	"telepresence/internal/semantic"
@@ -102,6 +103,25 @@ var (
 	NewRateController = ratecontrol.New
 )
 
+// Loss recovery (internal/recovery): NACK/RTX, XOR-parity FEC and adaptive
+// hybrid redundancy on the RTP media path (SessionConfig.Recovery).
+type (
+	// RecoveryConfig wires a loss-recovery strategy into a session.
+	RecoveryConfig = vca.RecoveryConfig
+	// RecoverySenderStats counts parity, retransmissions and cache work.
+	RecoverySenderStats = recovery.SenderStats
+	// RecoveryReceiverStats counts gaps, repairs and repair delays.
+	RecoveryReceiverStats = recovery.ReceiverStats
+)
+
+// RecoveryKinds lists the strategy kinds in the recovery/recramp grid
+// order: "none", "nack", "fec", "hybrid".
+var RecoveryKinds = recovery.Kinds
+
+// DefaultFrameTimeout is the depacketizer's default incomplete-frame
+// timeout, configurable per session via SessionConfig.FrameTimeout.
+const DefaultFrameTimeout = vca.DefaultFrameTimeout
+
 // NewSession plans (per the paper's §4.1 matrix) and wires a session.
 func NewSession(cfg SessionConfig) (*Session, error) { return vca.NewSession(cfg) }
 
@@ -159,6 +179,9 @@ type (
 	// Closed-loop congestion-control rows (internal/ratecontrol).
 	CCRateRow = core.CCRateRow
 	CCRampRow = core.CCRampRow
+	// Loss-recovery rows (internal/recovery).
+	RecoveryRow = core.RecoveryRow
+	RecRampRow  = core.RecRampRow
 )
 
 // Server policies for the Implications-1 ablation.
@@ -177,6 +200,8 @@ var (
 	DefaultCongestionFloorsMbps = core.DefaultCongestionFloorsMbps
 	DefaultCCRateCaps           = core.DefaultCCRateCaps
 	DefaultCCRateControllers    = core.DefaultCCRateControllers
+	DefaultRecoveryStrategies   = core.DefaultRecoveryStrategies
+	DefaultRecRampFloorsMbps    = core.DefaultRecRampFloorsMbps
 )
 
 // Quick returns CI-scale experiment options.
