@@ -11,19 +11,30 @@
 // holds for every sweep grid (cell seeds derive from the cell's parameter
 // values, never its grid position or worker).
 //
+// The trace subcommand introspects session traces: scenario cells write
+// per-session event traces (-trace DIR) and metrics timeseries
+// (-metrics DIR), and `trace summarize` validates a trace file against the
+// event schema and prints a per-link/per-stream timeline report.
+//
 // Usage:
 //
 //	vpfleet list
 //	vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
+//	            [-trace DIR] [-metrics DIR]
 //	            [-cpuprofile FILE] [-memprofile FILE] all|<name>...
 //	vpfleet sweep <target> -axis name=v1,v2,... [-axis name=...]
 //	            [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
+//	            [-trace DIR] [-metrics DIR]
+//	vpfleet trace summarize <file.trace.jsonl>
+//	vpfleet trace schema
 //
 // Examples:
 //
 //	vpfleet run all -workers 8
 //	vpfleet run fig5 fig7 -seed 7 -format csv -out results/
 //	vpfleet run all -workers 1 -cpuprofile cpu.out -memprofile mem.out
+//	vpfleet run burstloss -trace traces/
+//	vpfleet trace summarize traces/burstloss__loss_bad-0.9_p_bad_good-0.25_p_good_bad-0.02.trace.jsonl
 //	vpfleet sweep handover -axis delay_ms=0,100,250,500,1000 -workers 8
 //	vpfleet sweep burstloss -axis p_good_bad=0.01,0.05 -axis p_bad_good=0.1,0.3
 package main
@@ -66,6 +77,8 @@ func main() {
 		runCmd(os.Args[2:])
 	case "sweep":
 		sweepCmd(os.Args[2:])
+	case "trace":
+		traceCmd(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "vpfleet: unknown command %q\n\n", os.Args[1])
 		usage()
@@ -75,9 +88,12 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   vpfleet list
-  vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv] all|<name>...
+  vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
+              [-trace DIR] [-metrics DIR] all|<name>...
   vpfleet sweep <target> -axis name=v1,v2,... [-axis name=...] [-seed N] [-full]
-                [-workers N] [-out DIR] [-format jsonl|csv]`)
+                [-workers N] [-out DIR] [-format jsonl|csv] [-trace DIR] [-metrics DIR]
+  vpfleet trace summarize <file.trace.jsonl>...
+  vpfleet trace schema`)
 	os.Exit(2)
 }
 
@@ -112,6 +128,8 @@ type commonFlags struct {
 	workers *int
 	out     *string
 	format  *string
+	trace   *string
+	metrics *string
 }
 
 func newCommonFlags(name string) *commonFlags {
@@ -123,6 +141,8 @@ func newCommonFlags(name string) *commonFlags {
 		workers: fs.Int("workers", 0, "worker pool size (0 = all CPUs)"),
 		out:     fs.String("out", "fleet-out", "output directory"),
 		format:  fs.String("format", "jsonl", "row format: jsonl or csv"),
+		trace:   fs.String("trace", "", "write per-cell session event traces (JSONL) to this directory"),
+		metrics: fs.String("metrics", "", "write per-cell metrics timeseries (CSV) to this directory"),
 	}
 }
 
@@ -159,6 +179,15 @@ func (c *commonFlags) resolve() (workers int, opts tp.Options, outDir, format st
 	if err := os.MkdirAll(*c.out, 0o755); err != nil {
 		fail(err)
 	}
+	for _, dir := range []*string{c.trace, c.metrics} {
+		if *dir != "" {
+			if err := os.MkdirAll(*dir, 0o755); err != nil {
+				fail(err)
+			}
+		}
+	}
+	opts.TraceDir = *c.trace
+	opts.MetricsDir = *c.metrics
 	return workers, opts, *c.out, *c.format
 }
 
@@ -183,6 +212,50 @@ func (a *axisFlags) Set(s string) error {
 	}
 	*a = append(*a, tp.SweepAxis{Name: name, Values: values})
 	return nil
+}
+
+// traceCmd introspects trace files: `summarize` validates every line
+// against the event schema and prints a per-link/per-stream timeline
+// report; `schema` prints the schema itself.
+func traceCmd(args []string) {
+	if len(args) == 0 {
+		usage()
+	}
+	switch args[0] {
+	case "schema":
+		fmt.Print(tp.TraceSchemaDoc())
+	case "summarize":
+		if len(args) < 2 {
+			usage()
+		}
+		for i, path := range args[1:] {
+			if i > 0 {
+				fmt.Println()
+			}
+			summarizeFile(path)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "vpfleet: unknown trace subcommand %q\n\n", args[0])
+		usage()
+	}
+}
+
+// summarizeFile validates and reports one trace; any schema violation or
+// read error is fatal (non-zero exit), making this the CI smoke check.
+func summarizeFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	sum, err := tp.SummarizeTrace(f)
+	if err != nil {
+		fail(fmt.Errorf("summarize %s: %w", path, err))
+	}
+	fmt.Printf("trace %s\n", path)
+	if err := sum.WriteReport(os.Stdout); err != nil {
+		fail(err)
+	}
 }
 
 func sweepCmd(args []string) {

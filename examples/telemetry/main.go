@@ -1,0 +1,119 @@
+// telemetry traces a burst-loss session and replays the trace. A two-party
+// Zoom call (P2P 2D video) runs under a Gilbert-Elliott burst channel with
+// hybrid recovery and gcc rate control — the same setup as
+// examples/recovery — but this time with a Tracer and a Metrics registry
+// attached, so every packet fate, rate decision, and repair becomes a typed
+// JSONL event keyed by virtual time.
+//
+// The program then reads the trace back with SummarizeTrace and prints the
+// reconstructed per-link / per-sender / per-stream report next to the
+// session's own end-of-run stats: the event stream alone reproduces the
+// UserStats counters exactly. Telemetry observes but never steers — run the
+// session with cfg.Telemetry = nil and every row stays byte-identical.
+//
+// Run: go run ./examples/telemetry
+// Files land in a temp dir; pass a directory argument to keep them:
+//
+//	go run ./examples/telemetry out/
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	tp "telepresence"
+)
+
+func main() {
+	dir, keep := os.TempDir(), false
+	if len(os.Args) > 1 {
+		dir, keep = os.Args[1], true
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tracePath := filepath.Join(dir, "burstloss.trace.jsonl")
+	metricsPath := filepath.Join(dir, "burstloss.metrics.csv")
+	traceFile, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	metricsFile, err := os.Create(metricsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tw := bufio.NewWriter(traceFile)
+	mw := bufio.NewWriter(metricsFile)
+
+	// The recovery-example session, instrumented: Zoom P2P, 20 s, hybrid
+	// repair and gcc rate control under moderate Gilbert-Elliott bursting.
+	cfg := tp.DefaultSessionConfig(tp.Zoom, []tp.Participant{
+		{ID: "u1", Loc: tp.Ashburn, Device: tp.VisionPro},
+		{ID: "u2", Loc: tp.NewYork, Device: tp.VisionPro},
+	})
+	cfg.Duration = 20 * tp.Second
+	cfg.Seed = 1
+	cfg.VideoFPS = 15
+	cfg.FreshnessLimit = 200 * tp.Millisecond
+	cfg.Recovery = &tp.RecoveryConfig{Strategy: "hybrid"}
+	cfg.RateControl = &tp.RateControlConfig{Controller: "gcc"}
+	cfg.Telemetry = &tp.TelemetryConfig{
+		Trace:   tp.NewTracer(tw),
+		Metrics: tp.NewTraceMetrics(mw, tp.TraceMetricsCSV),
+	}
+	sess, err := tp.NewSession(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := tp.BurstLossSchedule(tp.BurstParams{
+		GoodToBad: 0.02, BadToGood: 0.25, LossBad: 0.9,
+	}, 0, 0)
+	if err := sched.Bind(sess.Scheduler(), sess.UplinkShaper(0)); err != nil {
+		log.Fatal(err)
+	}
+	res := sess.Run()
+	if err := cfg.Telemetry.Trace.Err(); err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range []*bufio.Writer{tw, mw} {
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	traceFile.Close()
+	metricsFile.Close()
+
+	// Replay: validate every line and reduce the stream to a report.
+	f, err := os.Open(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := tp.SummarizeTrace(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sum.WriteReport(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// The bridge: event counts vs the session's own aggregates.
+	fmt.Println("\ntrace replay vs session stats (u2 = receiver):")
+	_, _, decoded, undecodable, repaired, unrepaired := sum.UserFrameCounts(1)
+	fmt.Printf("  %-22s %-8s %s\n", "", "trace", "session")
+	fmt.Printf("  %-22s %-8d %d\n", "frames decoded", decoded, res.Users[1].FramesDecoded)
+	fmt.Printf("  %-22s %-8d %d\n", "frames undecodable", undecodable, res.Users[1].FramesUndecodable)
+	fmt.Printf("  %-22s %-8d %d\n", "packets repaired", repaired, res.Users[1].PacketsRepaired)
+	fmt.Printf("  %-22s %-8d %d\n", "packets unrepaired", unrepaired, res.Users[1].PacketsUnrepaired)
+
+	if keep {
+		fmt.Printf("\nwrote %s and %s\n", tracePath, metricsPath)
+		fmt.Println("inspect with: go run ./cmd/vpfleet trace summarize", tracePath)
+	} else {
+		os.Remove(tracePath)
+		os.Remove(metricsPath)
+	}
+}

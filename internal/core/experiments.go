@@ -28,6 +28,14 @@ type Options struct {
 	SessionDuration simtime.Duration
 	// Reps is how many times each experiment repeats (paper: >=5).
 	Reps int
+	// TraceDir, when non-empty, makes every scenario cell write its session
+	// event trace (internal/telemetry JSONL) to
+	// <TraceDir>/<target>__<label>.trace.jsonl. Traces observe but never
+	// steer: rows are byte-identical with or without tracing.
+	TraceDir string
+	// MetricsDir, when non-empty, makes every scenario cell write its
+	// sampled metrics timeseries to <MetricsDir>/<target>__<label>.metrics.csv.
+	MetricsDir string
 }
 
 // Quick returns fast options for tests and CI.

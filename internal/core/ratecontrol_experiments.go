@@ -111,6 +111,11 @@ func ccrateCell(opts Options, params map[string]float64) (CCRateRow, error) {
 	}
 	cell := SweepCellOptions(opts, "ccrate", params)
 	sc := ccrateSessionConfig(cell.Seed, cell.SessionDuration, kind)
+	tc, tdone, err := cellTelemetry(cell, "ccrate", scenario.ParamLabel(params))
+	if err != nil {
+		return CCRateRow{}, err
+	}
+	sc.Telemetry = tc
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return CCRateRow{}, err
@@ -119,6 +124,9 @@ func ccrateCell(opts Options, params map[string]float64) (CCRateRow, error) {
 		sess.UplinkShaper(0).RateBps = capMbps * 1e6
 	}
 	res := sess.Run()
+	if err := tdone(); err != nil {
+		return CCRateRow{}, err
+	}
 	up := sess.UplinkStats(0)
 	var qdrop float64
 	if up.SentFrames > 0 {
@@ -200,6 +208,11 @@ func ccrampCell(opts Options, params map[string]float64) (CCRampRow, error) {
 	}
 	cell := SweepCellOptions(opts, "ccramp", params)
 	sc := ccrampSessionConfig(cell.Seed, cell.SessionDuration, kind)
+	tc, tdone, err := cellTelemetry(cell, "ccramp", scenario.ParamLabel(params))
+	if err != nil {
+		return CCRampRow{}, err
+	}
+	sc.Telemetry = tc
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return CCRampRow{}, err
@@ -216,6 +229,9 @@ func ccrampCell(opts Options, params map[string]float64) (CCRampRow, error) {
 	sess.Scheduler().At(simtime.Time(5*d/8), func() { floorEndB = sess.UplinkStats(0).DeliveredB })
 
 	res := sess.Run()
+	if err := tdone(); err != nil {
+		return CCRampRow{}, err
+	}
 	up := sess.UplinkStats(0)
 	var qdrop float64
 	if up.SentFrames > 0 {

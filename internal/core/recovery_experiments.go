@@ -122,6 +122,11 @@ func recoveryCell(opts Options, params map[string]float64) (RecoveryRow, error) 
 	}
 	cell := SweepCellOptions(opts, "recovery", params)
 	sc := recoverySessionConfig(cell.Seed, cell.SessionDuration, kind)
+	tc, tdone, err := cellTelemetry(cell, "recovery", scenario.ParamLabel(params))
+	if err != nil {
+		return RecoveryRow{}, err
+	}
+	sc.Telemetry = tc
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return RecoveryRow{}, err
@@ -136,6 +141,9 @@ func recoveryCell(opts Options, params map[string]float64) (RecoveryRow, error) 
 		return RecoveryRow{}, err
 	}
 	res := sess.Run()
+	if err := tdone(); err != nil {
+		return RecoveryRow{}, err
+	}
 	up := sess.UplinkStats(0)
 	row := RecoveryRow{
 		Strategy: kind, GoodToBad: bp.GoodToBad, BadToGood: bp.BadToGood, LossBad: bp.LossBad,
@@ -219,6 +227,11 @@ func recrampCell(opts Options, params map[string]float64) (RecRampRow, error) {
 	cell := SweepCellOptions(opts, "recramp", params)
 	sc := recoverySessionConfig(cell.Seed, cell.SessionDuration, kind)
 	sc.RateControl = &vca.RateControlConfig{Controller: "gcc"}
+	tc, tdone, err := cellTelemetry(cell, "recramp", scenario.ParamLabel(params))
+	if err != nil {
+		return RecRampRow{}, err
+	}
+	sc.Telemetry = tc
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return RecRampRow{}, err
@@ -233,6 +246,9 @@ func recrampCell(opts Options, params map[string]float64) (RecRampRow, error) {
 	sess.Scheduler().At(simtime.Time(5*d/8), func() { floorEndB = sess.UplinkStats(0).DeliveredB })
 
 	res := sess.Run()
+	if err := tdone(); err != nil {
+		return RecRampRow{}, err
+	}
 	up := sess.UplinkStats(0)
 	row := RecRampRow{
 		Strategy:          kind,

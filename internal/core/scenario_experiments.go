@@ -74,6 +74,11 @@ func handoverCell(opts Options, params map[string]float64) (HandoverRow, error) 
 	}
 	cell := SweepCellOptions(opts, "handover", params)
 	sc := scenarioSessionConfig(cell.Seed, cell.SessionDuration)
+	tc, tdone, err := cellTelemetry(cell, "handover", scenario.ParamLabel(params))
+	if err != nil {
+		return HandoverRow{}, err
+	}
+	sc.Telemetry = tc
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return HandoverRow{}, err
@@ -84,6 +89,9 @@ func handoverCell(opts Options, params map[string]float64) (HandoverRow, error) 
 		return HandoverRow{}, err
 	}
 	res := sess.Run()
+	if err := tdone(); err != nil {
+		return HandoverRow{}, err
+	}
 	return HandoverRow{
 		StepDelayMs:     stepMs,
 		UnavailableFrac: res.Users[1].UnavailableFrac,
@@ -131,6 +139,11 @@ func burstLossCell(opts Options, params map[string]float64) (BurstLossRow, error
 	}
 	cell := SweepCellOptions(opts, "burstloss", params)
 	sc := scenarioSessionConfig(cell.Seed, cell.SessionDuration)
+	tc, tdone, err := cellTelemetry(cell, "burstloss", scenario.ParamLabel(params))
+	if err != nil {
+		return BurstLossRow{}, err
+	}
+	sc.Telemetry = tc
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return BurstLossRow{}, err
@@ -145,6 +158,9 @@ func burstLossCell(opts Options, params map[string]float64) (BurstLossRow, error
 		return BurstLossRow{}, err
 	}
 	res := sess.Run()
+	if err := tdone(); err != nil {
+		return BurstLossRow{}, err
+	}
 	up := sess.UplinkStats(0)
 	var measured float64
 	if up.SentFrames > 0 {
@@ -189,6 +205,11 @@ func congestionCell(opts Options, params map[string]float64) (CongestionRow, err
 	}
 	cell := SweepCellOptions(opts, "congestion", params)
 	sc := scenarioSessionConfig(cell.Seed, cell.SessionDuration)
+	tc, tdone, err := cellTelemetry(cell, "congestion", scenario.ParamLabel(params))
+	if err != nil {
+		return CongestionRow{}, err
+	}
+	sc.Telemetry = tc
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return CongestionRow{}, err
@@ -208,6 +229,9 @@ func congestionCell(opts Options, params map[string]float64) (CongestionRow, err
 		return CongestionRow{}, err
 	}
 	res := sess.Run()
+	if err := tdone(); err != nil {
+		return CongestionRow{}, err
+	}
 	up := sess.UplinkStats(0)
 	var qdrop float64
 	if up.SentFrames > 0 {

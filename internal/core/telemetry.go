@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"telepresence/internal/telemetry"
+	"telepresence/internal/vca"
+)
+
+// sanitizeLabel maps a canonical parameter label to a filesystem-safe file
+// stem: every byte outside [A-Za-z0-9._-] becomes '-'. Labels are
+// deterministic functions of the cell parameters, so the mapping is too.
+func sanitizeLabel(label string) string {
+	out := []byte(label)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			out[i] = '-'
+		}
+	}
+	return string(out)
+}
+
+// cellTelemetry opens the telemetry outputs one scenario cell was asked for
+// (opts.TraceDir / opts.MetricsDir) and returns the session config to
+// attach plus a done func that flushes and closes them. When neither dir is
+// set it returns (nil, no-op, nil): the session runs with telemetry fully
+// disabled — the inert default.
+//
+// Each cell owns its own files, named <target>__<label> after the cell's
+// canonical parameter label, so parallel fleet workers never share a
+// writer and a rerun overwrites rather than appends.
+func cellTelemetry(opts Options, target, label string) (*vca.TelemetryConfig, func() error, error) {
+	noop := func() error { return nil }
+	if opts.TraceDir == "" && opts.MetricsDir == "" {
+		return nil, noop, nil
+	}
+	stem := target + "__" + sanitizeLabel(label)
+	tc := &vca.TelemetryConfig{}
+	var files []*os.File
+	var bufs []*bufio.Writer
+	cleanup := func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}
+	open := func(dir, suffix string) (*bufio.Writer, error) {
+		f, err := os.Create(filepath.Join(dir, stem+suffix))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		b := bufio.NewWriterSize(f, 1<<16)
+		bufs = append(bufs, b)
+		return b, nil
+	}
+	if opts.TraceDir != "" {
+		w, err := open(opts.TraceDir, ".trace.jsonl")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		tc.Trace = telemetry.NewTracer(w)
+	}
+	if opts.MetricsDir != "" {
+		w, err := open(opts.MetricsDir, ".metrics.csv")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		tc.Metrics = telemetry.NewMetrics(w, telemetry.FormatCSV)
+	}
+	done := func() error {
+		errs := []error{tc.Trace.Err(), tc.Metrics.Err()}
+		for _, b := range bufs {
+			errs = append(errs, b.Flush())
+		}
+		for _, f := range files {
+			errs = append(errs, f.Close())
+		}
+		if err := errors.Join(errs...); err != nil {
+			return fmt.Errorf("core: telemetry %s: %w", stem, err)
+		}
+		return nil
+	}
+	return tc, done, nil
+}

@@ -13,9 +13,11 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -89,7 +91,14 @@ func Run(exps []core.Experiment, opts core.Options, cfg Config) ([]ExperimentRes
 			defer wg.Done()
 			for t := range ch {
 				start := time.Now()
-				out, err := exps[t.exp].Run(opts, t.rep)
+				var out []core.Row
+				var err error
+				// Label the rep for CPU profiling: -cpuprofile samples
+				// attribute to experiments instead of one undifferentiated
+				// worker-pool blob.
+				pprof.Do(context.Background(), pprof.Labels("experiment", exps[t.exp].Name), func(context.Context) {
+					out, err = exps[t.exp].Run(opts, t.rep)
+				})
 				elapsed := time.Since(start)
 				mu.Lock()
 				rows[t.exp][t.rep] = out

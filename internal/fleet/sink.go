@@ -80,25 +80,44 @@ type ExperimentManifest struct {
 	Reps   int     `json:"reps"`
 	Rows   int     `json:"rows"`
 	WallMs float64 `json:"wall_ms"`
-	File   string  `json:"file,omitempty"`
-	Error  string  `json:"error,omitempty"`
+	// RowsPerSec is rows over the experiment's cumulative rep wall time —
+	// a per-experiment throughput figure (parallel reps overlap, so the
+	// run-level rate can exceed the per-experiment ones summed).
+	RowsPerSec float64 `json:"rows_per_sec"`
+	File       string  `json:"file,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// rowsPerSec computes a rows-per-second rate, 0 when the interval is
+// degenerate (zero wall time or no rows).
+func rowsPerSec(rows int, wall time.Duration) float64 {
+	if rows <= 0 || wall <= 0 {
+		return 0
+	}
+	return float64(rows) / wall.Seconds()
 }
 
 // Manifest records what a fleet run did: the options that parameterized
 // it, the worker count, wall time, and per-experiment row counts. It is
 // the run's provenance document; rows themselves go to sinks.
 type Manifest struct {
-	Format             string               `json:"format"`
-	Seed               int64                `json:"seed"`
-	SessionDurationSec float64              `json:"session_duration_sec"`
-	OptionReps         int                  `json:"option_reps"`
-	Workers            int                  `json:"workers"`
-	WallMs             float64              `json:"wall_ms"`
-	Experiments        []ExperimentManifest `json:"experiments"`
+	Format             string  `json:"format"`
+	Seed               int64   `json:"seed"`
+	SessionDurationSec float64 `json:"session_duration_sec"`
+	OptionReps         int     `json:"option_reps"`
+	Workers            int     `json:"workers"`
+	WallMs             float64 `json:"wall_ms"`
+	// Rows is the total row count across all successful experiments;
+	// RowsPerSec is that total over the run's elapsed wall time (the
+	// fleet-throughput number BENCH_fleet.json tracks).
+	Rows        int                  `json:"rows"`
+	RowsPerSec  float64              `json:"rows_per_sec"`
+	Experiments []ExperimentManifest `json:"experiments"`
 }
 
-// ManifestFormat identifies the manifest schema version.
-const ManifestFormat = "telepresence-fleet/1"
+// ManifestFormat identifies the manifest schema version. /2 added the
+// run-level rows/rows_per_sec totals and per-experiment rows_per_sec.
+const ManifestFormat = "telepresence-fleet/2"
 
 // NewManifest builds the provenance record for a completed run. It
 // assumes opts already passed validation (Run rejects invalid options
@@ -118,15 +137,18 @@ func NewManifest(opts core.Options, workers int, wall time.Duration, results []E
 	}
 	for _, res := range results {
 		em := ExperimentManifest{
-			Name:   res.Experiment.Name,
-			Reps:   res.Reps,
-			Rows:   len(res.Rows),
-			WallMs: float64(res.Wall) / float64(time.Millisecond),
+			Name:       res.Experiment.Name,
+			Reps:       res.Reps,
+			Rows:       len(res.Rows),
+			WallMs:     float64(res.Wall) / float64(time.Millisecond),
+			RowsPerSec: rowsPerSec(len(res.Rows), res.Wall),
 		}
 		if res.Err != nil {
 			em.Error = res.Err.Error()
 		}
+		m.Rows += len(res.Rows)
 		m.Experiments = append(m.Experiments, em)
 	}
+	m.RowsPerSec = rowsPerSec(m.Rows, wall)
 	return m
 }

@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -159,7 +161,13 @@ func RunSweep(spec SweepSpec, opts core.Options, cfg Config) ([]SweepCellResult,
 			for i := range ch {
 				cell := cells[i]
 				start := time.Now()
-				rows, err := target.Run(opts, cell.Params)
+				var rows []core.Row
+				var err error
+				// Label the cell for CPU profiling: samples attribute to
+				// (target, cell) instead of an anonymous worker pool.
+				pprof.Do(context.Background(), pprof.Labels("experiment", spec.Target, "cell", cell.Label), func(context.Context) {
+					rows, err = target.Run(opts, cell.Params)
+				})
 				elapsed := time.Since(start)
 				if err != nil {
 					err = fmt.Errorf("fleet: sweep %s cell %d (%s): %w", spec.Target, cell.Index, cell.Label, err)
@@ -209,6 +217,15 @@ type SweepAxisManifest struct {
 	Values []float64 `json:"values"`
 }
 
+// SweepCellManifest records one cell's timing inside a sweep manifest.
+type SweepCellManifest struct {
+	Index      int     `json:"index"`
+	Label      string  `json:"label"`
+	Rows       int     `json:"rows"`
+	WallMs     float64 `json:"wall_ms"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
 // SweepManifest is the provenance record of a sweep run.
 type SweepManifest struct {
 	Format             string              `json:"format"`
@@ -220,12 +237,18 @@ type SweepManifest struct {
 	Axes               []SweepAxisManifest `json:"axes"`
 	Cells              int                 `json:"cells"`
 	Rows               int                 `json:"rows"`
-	File               string              `json:"file,omitempty"`
-	Errors             []string            `json:"errors,omitempty"`
+	// RowsPerSec is total rows over the run's elapsed wall time;
+	// CellTimings breaks the work down per grid point (cumulative cell
+	// wall time — parallel cells overlap).
+	RowsPerSec  float64             `json:"rows_per_sec"`
+	CellTimings []SweepCellManifest `json:"cell_timings"`
+	File        string              `json:"file,omitempty"`
+	Errors      []string            `json:"errors,omitempty"`
 }
 
-// SweepManifestFormat identifies the sweep manifest schema version.
-const SweepManifestFormat = "telepresence-sweep/1"
+// SweepManifestFormat identifies the sweep manifest schema version. /2
+// added the run-level rows_per_sec and the per-cell timing breakdown.
+const SweepManifestFormat = "telepresence-sweep/2"
 
 // NewSweepManifest builds the provenance record for a completed sweep.
 func NewSweepManifest(spec SweepSpec, opts core.Options, workers int, wall time.Duration, results []SweepCellResult) SweepManifest {
@@ -246,9 +269,17 @@ func NewSweepManifest(spec SweepSpec, opts core.Options, workers int, wall time.
 	}
 	for _, r := range results {
 		m.Rows += len(r.Rows)
+		m.CellTimings = append(m.CellTimings, SweepCellManifest{
+			Index:      r.Cell.Index,
+			Label:      r.Cell.Label,
+			Rows:       len(r.Rows),
+			WallMs:     float64(r.Wall) / float64(time.Millisecond),
+			RowsPerSec: rowsPerSec(len(r.Rows), r.Wall),
+		})
 		if r.Err != nil {
 			m.Errors = append(m.Errors, r.Err.Error())
 		}
 	}
+	m.RowsPerSec = rowsPerSec(m.Rows, wall)
 	return m
 }

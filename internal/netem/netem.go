@@ -15,6 +15,7 @@ import (
 
 	"telepresence/internal/simrand"
 	"telepresence/internal/simtime"
+	"telepresence/internal/telemetry"
 )
 
 // Frame is the unit transferred across links. Size is the virtual wire size
@@ -86,6 +87,7 @@ type Link struct {
 	handler Handler
 	taps    []Tap
 	shaper  *Shaper
+	tr      *telemetry.Tracer
 
 	// busyUntil is when the serializer finishes the current backlog.
 	busyUntil simtime.Time
@@ -164,6 +166,9 @@ func deliverFn(a any) {
 	l.stats.DeliveredFrames++
 	l.stats.DeliveredB += int64(d.f.Size)
 	l.tap(d.f, Egress)
+	if l.tr != nil {
+		l.tr.NetemDeliver(l.sched.Now(), l.cfg.Name, d.f.Size)
+	}
 	if l.handler != nil {
 		l.handler(l.sched.Now(), d.f)
 	}
@@ -206,6 +211,12 @@ func (l *Link) SetHandler(h Handler) { l.handler = h }
 
 // AddTap registers an observer for frames on this link.
 func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// SetTracer attaches a telemetry tracer (nil detaches). Unlike taps, the
+// tracer emits typed events — enqueue/drop/deliver per frame plus
+// Gilbert-Elliott state transitions — and costs exactly one pointer test
+// per frame when nil.
+func (l *Link) SetTracer(tr *telemetry.Tracer) { l.tr = tr }
 
 // Stats returns a copy of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
@@ -261,19 +272,35 @@ func (l *Link) Send(f Frame) bool {
 	if sh != nil && sh.LossProb > 0 && l.rng.Bernoulli(sh.LossProb) {
 		l.stats.DroppedLoss++
 		l.tap(f, Dropped)
+		if l.tr != nil {
+			l.tr.NetemDrop(now, l.cfg.Name, f.Size, "loss")
+		}
 		return false
 	}
 	// Shaper-imposed burst loss (Gilbert-Elliott two-state model).
-	if sh != nil && sh.Burst != nil && sh.Burst.drop(l.rng) {
-		l.stats.DroppedLoss++
-		l.stats.DroppedBurst++
-		l.tap(f, Dropped)
-		return false
+	if sh != nil && sh.Burst != nil {
+		wasBad := sh.Burst.bad
+		lost := sh.Burst.drop(l.rng)
+		if l.tr != nil && sh.Burst.bad != wasBad {
+			l.tr.NetemGEState(now, l.cfg.Name, sh.Burst.bad)
+		}
+		if lost {
+			l.stats.DroppedLoss++
+			l.stats.DroppedBurst++
+			l.tap(f, Dropped)
+			if l.tr != nil {
+				l.tr.NetemDrop(now, l.cfg.Name, f.Size, "burst")
+			}
+			return false
+		}
 	}
 	// Intrinsic random loss.
 	if l.cfg.LossProb > 0 && l.rng.Bernoulli(l.cfg.LossProb) {
 		l.stats.DroppedLoss++
 		l.tap(f, Dropped)
+		if l.tr != nil {
+			l.tr.NetemDrop(now, l.cfg.Name, f.Size, "loss")
+		}
 		return false
 	}
 
@@ -302,6 +329,9 @@ func (l *Link) Send(f Frame) bool {
 			if l.queued+f.Size > l.cfg.QueueBytes {
 				l.stats.DroppedQueue++
 				l.tap(f, Dropped)
+				if l.tr != nil {
+					l.tr.NetemDrop(now, l.cfg.Name, f.Size, "queue")
+				}
 				return false
 			}
 			l.queued += f.Size
@@ -333,6 +363,11 @@ func (l *Link) Send(f Frame) bool {
 	d := l.getDelivery()
 	d.f = f
 	l.sched.AtArg(txDone.Add(delay), deliverFn, d)
+	if l.tr != nil {
+		// queue is the occupancy gauge after admission; tx_ms is when the
+		// serializer finishes this frame.
+		l.tr.NetemEnqueue(now, l.cfg.Name, f.Size, l.queued, txDone.Milliseconds())
+	}
 	return true
 }
 

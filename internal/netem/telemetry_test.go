@@ -1,0 +1,114 @@
+package netem
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"telepresence/internal/simtime"
+	"telepresence/internal/telemetry"
+)
+
+// TestTracerSendPathAllocs pins the telemetry cost contract on the link
+// hot path from both sides: with no tracer (the default) the send path
+// stays allocation-free exactly as TestSendDeliverySteadyStateAllocs pins,
+// and with a tracer ATTACHED it must stay allocation-free too — the tracer
+// reuses one line buffer and every emitter takes scalars only.
+func TestTracerSendPathAllocs(t *testing.T) {
+	run := func(name string, tr *telemetry.Tracer) {
+		s, l := newLink(t, Config{Name: name, DelayMs: 1, RateBps: 1e8, JitterMs: 0.3})
+		l.SetHandler(func(simtime.Time, Frame) {})
+		l.SetTracer(tr)
+		payload := make([]byte, 200)
+		for i := 0; i < 10; i++ { // warm pools and the tracer's line buffer
+			l.Send(Frame{Size: 1000, Payload: payload})
+		}
+		s.Run()
+		allocs := testing.AllocsPerRun(200, func() {
+			l.Send(Frame{Size: 1000, Payload: payload})
+			s.Run()
+		})
+		if allocs > 0 {
+			t.Errorf("%s: Send+delivery allocates %.1f per frame, want 0", name, allocs)
+		}
+	}
+	run("untraced", nil)
+	run("traced", telemetry.NewTracer(io.Discard))
+}
+
+// TestTracerEmitsLinkEvents drives every netem event through a traced
+// link and checks the trace validates and accounts for every frame fate.
+func TestTracerEmitsLinkEvents(t *testing.T) {
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(&buf)
+
+	s, l := newLink(t, Config{Name: "lossy", DelayMs: 1, RateBps: 1e6, QueueBytes: 2000})
+	l.SetHandler(func(simtime.Time, Frame) {})
+	l.SetTracer(tr)
+	sh := l.Shaper()
+	sh.Burst = NewGilbertElliott(0.3, 0.3, 1) // loss_bad=1: bad state always drops
+	for i := 0; i < 400; i++ {
+		l.Send(Frame{Size: 1000})
+		if i%4 == 3 {
+			s.Run() // drain periodically so the queue also overflows sometimes
+		}
+	}
+	s.Run()
+
+	sum, err := telemetry.Summarize(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	lk := sum.Links["lossy"]
+	if lk == nil {
+		t.Fatal("no summary for link")
+	}
+	st := l.Stats()
+	// DroppedBurst is a subset of DroppedLoss in LinkStats; the trace splits
+	// them into distinct kinds.
+	if lk.Enqueued != st.SentFrames-st.DroppedLoss-st.DroppedQueue {
+		t.Errorf("enqueued %d != sent-dropped %d", lk.Enqueued,
+			st.SentFrames-st.DroppedLoss-st.DroppedQueue)
+	}
+	if lk.Delivered != st.DeliveredFrames {
+		t.Errorf("delivered: trace %d, stats %d", lk.Delivered, st.DeliveredFrames)
+	}
+	if lk.DropBurst != st.DroppedBurst || lk.DropQueue != st.DroppedQueue ||
+		lk.DropLoss != st.DroppedLoss-st.DroppedBurst {
+		t.Errorf("drops: trace loss=%d burst=%d queue=%d, stats loss=%d burst=%d queue=%d",
+			lk.DropLoss, lk.DropBurst, lk.DropQueue, st.DroppedLoss, st.DroppedBurst, st.DroppedQueue)
+	}
+	if lk.DropBurst == 0 || lk.DropQueue == 0 {
+		t.Errorf("test did not exercise both drop kinds (burst=%d queue=%d)", lk.DropBurst, lk.DropQueue)
+	}
+	if lk.GEBadEntries == 0 {
+		t.Error("no Gilbert-Elliott bad-state transitions traced")
+	}
+	if lk.MaxQueueBytes == 0 {
+		t.Error("queue gauge never rose above zero")
+	}
+}
+
+// TestTracerIntrinsicLossKind pins the drop-kind taxonomy: config-level
+// random loss traces as kind "loss", distinct from burst and queue.
+func TestTracerIntrinsicLossKind(t *testing.T) {
+	var buf bytes.Buffer
+	s, l := newLink(t, Config{Name: "l", LossProb: 0.5})
+	l.SetHandler(func(simtime.Time, Frame) {})
+	l.SetTracer(telemetry.NewTracer(&buf))
+	for i := 0; i < 100; i++ {
+		l.Send(Frame{Size: 100})
+	}
+	s.Run()
+	sum, err := telemetry.Summarize(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk := sum.Links["l"]
+	if lk.DropLoss != l.Stats().DroppedLoss {
+		t.Errorf("loss drops: trace %d, stats %d", lk.DropLoss, l.Stats().DroppedLoss)
+	}
+	if lk.DropLoss == 0 || lk.DropBurst != 0 || lk.DropQueue != 0 {
+		t.Errorf("unexpected drop mix %+v", *lk)
+	}
+}

@@ -50,6 +50,35 @@ type Controller interface {
 	Name() string
 }
 
+// Reason codes explain a controller's last decision, for telemetry traces.
+// They name the decision actually taken: a backoff suppressed by the
+// BackoffGapMs rate limit reads as "hold".
+const (
+	// ReasonOpenLoop: the controller ignores feedback (fixed).
+	ReasonOpenLoop = "open-loop"
+	// ReasonHold: feedback processed, target unchanged.
+	ReasonHold = "hold"
+	// ReasonIncrease: the path is underused; the target grew.
+	ReasonIncrease = "increase"
+	// ReasonBackoffLoss: reported loss exceeded the backoff threshold.
+	ReasonBackoffLoss = "backoff-loss"
+	// ReasonBackoffDelay: the one-way-delay trendline signaled queue growth.
+	ReasonBackoffDelay = "backoff-delay"
+	// ReasonBackoffQueue: standing queuing delay exceeded QueueDelayMs.
+	ReasonBackoffQueue = "backoff-queue"
+	// ReasonStarved: consecutive empty reports; emergency halving.
+	ReasonStarved = "starved"
+)
+
+// Reasoner is implemented by controllers that can explain their most recent
+// OnFeedback decision. All built-in controllers implement it; the session
+// layer feature-tests so external Controller implementations need not.
+type Reasoner interface {
+	// LastReason returns the reason code of the latest OnFeedback call
+	// (ReasonHold before any feedback has arrived).
+	LastReason() string
+}
+
 // Config parameterizes a controller. The zero value of every field selects
 // a sane default (see withDefaults); InitialBps is the only field callers
 // typically set.
@@ -199,6 +228,9 @@ func (f *Fixed) TargetBps() float64 { return f.target }
 // Name returns "fixed".
 func (f *Fixed) Name() string { return "fixed" }
 
+// LastReason always reports the open loop.
+func (f *Fixed) LastReason() string { return ReasonOpenLoop }
+
 // --------------------------------------------------------------- LossAIMD
 
 // LossAIMD adapts on reported loss alone: back off multiplicatively when
@@ -213,6 +245,7 @@ type LossAIMD struct {
 	haveLast  bool
 	lastCutMs float64
 	haveCut   bool
+	reason    string
 }
 
 // OnFeedback applies one AIMD step.
@@ -224,6 +257,7 @@ func (l *LossAIMD) OnFeedback(fb Feedback) {
 	l.lastMs = fb.AtMs
 	l.haveLast = true
 
+	l.reason = ReasonHold
 	loss := fb.Report.FractionLost
 	switch {
 	case loss > l.cfg.LossBackoff:
@@ -231,9 +265,13 @@ func (l *LossAIMD) OnFeedback(fb Feedback) {
 			l.target = l.cfg.clamp(l.target * (1 - 0.5*loss))
 			l.lastCutMs = fb.AtMs
 			l.haveCut = true
+			l.reason = ReasonBackoffLoss
 		}
 	case loss < l.cfg.LossIncrease:
-		l.target = l.cfg.clamp(l.target + l.cfg.AdditiveBpsPerSec*dtSec)
+		if next := l.cfg.clamp(l.target + l.cfg.AdditiveBpsPerSec*dtSec); next > l.target {
+			l.target = next
+			l.reason = ReasonIncrease
+		}
 	}
 }
 
@@ -242,6 +280,14 @@ func (l *LossAIMD) TargetBps() float64 { return l.target }
 
 // Name returns "loss".
 func (l *LossAIMD) Name() string { return "loss" }
+
+// LastReason reports the latest decision.
+func (l *LossAIMD) LastReason() string {
+	if l.reason == "" {
+		return ReasonHold
+	}
+	return l.reason
+}
 
 // ---------------------------------------------------------- DelayGradient
 
@@ -271,6 +317,7 @@ type DelayGradient struct {
 	lastCutMs float64
 	haveCut   bool
 	starved   int // consecutive reports with zero receive rate
+	reason    string
 }
 
 // NewDelayGradient returns a delay-gradient controller with cfg's bounds.
@@ -289,13 +336,14 @@ func (d *DelayGradient) OnFeedback(fb Feedback) {
 	d.haveLast = true
 
 	rep := fb.Report
+	d.reason = ReasonHold
 	if rep.RecvRateBps <= 0 {
 		// Nothing arrived this interval. One empty report is a scheduling
 		// artifact; two in a row mean the path is starved (everything is
 		// queued or lost) and the only safe move is down.
 		d.starved++
-		if d.starved >= 2 {
-			d.cut(fb.AtMs, d.target*0.5)
+		if d.starved >= 2 && d.cut(fb.AtMs, d.target*0.5) {
+			d.reason = ReasonStarved
 		}
 		return
 	}
@@ -325,11 +373,20 @@ func (d *DelayGradient) OnFeedback(fb Feedback) {
 	}
 	slope := trendSlope(d.tSec, d.owdMs)
 
-	overuse := (len(d.tSec) >= 4 && slope > d.cfg.SlopeMsPerSec && queueMs > 5) ||
-		queueMs > d.cfg.QueueDelayMs ||
-		rep.FractionLost > 0.25 // heavy loss: the delay signal alone cannot see a policer
-	if overuse {
-		d.cut(fb.AtMs, d.cfg.Beta*rep.RecvRateBps)
+	overuse := ""
+	switch {
+	case rep.FractionLost > 0.25:
+		// Heavy loss: the delay signal alone cannot see a policer.
+		overuse = ReasonBackoffLoss
+	case queueMs > d.cfg.QueueDelayMs:
+		overuse = ReasonBackoffQueue
+	case len(d.tSec) >= 4 && slope > d.cfg.SlopeMsPerSec && queueMs > 5:
+		overuse = ReasonBackoffDelay
+	}
+	if overuse != "" {
+		if d.cut(fb.AtMs, d.cfg.Beta*rep.RecvRateBps) {
+			d.reason = overuse
+		}
 		return
 	}
 
@@ -341,14 +398,16 @@ func (d *DelayGradient) OnFeedback(fb Feedback) {
 	}
 	if next > d.target {
 		d.target = d.cfg.clamp(next)
+		d.reason = ReasonIncrease
 	}
 }
 
 // cut applies one backoff, rate-limited to one per BackoffGapMs, and resets
 // the trendline so the pre-cut queue growth cannot re-trigger immediately.
-func (d *DelayGradient) cut(atMs, toBps float64) {
+// It reports whether the backoff was applied.
+func (d *DelayGradient) cut(atMs, toBps float64) bool {
 	if d.haveCut && atMs-d.lastCutMs < d.cfg.BackoffGapMs {
-		return
+		return false
 	}
 	if toBps > d.target {
 		toBps = d.target // a backoff never raises the target
@@ -358,6 +417,7 @@ func (d *DelayGradient) cut(atMs, toBps float64) {
 	d.haveCut = true
 	d.tSec = d.tSec[:0]
 	d.owdMs = d.owdMs[:0]
+	return true
 }
 
 // TargetBps returns the current target.
@@ -365,6 +425,14 @@ func (d *DelayGradient) TargetBps() float64 { return d.target }
 
 // Name returns "gcc".
 func (d *DelayGradient) Name() string { return "gcc" }
+
+// LastReason reports the latest decision.
+func (d *DelayGradient) LastReason() string {
+	if d.reason == "" {
+		return ReasonHold
+	}
+	return d.reason
+}
 
 // QueueDelayEstimateMs reports the current standing-queue estimate (last
 // OWD sample above the baseline), for tests and diagnostics.

@@ -86,6 +86,11 @@ func (s *Sender) Stats() SenderStats {
 	return st
 }
 
+// LossEwma reports the smoothed report-loss fraction driving hybrid's
+// redundancy adaptation (0 for non-adaptive strategies) — a telemetry
+// gauge.
+func (s *Sender) LossEwma() float64 { return s.lossEwma }
+
 // OverheadRatio is the redundancy the strategy has added over the whole
 // session, as a fraction of the protected media bytes: (parity +
 // retransmissions) / media — the reporting metric the experiment rows use.

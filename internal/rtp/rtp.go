@@ -333,6 +333,10 @@ func (d *Depacketizer) drop(ts uint32) {
 	delete(d.first, ts)
 }
 
+// Pending reports how many incomplete frames the reassembler currently
+// holds — the frames-outstanding telemetry gauge.
+func (d *Depacketizer) Pending() int { return len(d.frames) }
+
 // GC drops incomplete frames older than the given timestamp horizon,
 // counting them as lost, and advances the in-order anchor past them so
 // later frames can deliver.

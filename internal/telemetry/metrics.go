@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// Format selects the metrics timeseries encoding.
+type Format uint8
+
+const (
+	// CSV writes a header row of series names then one row per sample.
+	FormatCSV Format = iota
+	// JSONL writes one {"t_ms":…,"name":value,…} object per sample, keys
+	// in registration order.
+	FormatJSONL
+)
+
+// Metrics is an ordered registry of gauge callbacks sampled on a virtual
+// time tick. Series are registered once at wiring time; each Sample calls
+// every gauge in registration order and writes one row, so the output is
+// deterministic whenever the gauges are.
+//
+// A nil *Metrics is valid and inert. Like Tracer, Metrics is
+// single-goroutine and latches its first write error.
+type Metrics struct {
+	w      io.Writer
+	format Format
+	names  []string
+	gauges []func() float64
+	buf    []byte
+	rows   int64
+	header bool
+	err    error
+}
+
+// NewMetrics returns a metrics registry writing rows to w in the given
+// format.
+func NewMetrics(w io.Writer, format Format) *Metrics {
+	return &Metrics{w: w, format: format, buf: make([]byte, 0, 256)}
+}
+
+// Register adds a named gauge. Names must be unique and registration must
+// finish before the first Sample (the CSV header is emitted then). A nil
+// receiver ignores the call.
+func (m *Metrics) Register(name string, gauge func() float64) {
+	if m == nil {
+		return
+	}
+	if m.header {
+		panic("telemetry: Register after first Sample")
+	}
+	for _, n := range m.names {
+		if n == name {
+			panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+		}
+	}
+	m.names = append(m.names, name)
+	m.gauges = append(m.gauges, gauge)
+}
+
+// Names returns the registered series names in order.
+func (m *Metrics) Names() []string {
+	if m == nil {
+		return nil
+	}
+	return m.names
+}
+
+// Rows reports how many sample rows have been written.
+func (m *Metrics) Rows() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.rows
+}
+
+// Err returns the first write error, if any.
+func (m *Metrics) Err() error {
+	if m == nil {
+		return nil
+	}
+	return m.err
+}
+
+// Sample reads every gauge and writes one row stamped tMs (virtual
+// milliseconds). A nil receiver ignores the call.
+func (m *Metrics) Sample(tMs float64) {
+	if m == nil {
+		return
+	}
+	switch m.format {
+	case FormatCSV:
+		if !m.header {
+			m.header = true
+			b := append(m.buf[:0], "t_ms"...)
+			for _, n := range m.names {
+				b = append(b, ',')
+				b = append(b, n...)
+			}
+			m.write(append(b, '\n'))
+		}
+		b := appendNum(m.buf[:0], tMs)
+		for _, g := range m.gauges {
+			b = append(b, ',')
+			b = appendNum(b, g())
+		}
+		m.write(append(b, '\n'))
+	case FormatJSONL:
+		m.header = true
+		b := append(m.buf[:0], `{"t_ms":`...)
+		b = appendNum(b, tMs)
+		for i, g := range m.gauges {
+			b = append(b, ',', '"')
+			b = appendEscaped(b, m.names[i])
+			b = append(b, '"', ':')
+			b = appendNum(b, g())
+		}
+		m.write(append(b, '}', '\n'))
+	}
+	m.rows++
+}
+
+func (m *Metrics) write(b []byte) {
+	m.buf = b[:0]
+	if m.err == nil {
+		if _, err := m.w.Write(b); err != nil {
+			m.err = err
+		}
+	}
+}
+
+// ParseFormat maps a CLI string to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "csv":
+		return FormatCSV, nil
+	case "jsonl":
+		return FormatJSONL, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown metrics format %q (want csv or jsonl)", s)
+}

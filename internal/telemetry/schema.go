@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FieldKind is the JSON type a schema field must carry.
+type FieldKind uint8
+
+const (
+	// Number is any JSON number (integers and floats alike).
+	Number FieldKind = iota
+	// String is a JSON string.
+	String
+	// Bool is a JSON true/false.
+	Bool
+)
+
+func (k FieldKind) String() string {
+	switch k {
+	case Number:
+		return "number"
+	case String:
+		return "string"
+	case Bool:
+		return "bool"
+	}
+	return "unknown"
+}
+
+// Field is one typed attribute of an event beyond the common envelope.
+type Field struct {
+	Name string
+	Kind FieldKind
+}
+
+// Schema maps category → event → required fields. Every emitted line
+// carries the envelope (t_ms number, cat string, ev string) plus exactly
+// the fields listed here — no optional attributes, which keeps traces
+// column-stable for downstream tooling.
+var Schema = map[string]map[string][]Field{
+	"netem": {
+		"enqueue":  {{"link", String}, {"size", Number}, {"queue", Number}, {"tx_ms", Number}},
+		"drop":     {{"link", String}, {"size", Number}, {"kind", String}},
+		"deliver":  {{"link", String}, {"size", Number}},
+		"ge_state": {{"link", String}, {"bad", Bool}},
+	},
+	"rate": {
+		"report": {{"sender", Number}, {"loss", Number}, {"owd_ms", Number}, {"rate_bps", Number}},
+		"target": {{"sender", Number}, {"target_bps", Number}, {"applied_bps", Number}, {"reason", String}},
+	},
+	"recovery": {
+		"nack_sent":     {{"sender", Number}, {"receiver", Number}, {"seqs", Number}},
+		"nack_answered": {{"sender", Number}, {"count", Number}, {"misses", Number}},
+		"parity_sent":   {{"sender", Number}, {"size", Number}},
+		"repair":        {{"sender", Number}, {"receiver", Number}, {"kind", String}, {"count", Number}},
+		"expire":        {{"sender", Number}, {"receiver", Number}, {"count", Number}},
+	},
+	"vca": {
+		"frame_sent":        {{"sender", Number}, {"size", Number}},
+		"frame_thinned":     {{"sender", Number}},
+		"frame_decoded":     {{"sender", Number}, {"receiver", Number}, {"lat_ms", Number}, {"live", Bool}},
+		"frame_undecodable": {{"sender", Number}, {"receiver", Number}},
+		"frame_timeout":     {{"sender", Number}, {"receiver", Number}, {"count", Number}},
+	},
+}
+
+// SchemaDoc renders the schema as a deterministic human-readable listing
+// (for `vpfleet trace schema` style introspection and docs).
+func SchemaDoc() string {
+	var sb strings.Builder
+	cats := make([]string, 0, len(Schema))
+	for c := range Schema {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		evs := make([]string, 0, len(Schema[c]))
+		for e := range Schema[c] {
+			evs = append(evs, e)
+		}
+		sort.Strings(evs)
+		for _, e := range evs {
+			fmt.Fprintf(&sb, "%s/%s:", c, e)
+			for _, f := range Schema[c][e] {
+				fmt.Fprintf(&sb, " %s=%s", f.Name, f.Kind)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// rawKind classifies a JSON raw value by its first byte.
+func rawKind(raw json.RawMessage) (FieldKind, bool) {
+	if len(raw) == 0 {
+		return 0, false
+	}
+	switch c := raw[0]; {
+	case c == '"':
+		return String, true
+	case c == 't' || c == 'f':
+		return Bool, true
+	case c == '-' || (c >= '0' && c <= '9'):
+		return Number, true
+	}
+	return 0, false
+}
+
+// ValidateLine checks one trace line against the event schema: valid JSON,
+// complete envelope, a known cat/ev pair, every declared field present with
+// the declared type, and no undeclared fields.
+func ValidateLine(line []byte) error {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(line, &m); err != nil {
+		return fmt.Errorf("telemetry: invalid JSON: %w", err)
+	}
+	if k, ok := rawKind(m["t_ms"]); !ok || k != Number {
+		return fmt.Errorf("telemetry: missing or non-numeric t_ms")
+	}
+	var cat, ev string
+	if err := json.Unmarshal(m["cat"], &cat); err != nil {
+		return fmt.Errorf("telemetry: missing or non-string cat")
+	}
+	if err := json.Unmarshal(m["ev"], &ev); err != nil {
+		return fmt.Errorf("telemetry: missing or non-string ev")
+	}
+	events, ok := Schema[cat]
+	if !ok {
+		return fmt.Errorf("telemetry: unknown category %q", cat)
+	}
+	fields, ok := events[ev]
+	if !ok {
+		return fmt.Errorf("telemetry: unknown event %s/%s", cat, ev)
+	}
+	for _, f := range fields {
+		raw, ok := m[f.Name]
+		if !ok {
+			return fmt.Errorf("telemetry: %s/%s missing field %q", cat, ev, f.Name)
+		}
+		if k, ok := rawKind(raw); !ok || k != f.Kind {
+			return fmt.Errorf("telemetry: %s/%s field %q is not a %s", cat, ev, f.Name, f.Kind)
+		}
+	}
+	if want := len(fields) + 3; len(m) != want {
+		for k := range m {
+			if k == "t_ms" || k == "cat" || k == "ev" {
+				continue
+			}
+			known := false
+			for _, f := range fields {
+				if f.Name == k {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return fmt.Errorf("telemetry: %s/%s has undeclared field %q", cat, ev, k)
+			}
+		}
+	}
+	return nil
+}

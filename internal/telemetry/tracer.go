@@ -1,0 +1,355 @@
+// Package telemetry is the observability substrate for simulated sessions:
+// a qlog-inspired structured event trace plus a lightweight metrics
+// timeseries, both keyed by *virtual* time.
+//
+// Design rules, in priority order:
+//
+//  1. Zero cost when disabled. Every emitter is safe to call on a nil
+//     *Tracer and returns immediately; call sites pass only scalars (no
+//     interface boxing), so a disabled tracer adds one pointer test and no
+//     allocations to hot paths.
+//  2. Deterministic bytes. Events are hand-serialized JSONL with a fixed
+//     key order and strconv-based number formatting — no encoding/json map
+//     iteration, no wall clock, no rng. The same seed must produce a
+//     byte-identical trace at any fleet worker count.
+//  3. Virtual time only. Every line carries t_ms, the simulation clock in
+//     milliseconds. Wall-clock timing belongs in fleet manifests, never in
+//     traces.
+package telemetry
+
+import (
+	"io"
+	"strconv"
+
+	"telepresence/internal/simtime"
+)
+
+// Tracer serializes typed session events as JSONL to an underlying writer.
+// A nil *Tracer is valid and inert: every emitter no-ops. Tracers buffer one
+// line at a time and reuse the buffer, so steady-state emission performs no
+// allocations beyond the writer's own.
+//
+// Write errors latch: after the first failure the tracer drops subsequent
+// events and Err returns the cause. Sessions are single-goroutine; Tracer is
+// not safe for concurrent use.
+type Tracer struct {
+	w      io.Writer
+	buf    []byte
+	events int64
+	err    error
+}
+
+// NewTracer returns a tracer emitting JSONL events to w. Callers own w's
+// lifecycle (buffering, flushing, closing).
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Events reports how many events have been written (0 on a nil tracer).
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.events
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
+// begin starts a line with the common envelope. cat and ev are trusted
+// schema literals and are not escaped.
+func (t *Tracer) begin(now simtime.Time, cat, ev string) {
+	b := t.buf[:0]
+	b = append(b, `{"t_ms":`...)
+	b = appendNum(b, now.Milliseconds())
+	b = append(b, `,"cat":"`...)
+	b = append(b, cat...)
+	b = append(b, `","ev":"`...)
+	b = append(b, ev...)
+	b = append(b, '"')
+	t.buf = b
+}
+
+func (t *Tracer) str(key, v string) {
+	b := append(t.buf, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":"`...)
+	b = appendEscaped(b, v)
+	t.buf = append(b, '"')
+}
+
+func (t *Tracer) num(key string, v int64) {
+	b := append(t.buf, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	t.buf = strconv.AppendInt(b, v, 10)
+}
+
+func (t *Tracer) f64(key string, v float64) {
+	b := append(t.buf, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	t.buf = appendNum(b, v)
+}
+
+func (t *Tracer) boolean(key string, v bool) {
+	b := append(t.buf, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	t.buf = strconv.AppendBool(b, v)
+}
+
+func (t *Tracer) end() {
+	t.buf = append(t.buf, '}', '\n')
+	if t.err == nil {
+		if _, err := t.w.Write(t.buf); err != nil {
+			t.err = err
+			return
+		}
+		t.events++
+	}
+}
+
+// appendNum formats a float with the shortest representation that parses
+// back exactly ('f' format, no exponent) — deterministic across platforms.
+func appendNum(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'f', -1, 64)
+}
+
+// appendEscaped JSON-escapes v (quotes, backslashes, control bytes). Trace
+// strings are ASCII identifiers in practice; the loop is the safety net.
+func appendEscaped(b []byte, v string) []byte {
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+// ---- netem events ----
+
+// NetemEnqueue records a packet admitted to a link queue: its size, the
+// queue occupancy in bytes after admission (the queue-bytes gauge), and the
+// virtual time at which serialization completes.
+func (t *Tracer) NetemEnqueue(now simtime.Time, link string, size, queueBytes int, txMs float64) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "netem", "enqueue")
+	t.str("link", link)
+	t.num("size", int64(size))
+	t.num("queue", int64(queueBytes))
+	t.f64("tx_ms", txMs)
+	t.end()
+}
+
+// NetemDrop records a packet dropped by a link. kind is one of "loss"
+// (intrinsic or shaper random loss), "burst" (Gilbert-Elliott bad state), or
+// "queue" (tail drop on a full queue).
+func (t *Tracer) NetemDrop(now simtime.Time, link string, size int, kind string) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "netem", "drop")
+	t.str("link", link)
+	t.num("size", int64(size))
+	t.str("kind", kind)
+	t.end()
+}
+
+// NetemDeliver records a packet handed to the link's receiver.
+func (t *Tracer) NetemDeliver(now simtime.Time, link string, size int) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "netem", "deliver")
+	t.str("link", link)
+	t.num("size", int64(size))
+	t.end()
+}
+
+// NetemGEState records a Gilbert-Elliott burst-loss state transition.
+func (t *Tracer) NetemGEState(now simtime.Time, link string, bad bool) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "netem", "ge_state")
+	t.str("link", link)
+	t.boolean("bad", bad)
+	t.end()
+}
+
+// ---- ratecontrol events ----
+
+// RateReport records a transport feedback report arriving at sender's
+// congestion controller: the fraction lost, the one-way delay sample, and
+// the receive rate it carried.
+func (t *Tracer) RateReport(now simtime.Time, sender int, loss, owdMs, rateBps float64) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "rate", "report")
+	t.num("sender", int64(sender))
+	t.f64("loss", loss)
+	t.f64("owd_ms", owdMs)
+	t.f64("rate_bps", rateBps)
+	t.end()
+}
+
+// RateTarget records a controller decision: the controller's raw target, the
+// target after redundancy-overhead charging (what the encoder sees), and the
+// controller's reason code for the move.
+func (t *Tracer) RateTarget(now simtime.Time, sender int, targetBps, appliedBps float64, reason string) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "rate", "target")
+	t.num("sender", int64(sender))
+	t.f64("target_bps", targetBps)
+	t.f64("applied_bps", appliedBps)
+	t.str("reason", reason)
+	t.end()
+}
+
+// ---- recovery events ----
+
+// NackSent records receiver sending a NACK for seqs missing packets of
+// sender's stream.
+func (t *Tracer) NackSent(now simtime.Time, sender, receiver, seqs int) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "recovery", "nack_sent")
+	t.num("sender", int64(sender))
+	t.num("receiver", int64(receiver))
+	t.num("seqs", int64(seqs))
+	t.end()
+}
+
+// NackAnswered records sender answering a NACK with count retransmissions
+// (misses = requested seqs no longer in the cache).
+func (t *Tracer) NackAnswered(now simtime.Time, sender, count, misses int) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "recovery", "nack_answered")
+	t.num("sender", int64(sender))
+	t.num("count", int64(count))
+	t.num("misses", int64(misses))
+	t.end()
+}
+
+// ParitySent records sender emitting one XOR parity packet of size bytes.
+func (t *Tracer) ParitySent(now simtime.Time, sender, size int) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "recovery", "parity_sent")
+	t.num("sender", int64(sender))
+	t.num("size", int64(size))
+	t.end()
+}
+
+// Repair records receiver repairing count packets of sender's stream. kind
+// is "rtx" (a late retransmission filled the gap) or "fec" (XOR parity
+// reconstruction).
+func (t *Tracer) Repair(now simtime.Time, sender, receiver int, kind string, count int) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "recovery", "repair")
+	t.num("sender", int64(sender))
+	t.num("receiver", int64(receiver))
+	t.str("kind", kind)
+	t.num("count", int64(count))
+	t.end()
+}
+
+// Expire records count gaps of sender's stream written off by receiver —
+// the repair deadline passed (or bulk loss exceeded tracking capacity).
+func (t *Tracer) Expire(now simtime.Time, sender, receiver, count int) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "recovery", "expire")
+	t.num("sender", int64(sender))
+	t.num("receiver", int64(receiver))
+	t.num("count", int64(count))
+	t.end()
+}
+
+// ---- vca events ----
+
+// FrameSent records sender encoding one video/spatial frame of size bytes.
+func (t *Tracer) FrameSent(now simtime.Time, sender, size int) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "vca", "frame_sent")
+	t.num("sender", int64(sender))
+	t.num("size", int64(size))
+	t.end()
+}
+
+// FrameThinned records sender's encoder skipping a frame to honor the rate
+// target (temporal thinning).
+func (t *Tracer) FrameThinned(now simtime.Time, sender int) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "vca", "frame_thinned")
+	t.num("sender", int64(sender))
+	t.end()
+}
+
+// FrameDecoded records receiver decoding a complete frame from sender:
+// its end-to-end latency and whether it met the freshness (liveness) limit.
+func (t *Tracer) FrameDecoded(now simtime.Time, sender, receiver int, latMs float64, live bool) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "vca", "frame_decoded")
+	t.num("sender", int64(sender))
+	t.num("receiver", int64(receiver))
+	t.f64("lat_ms", latMs)
+	t.boolean("live", live)
+	t.end()
+}
+
+// FrameUndecodable records receiver discarding a frame from sender that
+// arrived incomplete or corrupt.
+func (t *Tracer) FrameUndecodable(now simtime.Time, sender, receiver int) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "vca", "frame_undecodable")
+	t.num("sender", int64(sender))
+	t.num("receiver", int64(receiver))
+	t.end()
+}
+
+// FrameTimeout records receiver garbage-collecting count incomplete frames
+// of sender's stream whose reassembly deadline passed.
+func (t *Tracer) FrameTimeout(now simtime.Time, sender, receiver, count int) {
+	if t == nil {
+		return
+	}
+	t.begin(now, "vca", "frame_timeout")
+	t.num("sender", int64(sender))
+	t.num("receiver", int64(receiver))
+	t.num("count", int64(count))
+	t.end()
+}

@@ -16,6 +16,7 @@ import (
 	"telepresence/internal/simrand"
 	"telepresence/internal/simtime"
 	"telepresence/internal/stats"
+	"telepresence/internal/telemetry"
 	"telepresence/internal/video"
 )
 
@@ -74,6 +75,14 @@ type SessionConfig struct {
 	// cover the NACK deadline plus two scan intervals, so a NACK'd frame
 	// is never garbage-collected before its retry budget expires.
 	FrameTimeout simtime.Duration
+	// Telemetry, when non-nil, attaches the observability subsystem
+	// (internal/telemetry): a typed virtual-time event trace and/or a
+	// sampled metrics timeseries. Nil — the default — emits no events,
+	// starts no tickers, draws no randomness, and adds zero allocations to
+	// the hot paths, so sessions are byte-identical to builds without the
+	// subsystem. Telemetry observes but never steers: even when enabled,
+	// every experiment row stays identical.
+	Telemetry *TelemetryConfig
 }
 
 // DefaultFrameTimeout is the default depacketizer incomplete-frame timeout:
@@ -286,6 +295,11 @@ type Session struct {
 	nackScr rtp.Nack               // reused NACK parse scratch
 	dueScr  []uint16               // reused due-seq scratch
 	gcTicks uint32                 // frame-timeout horizon in 90 kHz RTP ticks
+
+	// tr is the event tracer, nil unless SessionConfig.Telemetry carries
+	// one (the inertness contract: a nil tracer costs one pointer test per
+	// emission site and nothing else).
+	tr *telemetry.Tracer
 }
 
 // relayJob carries one uplink packet from the SFU ingress to its delayed
@@ -420,6 +434,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 			return nil, err
 		}
 	}
+	s.setupTelemetry()
 	return s, nil
 }
 
@@ -563,6 +578,9 @@ func (s *Session) setupRateControl(nominalBps float64) error {
 // target (ratecontrol.ApplyOverhead): media plus parity plus RTX together
 // stay within what the controller granted.
 func (s *Session) onFeedback(i int, rep *rtp.ReceiverReport, now simtime.Time) {
+	if s.tr != nil {
+		s.tr.RateReport(now, i, rep.FractionLost, rep.MeanOwdMs, rep.RecvRateBps)
+	}
 	if s.recSend != nil && s.recSend[i] != nil {
 		s.recSend[i].OnReportLoss(rep.FractionLost)
 	}
@@ -572,12 +590,20 @@ func (s *Session) onFeedback(i int, rep *rtp.ReceiverReport, now simtime.Time) {
 	c := s.ctrls[i]
 	c.OnFeedback(ratecontrol.Feedback{AtMs: now.Milliseconds(), Report: *rep})
 	target := c.TargetBps()
+	raw := target
 	if s.recSend != nil && s.recSend[i] != nil {
 		min := s.cfg.RateControl.MinBps
 		if min <= 0 {
 			min = ratecontrol.DefaultMinBps
 		}
 		target = ratecontrol.ApplyOverhead(target, s.recSend[i].BudgetOverheadRatio(), min)
+	}
+	if s.tr != nil {
+		reason := ratecontrol.ReasonHold
+		if r, ok := c.(ratecontrol.Reasoner); ok {
+			reason = r.LastReason()
+		}
+		s.tr.RateTarget(now, i, raw, target, reason)
 	}
 	if s.encoders != nil && s.encoders[i] != nil {
 		s.encoders[i].SetTargetBps(target)
@@ -620,10 +646,19 @@ func (s *Session) handleRecoveryFrame(me int, payload []byte, now simtime.Time) 
 		}
 		sender, audio, ok := rtp.SenderOf(s.nackScr.SSRC)
 		if ok && !audio && sender == me && s.recSend[me] != nil {
+			var preRtx, preMiss int64
+			if s.tr != nil {
+				st := s.recSend[me].Stats()
+				preRtx, preMiss = st.RtxPackets, st.CacheMisses
+			}
 			for _, pkt := range s.recSend[me].OnNack(&s.nackScr) {
 				// Cached packets are immutable once handed out, so the
 				// retransmission can share them with the network layer.
 				s.up[me].Send(netem.Frame{Size: len(pkt) + 28, Payload: pkt})
+			}
+			if s.tr != nil {
+				st := s.recSend[me].Stats()
+				s.tr.NackAnswered(now, me, int(st.RtxPackets-preRtx), int(st.CacheMisses-preMiss))
 			}
 		}
 		return true
@@ -631,8 +666,16 @@ func (s *Session) handleRecoveryFrame(me int, payload []byte, now simtime.Time) 
 	if rtp.IsParity(payload) {
 		sender, audio, ok := rtp.SenderOf(rtp.ParitySSRC(payload))
 		if ok && !audio && sender != me && sender < len(s.recRecv) && s.recRecv[sender][me] != nil {
-			if rec := s.recRecv[sender][me].OnParity(payload, now.Milliseconds()); rec != nil {
+			rr := s.recRecv[sender][me]
+			var pre recSnap
+			if s.tr != nil {
+				pre = snapRecovery(rr)
+			}
+			if rec := rr.OnParity(payload, now.Milliseconds()); rec != nil {
 				s.pushMedia(sender, me, rec, now)
+			}
+			if s.tr != nil {
+				s.traceRepairDelta(now, sender, me, rr, pre)
 			}
 		}
 		return true
@@ -778,6 +821,9 @@ func (s *Session) wireSpatial() error {
 				s.thinAcc[i] += keep
 				if s.thinAcc[i] < 1 {
 					s.stats[i].FramesThinned++
+					if s.tr != nil {
+						s.tr.FrameThinned(now, i)
+					}
 					return
 				}
 				s.thinAcc[i]--
@@ -794,6 +840,9 @@ func (s *Session) wireSpatial() error {
 				// Nominal = full-frame-rate wire cost of the stream, the
 				// denominator of the thinning ratio.
 				s.nominal[i] = float64(len(stamped)*8) * s.cfg.SpatialFPS
+			}
+			if s.tr != nil {
+				s.tr.FrameSent(now, i, len(stamped))
 			}
 			s.quicUp[i].SendMessage(stamped)
 		})
@@ -868,12 +917,18 @@ func (s *Session) onSpatialFrame(i, j int, data []byte, now simtime.Time) {
 	// without materializing keypoints no session measurement reads.
 	if err := s.decoders[i][j].Validate(wire); err != nil {
 		s.stats[j].FramesUndecodable++
+		if s.tr != nil {
+			s.tr.FrameUndecodable(now, i, j)
+		}
 		return
 	}
 	s.stats[j].FramesDecoded++
 	lat := now.Sub(sent)
 	s.latSum[j] += float64(lat) / float64(simtime.Millisecond)
 	s.latN[j]++
+	if s.tr != nil {
+		s.tr.FrameDecoded(now, i, j, float64(lat)/float64(simtime.Millisecond), lat <= s.cfg.LatencyLimit)
+	}
 	if lat > s.cfg.LatencyLimit {
 		// Decoded but too old to animate a live persona: does not refresh
 		// availability.
@@ -913,15 +968,33 @@ func (s *Session) deliverVideo(i, j int, pkt []byte, size int, now simtime.Time)
 		s.builders[i][j].OnPacket(h.Seq, float64(h.Timestamp)/90, now.Milliseconds(), size)
 	}
 	if s.recRecv != nil && s.recRecv[i][j] != nil {
-		if rec := s.recRecv[i][j].OnMedia(pkt, now.Milliseconds()); rec != nil {
+		rr := s.recRecv[i][j]
+		var pre recSnap
+		if s.tr != nil {
+			pre = snapRecovery(rr)
+		}
+		if rec := rr.OnMedia(pkt, now.Milliseconds()); rec != nil {
 			// This arrival left exactly one unknown in a buffered parity
 			// group; the reconstruction is an older packet, so it joins
 			// the reassembler first.
 			s.pushMedia(i, j, rec, now)
 		}
+		if s.tr != nil {
+			s.traceRepairDelta(now, i, j, rr, pre)
+		}
 	}
 	if h.Timestamp > s.gcTicks {
-		s.depacks[i][j].GC(h.Timestamp - s.gcTicks)
+		d := s.depacks[i][j]
+		var preDropped int64
+		if s.tr != nil {
+			preDropped = d.FramesDropped
+		}
+		d.GC(h.Timestamp - s.gcTicks)
+		if s.tr != nil {
+			if dd := d.FramesDropped - preDropped; dd > 0 {
+				s.tr.FrameTimeout(now, i, j, int(dd))
+			}
+		}
 	}
 	s.pushMedia(i, j, pkt, now)
 }
@@ -930,7 +1003,19 @@ func (s *Session) deliverVideo(i, j int, pkt []byte, size int, now simtime.Time)
 // FEC-reconstructed — to receiver j's reassembler and accounts every frame
 // that completes.
 func (s *Session) pushMedia(i, j int, pkt []byte, now simtime.Time) {
-	frames, err := s.depacks[i][j].Push(pkt)
+	d := s.depacks[i][j]
+	var preDropped int64
+	if s.tr != nil {
+		preDropped = d.FramesDropped
+	}
+	frames, err := d.Push(pkt)
+	if s.tr != nil {
+		// Push may abandon stalled frames when a later complete frame
+		// overtakes them — the same fate as a GC timeout.
+		if dd := d.FramesDropped - preDropped; dd > 0 {
+			s.tr.FrameTimeout(now, i, j, int(dd))
+		}
+	}
 	if err != nil {
 		return
 	}
@@ -943,12 +1028,18 @@ func (s *Session) pushMedia(i, j int, pkt []byte, now simtime.Time) {
 		// reconstructing pixels nobody reads.
 		if err := s.vdecs[i][j].Validate(frame[8:]); err != nil {
 			s.stats[j].FramesUndecodable++
+			if s.tr != nil {
+				s.tr.FrameUndecodable(now, i, j)
+			}
 			continue
 		}
 		s.stats[j].FramesDecoded++
 		lat := now.Sub(sent)
 		s.latSum[j] += float64(lat) / float64(simtime.Millisecond)
 		s.latN[j]++
+		if s.tr != nil {
+			s.tr.FrameDecoded(now, i, j, float64(lat)/float64(simtime.Millisecond), lat <= s.cfg.LatencyLimit)
+		}
 		if lat > s.cfg.LatencyLimit {
 			// Decoded but too old to count as a live persona frame;
 			// does not refresh availability (same rule as the spatial
@@ -1132,7 +1223,17 @@ func (s *Session) wireVideo() error {
 					if rr == nil {
 						continue
 					}
+					var pre recSnap
+					if s.tr != nil {
+						pre = snapRecovery(rr)
+					}
 					s.dueScr = rr.Tick(nowMs, s.dueScr[:0])
+					if s.tr != nil {
+						if len(s.dueScr) > 0 {
+							s.tr.NackSent(now, i, j, len(s.dueScr))
+						}
+						s.traceRepairDelta(now, i, j, rr, pre)
+					}
 					for off := 0; off < len(s.dueScr); off += rtp.MaxNackSeqs {
 						end := off + rtp.MaxNackSeqs
 						if end > len(s.dueScr) {
@@ -1170,6 +1271,9 @@ func (s *Session) wireVideo() error {
 			stamped = stamped[:8+len(ef.Data)]
 			putTime(stamped, now)
 			copy(stamped[8:], ef.Data)
+			if s.tr != nil {
+				s.tr.FrameSent(now, i, len(stamped))
+			}
 			for _, pkt := range s.packers[i].Packetize(stamped, now.Seconds()) {
 				var parity []byte
 				if s.recSend != nil && s.recSend[i] != nil {
@@ -1179,6 +1283,9 @@ func (s *Session) wireVideo() error {
 				}
 				s.up[i].Send(netem.Frame{Size: len(pkt) + 28, Payload: pkt}) // +IP/UDP overhead
 				if parity != nil {
+					if s.tr != nil {
+						s.tr.ParitySent(now, i, len(parity))
+					}
 					s.up[i].Send(netem.Frame{Size: len(parity) + 28, Payload: parity})
 				}
 			}

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # bench_fleet.sh — run the fleet benchmarks and emit BENCH_fleet.json, the
-# perf-trajectory record future PRs compare against.
+# perf-trajectory record future PRs compare against. Each run also appends
+# one {commit, date, rows_per_sec} line to BENCH_history.jsonl, the
+# append-only throughput timeline across commits.
 #
 # Usage: scripts/bench_fleet.sh [output.json]
 #
@@ -40,3 +42,19 @@ END   { printf "\n ]\n}\n" }
 ' "$raw" > "$out"
 
 echo "wrote $out" >&2
+
+# Append the suite's rows/sec to the throughput timeline. One line per run,
+# newest last; plot with e.g. jq -r '[.date,.rows_per_sec]|@tsv'.
+history="BENCH_history.jsonl"
+rps="$(awk '/"benchmark":"BenchmarkFleetSuiteSequential"/ {
+    if (match($0, /"rows_per_sec":[0-9.]+/))
+        print substr($0, RSTART + 15, RLENGTH - 15)
+}' "$out")"
+if [ -n "$rps" ]; then
+  printf '{"commit":"%s","date":"%s","rows_per_sec":%s}\n' \
+    "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$rps" >> "$history"
+  echo "appended rows/sec to $history" >&2
+else
+  echo "warning: no rows/sec in $out; $history not updated" >&2
+fi

@@ -31,6 +31,7 @@ import (
 	"telepresence/internal/semantic"
 	"telepresence/internal/simtime"
 	"telepresence/internal/stats"
+	"telepresence/internal/telemetry"
 	"telepresence/internal/vca"
 )
 
@@ -121,6 +122,43 @@ var RecoveryKinds = recovery.Kinds
 // DefaultFrameTimeout is the depacketizer's default incomplete-frame
 // timeout, configurable per session via SessionConfig.FrameTimeout.
 const DefaultFrameTimeout = vca.DefaultFrameTimeout
+
+// Telemetry (internal/telemetry): virtual-time session tracing and metrics
+// timeseries (SessionConfig.Telemetry). Nil is provably inert; enabled
+// telemetry observes but never steers, so rows stay byte-identical.
+type (
+	// TelemetryConfig attaches a tracer and/or metrics registry to a
+	// session.
+	TelemetryConfig = vca.TelemetryConfig
+	// Tracer serializes typed session events as deterministic JSONL.
+	Tracer = telemetry.Tracer
+	// TraceMetrics is a registry of gauges sampled on a virtual-time tick.
+	TraceMetrics = telemetry.Metrics
+	// TraceMetricsFormat selects the metrics export encoding.
+	TraceMetricsFormat = telemetry.Format
+	// TraceSummary is the per-stream reconstruction of one trace file.
+	TraceSummary = telemetry.Summary
+)
+
+// Metrics export encodings.
+const (
+	TraceMetricsCSV   = telemetry.FormatCSV
+	TraceMetricsJSONL = telemetry.FormatJSONL
+)
+
+// Telemetry entry points.
+var (
+	// NewTracer wraps w in an event tracer.
+	NewTracer = telemetry.NewTracer
+	// NewTraceMetrics wraps w in a sampled-metrics registry.
+	NewTraceMetrics = telemetry.NewMetrics
+	// SummarizeTrace validates and aggregates one JSONL trace stream.
+	SummarizeTrace = telemetry.Summarize
+	// ValidateTraceLine checks one trace line against the event schema.
+	ValidateTraceLine = telemetry.ValidateLine
+	// TraceSchemaDoc renders the event schema as a sorted listing.
+	TraceSchemaDoc = telemetry.SchemaDoc
+)
 
 // NewSession plans (per the paper's §4.1 matrix) and wires a session.
 func NewSession(cfg SessionConfig) (*Session, error) { return vca.NewSession(cfg) }
