@@ -305,6 +305,32 @@ func benchFleet(b *testing.B, workers int) {
 func BenchmarkFleetSuiteSequential(b *testing.B) { benchFleet(b, 1) }
 func BenchmarkFleetSuiteParallel8(b *testing.B)  { benchFleet(b, 8) }
 
+// BenchmarkFleetSuiteSequentialCheckpoint measures the checkpointing tax:
+// the same sequential suite with every completed rep journaled (dual-
+// encoded entry + atomic temp-and-rename write per unit). The fault-
+// tolerance budget is <5% over BenchmarkFleetSuiteSequential;
+// scripts/bench_fleet.sh computes the overhead into BENCH_fleet.json.
+func BenchmarkFleetSuiteSequentialCheckpoint(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		journal, err := tp.OpenFleetJournal(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		results, err := tp.FleetRunAll(benchOpts(20), tp.FleetConfig{Workers: 1, Checkpoint: journal})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = 0
+		for _, r := range results {
+			rows += len(r.Rows)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
 // BenchmarkFleetKeypoints8Reps isolates a repetition-heavy experiment:
 // eight independent keypoint-streaming reps on one worker versus eight.
 func benchFleetKeypoints(b *testing.B, workers int) {

@@ -11,6 +11,18 @@
 // holds for every sweep grid (cell seeds derive from the cell's parameter
 // values, never its grid position or worker).
 //
+// The fleet is fault tolerant (see DESIGN.md "Fault tolerance"): rows
+// stream to disk as cells complete, a panicking or failing cell is
+// isolated and retried (-retries, -cell-timeout, -backoff) without
+// stopping the run, completed cells checkpoint to a journal
+// (-checkpoint DIR) that a later invocation resumes (-resume), and a
+// deterministic chaos harness (-chaos) injects faults for testing. SIGINT
+// or SIGTERM drains gracefully: in-flight cells finish and journal, the
+// manifest marks the run resumable, and vpfleet exits 3.
+//
+// Exit codes: 0 success; 1 one or more cells failed; 2 usage error
+// (bad flags, unknown experiment or target); 3 interrupted but resumable.
+//
 // The trace subcommand introspects session traces: scenario cells write
 // per-session event traces (-trace DIR) and metrics timeseries
 // (-metrics DIR), and `trace summarize` validates a trace file against the
@@ -20,11 +32,13 @@
 //
 //	vpfleet list
 //	vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
-//	            [-trace DIR] [-metrics DIR]
+//	            [-checkpoint DIR] [-resume] [-retries N] [-cell-timeout D]
+//	            [-backoff D] [-chaos SPEC] [-trace DIR] [-metrics DIR]
 //	            [-cpuprofile FILE] [-memprofile FILE] all|<name>...
 //	vpfleet sweep <target> -axis name=v1,v2,... [-axis name=...]
 //	            [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
-//	            [-trace DIR] [-metrics DIR]
+//	            [-checkpoint DIR] [-resume] [-retries N] [-cell-timeout D]
+//	            [-backoff D] [-chaos SPEC] [-trace DIR] [-metrics DIR]
 //	vpfleet trace summarize <file.trace.jsonl>
 //	vpfleet trace schema
 //
@@ -33,26 +47,38 @@
 //	vpfleet run all -workers 8
 //	vpfleet run fig5 fig7 -seed 7 -format csv -out results/
 //	vpfleet run all -workers 1 -cpuprofile cpu.out -memprofile mem.out
-//	vpfleet run burstloss -trace traces/
-//	vpfleet trace summarize traces/burstloss__loss_bad-0.9_p_bad_good-0.25_p_good_bad-0.02.trace.jsonl
 //	vpfleet sweep handover -axis delay_ms=0,100,250,500,1000 -workers 8
-//	vpfleet sweep burstloss -axis p_good_bad=0.01,0.05 -axis p_bad_good=0.1,0.3
+//	vpfleet sweep burstloss -axis p_good_bad=0.01,0.05 -checkpoint ck/
+//	vpfleet sweep burstloss -axis p_good_bad=0.01,0.05 -checkpoint ck/ -resume
+//	vpfleet run all -retries 3 -cell-timeout 5m -chaos panic=0.2,attempts=1
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	tp "telepresence"
+)
+
+// Exit codes, distinct per failure class so scripts and CI can tell a
+// broken run from an interrupted-but-resumable one.
+const (
+	exitOK          = 0
+	exitFailures    = 1 // one or more cells failed after retries
+	exitUsage       = 2 // bad flags, unknown command/experiment/target
+	exitInterrupted = 3 // gracefully drained; resume with -checkpoint/-resume
 )
 
 // writeManifest renders a run or sweep manifest as indented JSON.
@@ -89,17 +115,29 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   vpfleet list
   vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
-              [-trace DIR] [-metrics DIR] all|<name>...
+              [-checkpoint DIR] [-resume] [-retries N] [-cell-timeout D]
+              [-backoff D] [-chaos SPEC] [-trace DIR] [-metrics DIR] all|<name>...
   vpfleet sweep <target> -axis name=v1,v2,... [-axis name=...] [-seed N] [-full]
-                [-workers N] [-out DIR] [-format jsonl|csv] [-trace DIR] [-metrics DIR]
+                [-workers N] [-out DIR] [-format jsonl|csv] [-checkpoint DIR]
+                [-resume] [-retries N] [-cell-timeout D] [-backoff D]
+                [-chaos SPEC] [-trace DIR] [-metrics DIR]
   vpfleet trace summarize <file.trace.jsonl>...
-  vpfleet trace schema`)
-	os.Exit(2)
+  vpfleet trace schema
+
+exit codes: 0 ok; 1 cell failures; 2 usage; 3 interrupted (resumable)`)
+	os.Exit(exitUsage)
 }
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "vpfleet:", err)
-	os.Exit(1)
+	os.Exit(exitFailures)
+}
+
+// failUsage reports a bad invocation (unknown name, malformed spec) and
+// exits with the usage code, keeping exit 1 for genuine run failures.
+func failUsage(err error) {
+	fmt.Fprintln(os.Stderr, "vpfleet:", err)
+	os.Exit(exitUsage)
 }
 
 func list() {
@@ -119,30 +157,43 @@ func list() {
 }
 
 // commonFlags holds the flags and parsing behavior the run and sweep
-// subcommands share: scale/seed/pool/output options, and the peeling Parse
-// loop that accepts bare names and flags in any order.
+// subcommands share: scale/seed/pool/output options, the fault-tolerance
+// knobs, and the peeling Parse loop that accepts bare names and flags in
+// any order.
 type commonFlags struct {
-	fs      *flag.FlagSet
-	seed    *int64
-	full    *bool
-	workers *int
-	out     *string
-	format  *string
-	trace   *string
-	metrics *string
+	fs          *flag.FlagSet
+	seed        *int64
+	full        *bool
+	workers     *int
+	out         *string
+	format      *string
+	trace       *string
+	metrics     *string
+	checkpoint  *string
+	resume      *bool
+	retries     *int
+	cellTimeout *time.Duration
+	backoff     *time.Duration
+	chaos       *string
 }
 
 func newCommonFlags(name string) *commonFlags {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	return &commonFlags{
-		fs:      fs,
-		seed:    fs.Int64("seed", 1, "experiment seed"),
-		full:    fs.Bool("full", false, "paper-scale runs (120 s sessions, 5 reps); slow"),
-		workers: fs.Int("workers", 0, "worker pool size (0 = all CPUs)"),
-		out:     fs.String("out", "fleet-out", "output directory"),
-		format:  fs.String("format", "jsonl", "row format: jsonl or csv"),
-		trace:   fs.String("trace", "", "write per-cell session event traces (JSONL) to this directory"),
-		metrics: fs.String("metrics", "", "write per-cell metrics timeseries (CSV) to this directory"),
+		fs:          fs,
+		seed:        fs.Int64("seed", 1, "experiment seed"),
+		full:        fs.Bool("full", false, "paper-scale runs (120 s sessions, 5 reps); slow"),
+		workers:     fs.Int("workers", 0, "worker pool size (0 = all CPUs)"),
+		out:         fs.String("out", "fleet-out", "output directory"),
+		format:      fs.String("format", "jsonl", "row format: jsonl or csv"),
+		trace:       fs.String("trace", "", "write per-cell session event traces (JSONL) to this directory"),
+		metrics:     fs.String("metrics", "", "write per-cell metrics timeseries (CSV) to this directory"),
+		checkpoint:  fs.String("checkpoint", "", "journal completed cells to this directory (enables -resume)"),
+		resume:      fs.Bool("resume", false, "skip cells already journaled in -checkpoint DIR"),
+		retries:     fs.Int("retries", 1, "attempts per cell, first run included (1 = no retry)"),
+		cellTimeout: fs.Duration("cell-timeout", 0, "abandon and retry a cell attempt running longer than this (0 = no watchdog)"),
+		backoff:     fs.Duration("backoff", 0, "delay before a cell's second attempt, doubling per attempt"),
+		chaos:       fs.String("chaos", "", "inject deterministic faults, e.g. panic=0.5,error=0.2,delay=0.3,delay_ms=50,sink=0.1,attempts=2"),
 	}
 }
 
@@ -166,7 +217,10 @@ func (c *commonFlags) parseMixed(args []string) (names []string) {
 // is resolved here), the scaled options, and the created output directory.
 func (c *commonFlags) resolve() (workers int, opts tp.Options, outDir, format string) {
 	if *c.format != "jsonl" && *c.format != "csv" {
-		fail(fmt.Errorf("unknown format %q", *c.format))
+		failUsage(fmt.Errorf("unknown format %q", *c.format))
+	}
+	if *c.resume && *c.checkpoint == "" {
+		failUsage(errors.New("-resume requires -checkpoint DIR"))
 	}
 	workers = *c.workers
 	if workers <= 0 {
@@ -189,6 +243,76 @@ func (c *commonFlags) resolve() (workers int, opts tp.Options, outDir, format st
 	opts.TraceDir = *c.trace
 	opts.MetricsDir = *c.metrics
 	return workers, opts, *c.out, *c.format
+}
+
+// fleetConfig assembles the scheduler config from the fault-tolerance
+// flags: the retry policy, the chaos plan (seeded by the run seed so a
+// chaos run is reproducible), the checkpoint journal, and the
+// signal-driven interrupt channel. The returned journal is nil when no
+// -checkpoint was given.
+func (c *commonFlags) fleetConfig(workers int) (tp.FleetConfig, *tp.FleetJournal) {
+	cfg := tp.FleetConfig{
+		Workers: workers,
+		Retry: tp.RetryPolicy{
+			MaxAttempts:    *c.retries,
+			PerCellTimeout: *c.cellTimeout,
+			Backoff:        *c.backoff,
+		},
+		Interrupt: installInterrupt(),
+	}
+	if *c.chaos != "" {
+		plan, err := tp.ParseFaultPlan(*c.chaos, *c.seed)
+		if err != nil {
+			failUsage(err)
+		}
+		cfg.Chaos = plan
+	}
+	var journal *tp.FleetJournal
+	if *c.checkpoint != "" {
+		j, err := tp.OpenFleetJournal(*c.checkpoint)
+		if err != nil {
+			fail(err)
+		}
+		journal = j
+		cfg.Checkpoint = j
+		cfg.Resume = *c.resume
+	}
+	return cfg, journal
+}
+
+// installInterrupt wires SIGINT/SIGTERM to a graceful drain: the first
+// signal stops dispatch (in-flight cells finish, journal, and stream; the
+// manifest marks the run resumable and vpfleet exits 3); a second signal
+// force-quits immediately.
+func installInterrupt() <-chan struct{} {
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "vpfleet: interrupt — draining in-flight cells (signal again to force quit)")
+		close(stop)
+		<-sigs
+		fmt.Fprintln(os.Stderr, "vpfleet: forced quit")
+		os.Exit(exitInterrupted)
+	}()
+	return stop
+}
+
+// exit maps a run's error to the process exit code: interrupted (and
+// therefore resumable) runs exit 3, any other failure exits 1.
+func exit(runErr error, journal *tp.FleetJournal, resumeHint string) {
+	if runErr == nil {
+		os.Exit(exitOK)
+	}
+	fmt.Fprintln(os.Stderr, "vpfleet:", runErr)
+	if errors.Is(runErr, tp.ErrFleetInterrupted) {
+		if journal != nil {
+			fmt.Fprintf(os.Stderr, "vpfleet: interrupted; resume with: %s\n", resumeHint)
+		}
+		os.Exit(exitInterrupted)
+	}
+	os.Exit(exitFailures)
 }
 
 // axisFlags collects repeated -axis name=v1,v2,... flags in order.
@@ -269,28 +393,31 @@ func sweepCmd(args []string) {
 	spec := tp.SweepSpec{Target: names[0], Axes: axes}
 	target, ok := tp.LookupSweepTarget(spec.Target)
 	if !ok {
-		fail(fmt.Errorf("unknown sweep target %q (try: list)", spec.Target))
+		failUsage(fmt.Errorf("unknown sweep target %q (try: list)", spec.Target))
 	}
 	if err := spec.Validate(); err != nil {
-		fail(err)
+		failUsage(err)
 	}
 	workers, opts, out, format := c.resolve()
-
-	start := time.Now()
-	results, runErr := tp.FleetRunSweep(spec, opts, tp.FleetConfig{Workers: workers})
-	wall := time.Since(start)
+	cfg, journal := c.fleetConfig(workers)
 
 	path := filepath.Join(out, "sweep-"+spec.Target+"."+format)
 	f, err := os.Create(path)
 	if err != nil {
 		fail(err)
 	}
-	if err := tp.FleetWriteSweep(results, newFileSink(f, format, target.Row)); err != nil {
-		fail(err)
-	}
+
+	// Rows stream to the file as cells complete (memory is bounded by the
+	// reorder window, not the grid); journaled cells replay on -resume.
+	start := time.Now()
+	results, runErr := tp.FleetRunSweepStream(spec, opts, cfg, newFileSink(f, format, target.Row))
+	wall := time.Since(start)
 
 	manifest := tp.NewFleetSweepManifest(spec, opts, workers, wall, results)
 	manifest.File = path
+	if journal != nil {
+		manifest.Checkpoint = journal.Dir()
+	}
 	// Per-target manifest name, so sweeping two targets into one output
 	// directory preserves both runs' provenance.
 	mf, err := os.Create(filepath.Join(out, "sweep-"+spec.Target+"-manifest.json"))
@@ -304,17 +431,21 @@ func sweepCmd(args []string) {
 	fmt.Printf("%-5s %-40s %-7s %-9s %s\n", "cell", "params", "rows", "wall", "status")
 	for _, r := range results {
 		status := "ok"
-		if r.Err != nil {
+		switch {
+		case r.Err != nil && errors.Is(r.Err, tp.ErrFleetInterrupted):
+			status = "INTERRUPTED"
+		case r.Err != nil:
 			status = "ERROR: " + r.Err.Error()
+		case r.Resumed:
+			status = "ok (resumed)"
 		}
 		fmt.Printf("%-5d %-40s %-7d %-9s %s\n",
-			r.Cell.Index, r.Cell.Label, len(r.Rows), r.Wall.Round(time.Millisecond), status)
+			r.Cell.Index, r.Cell.Label, r.RowCount, r.Wall.Round(time.Millisecond), status)
 	}
 	fmt.Printf("\nsweep %s: %d cells in %s (workers=%d); rows: %s\n",
 		spec.Target, len(results), wall.Round(time.Millisecond), workers, path)
-	if runErr != nil {
-		fail(runErr)
-	}
+	exit(runErr, journal,
+		fmt.Sprintf("vpfleet sweep %s ... -checkpoint %s -resume", spec.Target, *c.checkpoint))
 }
 
 func runCmd(args []string) {
@@ -327,12 +458,14 @@ func runCmd(args []string) {
 	}
 	exps, err := tp.SelectExperiments(names...)
 	if err != nil {
-		fail(err)
+		failUsage(err)
 	}
 	workers, opts, out, format := c.resolve()
+	cfg, journal := c.fleetConfig(workers)
 
-	// Profiling hooks for the hot-path work the ROADMAP tracks: profile
-	// exactly the experiment execution, not sink I/O.
+	// Profiling hooks for the hot-path work the ROADMAP tracks. Runner
+	// execution carries pprof labels, so samples still attribute to
+	// (experiment, rep) even though sink I/O now overlaps the run.
 	var cpuFile *os.File
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -345,8 +478,19 @@ func runCmd(args []string) {
 		cpuFile = f
 	}
 
+	// One output file per experiment, named by the registry; rows stream
+	// as reps complete (memory is bounded by the reorder window).
+	files := map[string]string{}
 	start := time.Now()
-	results, runErr := tp.FleetRun(exps, opts, tp.FleetConfig{Workers: workers})
+	results, runErr := tp.FleetRunStream(exps, opts, cfg, func(e tp.Experiment) (tp.Sink, error) {
+		path := filepath.Join(out, e.Name+"."+format)
+		files[e.Name] = path
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		return newFileSink(f, format, e.Row), nil
+	})
 	wall := time.Since(start)
 
 	if cpuFile != nil {
@@ -369,24 +513,12 @@ func runCmd(args []string) {
 		}
 	}
 
-	// One output file per experiment, named by the registry.
-	files := map[string]string{}
-	err = tp.FleetWrite(results, func(e tp.Experiment) (tp.Sink, error) {
-		path := filepath.Join(out, e.Name+"."+format)
-		files[e.Name] = path
-		f, err := os.Create(path)
-		if err != nil {
-			return nil, err
-		}
-		return newFileSink(f, format, e.Row), nil
-	})
-	if err != nil {
-		fail(err)
-	}
-
 	manifest := tp.NewFleetManifest(opts, workers, wall, results)
 	for i := range manifest.Experiments {
 		manifest.Experiments[i].File = files[manifest.Experiments[i].Name]
+	}
+	if journal != nil {
+		manifest.Checkpoint = journal.Dir()
 	}
 	mf, err := os.Create(filepath.Join(out, "manifest.json"))
 	if err != nil {
@@ -399,17 +531,21 @@ func runCmd(args []string) {
 	fmt.Printf("%-10s %-5s %-7s %-9s %s\n", "name", "reps", "rows", "wall", "file")
 	for _, r := range results {
 		status := files[r.Experiment.Name]
-		if r.Err != nil {
+		switch {
+		case r.Err != nil && errors.Is(r.Err, tp.ErrFleetInterrupted):
+			status = "INTERRUPTED"
+		case r.Err != nil:
 			status = "ERROR: " + r.Err.Error()
+		case r.Resumed > 0:
+			status += fmt.Sprintf(" (%d/%d reps resumed)", r.Resumed, r.Reps)
 		}
 		fmt.Printf("%-10s %-5d %-7d %-9s %s\n",
-			r.Experiment.Name, r.Reps, len(r.Rows), r.Wall.Round(time.Millisecond), status)
+			r.Experiment.Name, r.Reps, r.RowCount, r.Wall.Round(time.Millisecond), status)
 	}
 	fmt.Printf("\n%d experiments in %s (workers=%d); manifest: %s\n",
 		len(results), wall.Round(time.Millisecond), workers, filepath.Join(out, "manifest.json"))
-	if runErr != nil {
-		fail(runErr)
-	}
+	exit(runErr, journal,
+		fmt.Sprintf("vpfleet run %s -checkpoint %s -resume", strings.Join(names, " "), *c.checkpoint))
 }
 
 // newFileSink wraps f in the row sink for format ("csv" or "jsonl",
@@ -433,4 +569,14 @@ func (c closeSink) Close() error {
 		return err
 	}
 	return c.f.Close()
+}
+
+// WriteEntry forwards journal-entry replay to the wrapped sink, keeping
+// resumability through the file-closing wrapper.
+func (c closeSink) WriteEntry(e *tp.FleetJournalEntry) error {
+	es, ok := c.Sink.(tp.EntrySink)
+	if !ok {
+		return fmt.Errorf("vpfleet: sink %T cannot replay journal entries", c.Sink)
+	}
+	return es.WriteEntry(e)
 }

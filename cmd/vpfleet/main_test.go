@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// vpfleetBin is the compiled CLI under test, built once in TestMain so the
+// exit-code and signal tests exercise the real binary (os.Exit and signal
+// delivery don't compose with in-process testing).
+var vpfleetBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "vpfleet-test-*")
+	if err != nil {
+		panic(err)
+	}
+	vpfleetBin = filepath.Join(dir, "vpfleet")
+	out, err := exec.Command("go", "build", "-o", vpfleetBin, ".").CombinedOutput()
+	if err != nil {
+		panic("building vpfleet: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// runVpfleet executes the binary and returns (exit code, stdout+stderr).
+func runVpfleet(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(vpfleetBin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	err := cmd.Run()
+	if err == nil {
+		return 0, buf.String()
+	}
+	var exitErr *exec.ExitError
+	if !isExit(err, &exitErr) {
+		t.Fatalf("vpfleet %v: %v\n%s", args, err, buf.String())
+	}
+	return exitErr.ExitCode(), buf.String()
+}
+
+func isExit(err error, target **exec.ExitError) bool {
+	e, ok := err.(*exec.ExitError)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// TestExitCodes pins the CLI contract: 0 success, 1 cell failures,
+// 2 usage errors, 3 interrupted-resumable (covered by TestSigtermResume).
+func TestExitCodes(t *testing.T) {
+	out := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"list", []string{"list"}, 0},
+		{"no command", []string{}, 2},
+		{"unknown command", []string{"frob"}, 2},
+		{"run without names", []string{"run"}, 2},
+		{"unknown experiment", []string{"run", "nosuch"}, 2},
+		{"unknown sweep target", []string{"sweep", "nosuch", "-axis", "a=1"}, 2},
+		{"bad flag", []string{"run", "protocols", "-bogus"}, 2},
+		{"bad format", []string{"run", "protocols", "-format", "xml"}, 2},
+		{"resume without checkpoint", []string{"run", "protocols", "-resume", "-out", out}, 2},
+		{"bad chaos spec", []string{"run", "protocols", "-chaos", "wat=1", "-out", out}, 2},
+		{"clean run", []string{"run", "protocols", "-out", out}, 0},
+		{"chaos-failed run", []string{"run", "protocols", "-chaos", "error=1,attempts=9", "-retries", "2", "-out", out}, 1},
+		{"chaos healed by retry", []string{"run", "protocols", "-chaos", "error=1,attempts=1", "-retries", "2", "-out", out}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, output := runVpfleet(t, tc.args...)
+			if got != tc.want {
+				t.Errorf("vpfleet %v exited %d, want %d\n%s", tc.args, got, tc.want, output)
+			}
+		})
+	}
+}
+
+// TestChaosHealedBytesMatchClean: a run whose injected faults are healed
+// by retries writes byte-identical rows to a fault-free run.
+func TestChaosHealedBytesMatchClean(t *testing.T) {
+	clean, healed := t.TempDir(), t.TempDir()
+	if code, out := runVpfleet(t, "run", "protocols", "-workers", "2", "-out", clean); code != 0 {
+		t.Fatalf("clean run exited %d\n%s", code, out)
+	}
+	if code, out := runVpfleet(t, "run", "protocols", "-workers", "2", "-out", healed,
+		"-chaos", "panic=1,attempts=1", "-retries", "3"); code != 0 {
+		t.Fatalf("healed run exited %d\n%s", code, out)
+	}
+	a, err := os.ReadFile(filepath.Join(clean, "protocols.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(healed, "protocols.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("healed rows diverge from clean rows\nclean:  %.200s\nhealed: %.200s", a, b)
+	}
+	// The manifest records the extra attempts.
+	var m struct {
+		Experiments []struct {
+			Attempts int `json:"attempts"`
+		} `json:"experiments"`
+	}
+	data, err := os.ReadFile(filepath.Join(healed, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Experiments) != 1 || m.Experiments[0].Attempts != 2 {
+		t.Errorf("manifest attempts = %+v, want 2 (one faulted + one clean)", m.Experiments)
+	}
+}
+
+// TestSigtermResume: SIGTERM mid-run drains gracefully (exit 3, journal
+// kept), and a resumed invocation completes (exit 0) with output
+// byte-identical to a never-interrupted run.
+func TestSigtermResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("signal timing test")
+	}
+	clean, part, resumed := t.TempDir(), t.TempDir(), t.TempDir()
+	ck := t.TempDir()
+
+	if code, out := runVpfleet(t, "run", "mesh", "-workers", "1", "-out", clean); code != 0 {
+		t.Fatalf("clean run exited %d\n%s", code, out)
+	}
+
+	// Chaos delays stretch each rep so the signal lands mid-run; workers=1
+	// leaves later reps undispatched when the drain begins.
+	cmd := exec.Command(vpfleetBin, "run", "mesh", "-workers", "1", "-out", part,
+		"-checkpoint", ck, "-chaos", "delay=1,delay_ms=1500,attempts=99")
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(700 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var exitErr *exec.ExitError
+	if !isExit(err, &exitErr) || exitErr.ExitCode() != 3 {
+		t.Fatalf("interrupted run: err=%v, want exit 3\n%s", err, buf.String())
+	}
+
+	entries, err := filepath.Glob(filepath.Join(ck, "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("nothing journaled before drain (%v): %v", err, entries)
+	}
+
+	if code, out := runVpfleet(t, "run", "mesh", "-workers", "2", "-out", resumed,
+		"-checkpoint", ck, "-resume"); code != 0 {
+		t.Fatalf("resume exited %d\n%s", code, out)
+	}
+	a, err := os.ReadFile(filepath.Join(clean, "mesh.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(resumed, "mesh.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("resumed rows diverge from clean rows (lens %d vs %d)", len(a), len(b))
+	}
+
+	// Manifests: the partial one is marked interrupted+resumable, the
+	// resumed one records journal hits.
+	var pm struct {
+		Interrupted bool   `json:"interrupted"`
+		Checkpoint  string `json:"checkpoint"`
+	}
+	data, _ := os.ReadFile(filepath.Join(part, "manifest.json"))
+	if err := json.Unmarshal(data, &pm); err != nil {
+		t.Fatal(err)
+	}
+	if !pm.Interrupted || pm.Checkpoint != ck {
+		t.Errorf("partial manifest %+v, want interrupted with checkpoint %s", pm, ck)
+	}
+	var rm struct {
+		Resumed int `json:"resumed"`
+	}
+	data, _ = os.ReadFile(filepath.Join(resumed, "manifest.json"))
+	if err := json.Unmarshal(data, &rm); err != nil {
+		t.Fatal(err)
+	}
+	if rm.Resumed == 0 {
+		t.Error("resumed manifest records no journal hits")
+	}
+}

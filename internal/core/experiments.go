@@ -76,6 +76,16 @@ func (o Options) Normalize() (Options, error) {
 	return o, nil
 }
 
+// Fingerprint is a stable digest of every result-affecting option — the
+// checkpoint journal's "params-hash". Two runs whose fingerprints (and unit
+// identities) match produce byte-identical rows, so journaled work is
+// reusable exactly when fingerprints agree; resuming with a different seed
+// or scale simply misses and re-runs. Observability settings (TraceDir,
+// MetricsDir) never steer results and are excluded.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("seed=%d,dur=%d,reps=%d", o.Seed, int64(o.SessionDuration), o.Reps)
+}
+
 // ---------------------------------------------------------------- Figure 4
 
 // Fig4Row is one CDF line of Figure 4.

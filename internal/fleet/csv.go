@@ -39,6 +39,23 @@ func (s *csvSink) Write(row core.Row) error {
 	return s.w.Write(flattenRecord(row))
 }
 
+// WriteEntry replays a journal entry's pre-flattened CSV records,
+// byte-identical to the live Write sequence for the same rows.
+func (s *csvSink) WriteEntry(e *JournalEntry) error {
+	if s.header != nil {
+		if err := s.w.Write(s.header); err != nil {
+			return err
+		}
+		s.header = nil
+	}
+	for _, rec := range e.CSV {
+		if err := s.w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (s *csvSink) Close() error {
 	if s.header != nil { // no rows: still emit the header
 		if err := s.w.Write(s.header); err != nil {

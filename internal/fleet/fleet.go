@@ -10,15 +10,22 @@
 // sequential run. Sinks (JSONL, CSV, in-memory) serialize the merged rows;
 // a run manifest records seed, options, worker count, wall time and rows
 // emitted.
+//
+// The fleet is fault tolerant: a panicking runner is isolated (recovered,
+// stack captured, its unit marked failed) instead of killing the process;
+// failing or hung units retry under a RetryPolicy with a per-attempt
+// watchdog and exponential backoff — and because units are pure, retried
+// rows are byte-identical to first-try rows; completed units checkpoint to
+// a content-addressed Journal so an interrupted or crashed run resumes
+// without re-running finished work; and a deterministic chaos harness
+// (FaultPlan) injects panics, errors and delays to keep all of the above
+// honest. See DESIGN.md "Fault tolerance".
 package fleet
 
 import (
-	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"runtime/pprof"
-	"sync"
+	"strconv"
 	"time"
 
 	"telepresence/internal/core"
@@ -28,21 +35,86 @@ import (
 type Config struct {
 	// Workers bounds the worker pool; <=0 selects GOMAXPROCS.
 	Workers int
+	// Retry re-runs failing or hung units; the zero value runs each unit
+	// once with no watchdog.
+	Retry RetryPolicy
+	// Chaos, when non-nil, injects deterministic faults into unit
+	// attempts and sink emissions (see FaultPlan).
+	Chaos *FaultPlan
+	// Checkpoint, when non-nil, journals every completed unit's rows
+	// (content-addressed, atomic) as soon as the unit finishes.
+	Checkpoint *Journal
+	// Resume serves units already present in Checkpoint from the journal
+	// instead of re-running them. Only the streaming entry points
+	// (RunStream, RunSweepStream) can resume: journaled rows are
+	// pre-encoded bytes and cannot be restored as typed rows, which the
+	// buffered Run/RunSweep results promise.
+	Resume bool
+	// Interrupt, when non-nil, triggers a graceful drain once it becomes
+	// receivable (closed): no new units start, in-flight units finish and
+	// journal, and the run returns an error satisfying
+	// errors.Is(err, ErrInterrupted).
+	Interrupt <-chan struct{}
+	// Window bounds how many units may be in flight or completed but not
+	// yet emitted (the reorder buffer); <=0 selects 4x workers. The bound
+	// is what keeps streaming memory constant in grid size.
+	Window int
+
+	// onReport receives the engine's internal accounting (tests only).
+	onReport func(engineReport)
 }
 
 // ExperimentResult is one experiment's merged outcome.
 type ExperimentResult struct {
 	// Experiment is the registry entry that produced the rows.
 	Experiment core.Experiment
-	// Rows holds every rep's rows concatenated in rep order.
+	// Rows holds every rep's rows concatenated in rep order. Streaming
+	// runs (RunStream) leave it nil — rows went to the sink — and report
+	// RowCount instead.
 	Rows []core.Row
+	// RowCount is the number of rows the experiment emitted (set by both
+	// buffered and streaming runs).
+	RowCount int
 	// Reps is how many work units the experiment sharded into.
 	Reps int
 	// Wall is the cumulative wall time spent in this experiment's reps
-	// (across workers; parallel runs overlap these intervals).
+	// (across workers and attempts; parallel runs overlap these
+	// intervals).
 	Wall time.Duration
-	// Err is the first (lowest-rep) failure, if any; Rows is nil then.
+	// Attempts is the total attempt count across reps (> Reps when
+	// retries fired).
+	Attempts int
+	// Resumed counts reps served from the checkpoint journal.
+	Resumed int
+	// Err is the first (lowest-rep) failure, if any; buffered runs leave
+	// Rows nil then.
 	Err error
+	// Failures records every failed rep with its error, captured panic
+	// stack, and attempt count (the manifest's failures section).
+	Failures []UnitFailure
+}
+
+// experimentUnits flattens experiments into scheduler units, exp-major in
+// rep order, and returns the owner map from unit index to (exp, rep).
+func experimentUnits(exps []core.Experiment, opts core.Options) ([]unit, []struct{ exp, rep int }, error) {
+	var units []unit
+	var owners []struct{ exp, rep int }
+	for ei, e := range exps {
+		reps := e.Reps(opts)
+		if reps <= 0 {
+			return nil, nil, fmt.Errorf("fleet: experiment %q reports %d reps", e.Name, reps)
+		}
+		for r := 0; r < reps; r++ {
+			ei, r, e := ei, r, e
+			units = append(units, unit{
+				key:    "run/" + e.Name + "/rep" + strconv.Itoa(r),
+				labels: []string{"experiment", e.Name},
+				run:    func() ([]core.Row, error) { return e.Run(opts, r) },
+			})
+			owners = append(owners, struct{ exp, rep int }{ei, r})
+		}
+	}
+	return units, owners, nil
 }
 
 // Run executes the given experiments under opts, sharding every
@@ -50,74 +122,63 @@ type ExperimentResult struct {
 // goroutines. Results come back in the order experiments were passed, each
 // with rows merged in rep order — identical bytes for any worker count.
 //
-// A rep failure fails its experiment (recorded in ExperimentResult.Err)
-// but does not stop the others; Run's error joins all experiment errors.
+// A rep failure (error, panic, or watchdog timeout, after retries) fails
+// its experiment (recorded in ExperimentResult.Err with the captured stack
+// in Failures) but does not stop the others; Run's error joins all
+// experiment errors. Run buffers every row; use RunStream to stream rows
+// per completed rep and to resume from a checkpoint journal.
 func Run(exps []core.Experiment, opts core.Options, cfg Config) ([]ExperimentResult, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if cfg.Resume {
+		return nil, errors.New("fleet: Run cannot resume from a journal (journaled rows are pre-encoded; use RunStream)")
+	}
+	units, owners, err := experimentUnits(exps, opts)
+	if err != nil {
+		return nil, err
 	}
 
-	type task struct{ exp, rep int }
-	var tasks []task
 	rows := make([][][]core.Row, len(exps)) // [exp][rep] -> rows
 	errs := make([][]error, len(exps))
 	walls := make([]time.Duration, len(exps))
-	for ei, e := range exps {
-		reps := e.Reps(opts)
-		if reps <= 0 {
-			return nil, fmt.Errorf("fleet: experiment %q reports %d reps", e.Name, reps)
+	attempts := make([]int, len(exps))
+	failures := make([][]UnitFailure, len(exps))
+	for ei := range exps {
+		reps := 0
+		for _, o := range owners {
+			if o.exp == ei {
+				reps++
+			}
 		}
 		rows[ei] = make([][]core.Row, reps)
 		errs[ei] = make([]error, reps)
-		for r := 0; r < reps; r++ {
-			tasks = append(tasks, task{ei, r})
-		}
-	}
-	if workers > len(tasks) {
-		workers = len(tasks)
 	}
 
-	ch := make(chan task)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range ch {
-				start := time.Now()
-				var out []core.Row
-				var err error
-				// Label the rep for CPU profiling: -cpuprofile samples
-				// attribute to experiments instead of one undifferentiated
-				// worker-pool blob.
-				pprof.Do(context.Background(), pprof.Labels("experiment", exps[t.exp].Name), func(context.Context) {
-					out, err = exps[t.exp].Run(opts, t.rep)
-				})
-				elapsed := time.Since(start)
-				mu.Lock()
-				rows[t.exp][t.rep] = out
-				errs[t.exp][t.rep] = err
-				walls[t.exp] += elapsed
-				mu.Unlock()
-			}
-		}()
+	if _, err := runOrdered(units, opts.Fingerprint(), cfg, func(i int, o unitOutcome) error {
+		t := owners[i]
+		rows[t.exp][t.rep] = o.rows
+		errs[t.exp][t.rep] = o.err
+		walls[t.exp] += o.wall
+		attempts[t.exp] += o.attempts
+		if o.err != nil {
+			failures[t.exp] = append(failures[t.exp], UnitFailure{
+				Unit: units[i].key, Error: o.err.Error(), Stack: o.stack, Attempts: o.attempts,
+			})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	for _, t := range tasks {
-		ch <- t
-	}
-	close(ch)
-	wg.Wait()
 
 	results := make([]ExperimentResult, len(exps))
-	var failures []error
+	var joined []error
 	for ei, e := range exps {
-		res := ExperimentResult{Experiment: e, Reps: len(rows[ei]), Wall: walls[ei]}
+		res := ExperimentResult{
+			Experiment: e, Reps: len(rows[ei]), Wall: walls[ei],
+			Attempts: attempts[ei], Failures: failures[ei],
+		}
 		for rep, err := range errs[ei] {
 			if err != nil {
 				res.Err = fmt.Errorf("fleet: %s rep %d: %w", e.Name, rep, err)
@@ -128,12 +189,140 @@ func Run(exps []core.Experiment, opts core.Options, cfg Config) ([]ExperimentRes
 			for _, rr := range rows[ei] {
 				res.Rows = append(res.Rows, rr...)
 			}
+			res.RowCount = len(res.Rows)
 		} else {
-			failures = append(failures, res.Err)
+			joined = append(joined, res.Err)
 		}
 		results[ei] = res
 	}
-	return results, errors.Join(failures...)
+	return results, errors.Join(joined...)
+}
+
+// RunStream executes experiments like Run but streams each repetition's
+// rows to per-experiment sinks (from factory) as soon as the repetition
+// and all earlier ones have completed, so memory stays bounded by the
+// reorder window instead of the whole run. Results carry per-rep metadata
+// only: Rows is nil, RowCount/Attempts/Resumed/Failures are set.
+//
+// Unlike WriteResults (which skips a failed experiment entirely), a
+// failing repetition does not suppress its siblings: completed reps
+// stream immediately and failures land in Failures and the joined error —
+// the resulting file has a gap exactly where the failed rep's rows would
+// be, which a later resumed run fills in.
+//
+// With cfg.Checkpoint set, completed reps journal before they stream; with
+// cfg.Resume, journaled reps replay through the sink without running — the
+// sink must implement EntrySink (NewJSONLSink and NewCSVSink do).
+func RunStream(exps []core.Experiment, opts core.Options, cfg Config, factory SinkFactory) ([]ExperimentResult, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	units, owners, err := experimentUnits(exps, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]ExperimentResult, len(exps))
+	for ei, e := range exps {
+		reps := 0
+		for _, o := range owners {
+			if o.exp == ei {
+				reps++
+			}
+		}
+		// Pre-mark every experiment interrupted; emission overwrites. A
+		// run aborted by an emit error leaves the untouched tail marked
+		// resumable, which is exactly what it is.
+		results[ei] = ExperimentResult{Experiment: e, Reps: reps, Err: ErrInterrupted}
+	}
+	seenErr := make([]error, len(exps))
+
+	var sink Sink
+	openExp := -1
+	closeOpen := func() error {
+		if sink == nil {
+			return nil
+		}
+		s := sink
+		sink = nil
+		openExp = -1
+		return s.Close()
+	}
+
+	_, emitErr := runOrdered(units, opts.Fingerprint(), cfg, func(i int, o unitOutcome) error {
+		t := owners[i]
+		res := &results[t.exp]
+		if res.Err != nil && errors.Is(res.Err, ErrInterrupted) && seenErr[t.exp] == nil {
+			res.Err = nil // first emission for this experiment: clear the pre-mark
+		}
+		res.Wall += o.wall
+		res.Attempts += o.attempts
+		if o.resumed {
+			res.Resumed++
+		}
+		if o.err != nil {
+			if seenErr[t.exp] == nil {
+				seenErr[t.exp] = fmt.Errorf("fleet: %s rep %d: %w", res.Experiment.Name, t.rep, o.err)
+				res.Err = seenErr[t.exp]
+			}
+			// Interrupted units are skips, not failures: resumable work,
+			// not defects worth a manifest failures entry.
+			if !errors.Is(o.err, ErrInterrupted) {
+				res.Failures = append(res.Failures, UnitFailure{
+					Unit: units[i].key, Error: o.err.Error(), Stack: o.stack, Attempts: o.attempts,
+				})
+			}
+			return nil
+		}
+		// Open this experiment's sink on its first emitted rep; close the
+		// previous experiment's (emission order is exp-major).
+		if openExp != t.exp {
+			if err := closeOpen(); err != nil {
+				return err
+			}
+			s, err := factory(res.Experiment)
+			if err != nil {
+				return err
+			}
+			sink, openExp = s, t.exp
+		}
+		if o.entry != nil {
+			es, ok := sink.(EntrySink)
+			if !ok {
+				return fmt.Errorf("fleet: sink %T cannot replay journal entries (no EntrySink)", sink)
+			}
+			if err := es.WriteEntry(o.entry); err != nil {
+				return err
+			}
+		} else {
+			if err := cfg.Chaos.sinkFault(units[i].key); err != nil {
+				return err
+			}
+			for _, row := range o.rows {
+				if err := sink.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+		res.RowCount += o.rowCount()
+		return nil
+	})
+	closeErr := closeOpen()
+
+	var joined []error
+	for ei := range results {
+		if results[ei].Err != nil {
+			joined = append(joined, fmt.Errorf("fleet: %s: %w", results[ei].Experiment.Name, results[ei].Err))
+		}
+	}
+	if emitErr != nil {
+		joined = append(joined, emitErr)
+	}
+	if closeErr != nil {
+		joined = append(joined, closeErr)
+	}
+	return results, errors.Join(joined...)
 }
 
 // RunAll runs every registered experiment (sorted by name).

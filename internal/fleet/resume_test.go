@@ -1,0 +1,345 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"telepresence/internal/core"
+)
+
+// testSweepSpec is the 12-cell grid the streaming and resume tests share.
+func testSweepSpec() SweepSpec {
+	return SweepSpec{Target: "synth-sweep", Axes: []Axis{
+		{Name: "a", Values: []float64{1, 2, 3, 4, 5, 6}},
+		{Name: "b", Values: []float64{10, 20}},
+	}}
+}
+
+// streamSweepJSONL runs the sweep through the streaming path into one
+// JSONL buffer.
+func streamSweepJSONL(t *testing.T, spec SweepSpec, opts core.Options, cfg Config) ([]byte, []SweepCellResult, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	results, err := RunSweepStream(spec, opts, cfg, NewJSONLSink(&buf))
+	return buf.Bytes(), results, err
+}
+
+// TestSweepStreamMatchesBuffered: the streaming path must emit exactly the
+// bytes the buffered path does, at any worker count.
+func TestSweepStreamMatchesBuffered(t *testing.T) {
+	spec := testSweepSpec()
+	opts := core.Quick(7)
+	buffered, err := RunSweep(spec, opts, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sweepJSONL(t, buffered)
+	for _, workers := range []int{1, 8} {
+		got, results, err := streamSweepJSONL(t, spec, opts, Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("workers=%d stream bytes diverge from buffered\nbuf:    %s\nstream: %s", workers, want, got)
+		}
+		for _, r := range results {
+			if r.Rows != nil || r.RowCount != 1 {
+				t.Fatalf("workers=%d cell %d: Rows=%v RowCount=%d, want nil/1", workers, r.Cell.Index, r.Rows, r.RowCount)
+			}
+		}
+	}
+}
+
+// TestStreamWindowBoundsBuffer is the bounded-memory pin: with an
+// explicit window, the reorder buffer's high-water mark never exceeds it,
+// no matter how large the grid is or how out-of-order workers finish.
+func TestStreamWindowBoundsBuffer(t *testing.T) {
+	// 60 units finishing in adversarial (reverse) order.
+	var units []unit
+	for i := 0; i < 60; i++ {
+		i := i
+		units = append(units, unit{
+			key: fmt.Sprintf("run/synth/rep%d", i),
+			run: func() ([]core.Row, error) {
+				time.Sleep(time.Duration(3-i%4) * time.Millisecond)
+				return []core.Row{i}, nil
+			},
+		})
+	}
+	const window = 5
+	var mu sync.Mutex
+	var report engineReport
+	cfg := Config{
+		Workers: 8, Window: window,
+		onReport: func(r engineReport) { mu.Lock(); report = r; mu.Unlock() },
+	}
+	next := 0
+	if _, err := runOrdered(units, "s", cfg, func(i int, o unitOutcome) error {
+		if i != next {
+			t.Fatalf("emitted unit %d before %d", i, next)
+		}
+		next++
+		return o.err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if next != 60 {
+		t.Fatalf("emitted %d units, want 60", next)
+	}
+	if report.maxBuffered == 0 || report.maxBuffered > window {
+		t.Errorf("reorder buffer high-water mark %d, want 1..%d (memory must not scale with run size)",
+			report.maxBuffered, window)
+	}
+}
+
+// trippingSink wraps a sink and closes interrupt after the Nth write,
+// simulating a kill arriving mid-run.
+type trippingSink struct {
+	Sink
+	after     int
+	writes    int
+	interrupt chan struct{}
+	once      sync.Once
+}
+
+func (s *trippingSink) Write(row core.Row) error {
+	err := s.Sink.Write(row)
+	s.writes++
+	if s.writes >= s.after {
+		s.once.Do(func() { close(s.interrupt) })
+	}
+	return err
+}
+
+// TestKillAndResume is the acceptance pin: a sweep killed mid-run under
+// chaos, then resumed from its journal, reassembles byte-identical output
+// to an uninterrupted run — at worker counts 1 and 8.
+func TestKillAndResume(t *testing.T) {
+	spec := testSweepSpec()
+	opts := core.Quick(13)
+	clean, _, err := streamSweepJSONL(t, spec, opts, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	journal, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run 1: chaos panics on first attempts, cells slowed so the trip
+	// lands while work is still in flight, kill after the 3rd row reaches
+	// the sink.
+	interrupt := make(chan struct{})
+	var buf bytes.Buffer
+	sink := &trippingSink{Sink: NewJSONLSink(&buf), after: 3, interrupt: interrupt}
+	cfg := Config{
+		Workers: 2, Window: 4,
+		Chaos:      &FaultPlan{Seed: 13, PanicProb: 0.5, DelayProb: 1, Delay: 15 * time.Millisecond, FailAttempts: 1},
+		Retry:      RetryPolicy{MaxAttempts: 3},
+		Checkpoint: journal,
+		Interrupt:  interrupt,
+	}
+	results, runErr := RunSweepStream(spec, opts, cfg, sink)
+	if !errors.Is(runErr, ErrInterrupted) {
+		t.Fatalf("interrupted run error = %v, want ErrInterrupted", runErr)
+	}
+	skipped := 0
+	for _, r := range results {
+		if errors.Is(r.Err, ErrInterrupted) {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("kill skipped no cells; interrupt arrived too late to test resume")
+	}
+	if journal.Len() == 0 {
+		t.Fatal("no cells journaled before the kill")
+	}
+	m := NewSweepManifest(spec, opts, 2, time.Second, results)
+	if !m.Interrupted || len(m.Failures) != 0 {
+		t.Errorf("interrupted manifest: interrupted=%v failures=%+v, want true/none", m.Interrupted, m.Failures)
+	}
+
+	// Runs 2..: resume from the journal at both worker counts; bytes must
+	// match the uninterrupted run exactly.
+	for _, workers := range []int{1, 8} {
+		got, results, err := streamSweepJSONL(t, spec, opts, Config{
+			Workers: workers, Checkpoint: journal, Resume: true,
+		})
+		if err != nil {
+			t.Fatalf("resume workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(clean, got) {
+			t.Errorf("resume workers=%d bytes diverge from clean run\nclean:  %s\nresume: %s", workers, clean, got)
+		}
+		resumed := 0
+		for _, r := range results {
+			if r.Resumed {
+				resumed++
+			}
+		}
+		if resumed == 0 {
+			t.Errorf("resume workers=%d served no cells from the journal", workers)
+		}
+		m := NewSweepManifest(spec, opts, workers, time.Second, results)
+		if m.Resumed != resumed || m.Interrupted {
+			t.Errorf("resumed manifest: %+v", m)
+		}
+	}
+	// After a completed resume the journal holds every cell; a further
+	// resume runs nothing live and still reproduces the bytes.
+	if journal.Len() != len(spec.Cells()) {
+		t.Fatalf("journal has %d entries after full resume, want %d", journal.Len(), len(spec.Cells()))
+	}
+	got, results, err := streamSweepJSONL(t, spec, opts, Config{Workers: 4, Checkpoint: journal, Resume: true})
+	if err != nil || !bytes.Equal(clean, got) {
+		t.Errorf("fully-journaled resume: err=%v, bytes equal=%v", err, bytes.Equal(clean, got))
+	}
+	for _, r := range results {
+		if !r.Resumed {
+			t.Fatalf("cell %d ran live despite a full journal", r.Cell.Index)
+		}
+	}
+}
+
+// TestSinkChaosErrorThenResume: an injected sink-write error aborts the
+// run, but completed cells are already journaled, so a resume recovers
+// them without re-running and replays clean (sink faults never fire on
+// journal replays).
+func TestSinkChaosErrorThenResume(t *testing.T) {
+	spec := testSweepSpec()
+	opts := core.Quick(5)
+	clean, _, err := streamSweepJSONL(t, spec, opts, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, _ := OpenJournal(t.TempDir())
+	_, _, runErr := streamSweepJSONL(t, spec, opts, Config{
+		Workers: 2, Checkpoint: journal,
+		Chaos: &FaultPlan{Seed: 5, SinkErrorProb: 1},
+	})
+	if runErr == nil {
+		t.Fatal("SinkErrorProb=1 run succeeded")
+	}
+	if journal.Len() == 0 {
+		t.Fatal("sink failure lost completed cells (nothing journaled)")
+	}
+	got, results, err := streamSweepJSONL(t, spec, opts, Config{
+		Workers: 2, Checkpoint: journal, Resume: true,
+	})
+	if err != nil {
+		t.Fatalf("resume after sink failure: %v", err)
+	}
+	if !bytes.Equal(clean, got) {
+		t.Errorf("post-sink-failure resume diverges from clean\nclean:  %s\nresume: %s", clean, got)
+	}
+	resumed := 0
+	for _, r := range results {
+		if r.Resumed {
+			resumed++
+		}
+	}
+	if resumed == 0 {
+		t.Error("resume served nothing from the journal")
+	}
+}
+
+// TestRunStreamExperiments: the experiment streaming path opens one sink
+// per experiment, streams rep rows in order, isolates failures as gaps,
+// and reports counts instead of buffering rows.
+func TestRunStreamExperiments(t *testing.T) {
+	good, _ := flakyExperiment("s-good", 3, 0, false)
+	half := core.Experiment{ // rep 1 of 3 fails: reps 0 and 2 still stream
+		Name: "s-half", Desc: "test", Row: 0,
+		Reps: func(core.Options) int { return 3 },
+		Run: func(_ core.Options, rep int) ([]core.Row, error) {
+			if rep == 1 {
+				return nil, errors.New("synthetic rep failure")
+			}
+			return []core.Row{rep * 10, rep*10 + 1}, nil
+		},
+	}
+	sinks := map[string]*MemorySink{}
+	results, err := RunStream([]core.Experiment{good, half}, core.Quick(1), Config{Workers: 4},
+		func(e core.Experiment) (Sink, error) {
+			s := NewMemorySink()
+			sinks[e.Name] = s
+			return s, nil
+		})
+	if err == nil {
+		t.Fatal("failing rep produced no joined error")
+	}
+	if results[0].Err != nil || results[0].RowCount != 6 || results[0].Rows != nil {
+		t.Errorf("good experiment: %+v", results[0])
+	}
+	if len(sinks["s-good"].Rows) != 6 {
+		t.Errorf("good sink rows = %d, want 6", len(sinks["s-good"].Rows))
+	}
+	// The failed rep leaves a gap: reps 0 and 2 present, rep 1 absent.
+	wantHalf := []core.Row{0, 1, 20, 21}
+	gotHalf := sinks["s-half"].Rows
+	if fmt.Sprint(gotHalf) != fmt.Sprint(wantHalf) {
+		t.Errorf("half sink rows = %v, want %v (gap where rep 1 failed)", gotHalf, wantHalf)
+	}
+	if results[1].Err == nil || results[1].RowCount != 4 || len(results[1].Failures) != 1 {
+		t.Errorf("half experiment: err=%v count=%d failures=%+v", results[1].Err, results[1].RowCount, results[1].Failures)
+	}
+	man := NewManifest(core.Quick(1), 4, time.Second, results)
+	if len(man.Failures) != 1 || man.Failures[0].Unit != "run/s-half/rep1" {
+		t.Errorf("manifest failures = %+v", man.Failures)
+	}
+}
+
+// TestEntryReplayByteIdentical: replaying a journal entry through the
+// JSONL and CSV sinks yields exactly the bytes live writes would.
+func TestEntryReplayByteIdentical(t *testing.T) {
+	type row struct {
+		Label string
+		V     float64
+		N     int
+	}
+	rows := []core.Row{row{"x", 1.5, 2}, row{"y", -0.25, 7}}
+	e, err := encodeEntry("u", "s", 1, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var liveJ, replayJ bytes.Buffer
+	live := NewJSONLSink(&liveJ)
+	for _, r := range rows {
+		if err := live.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := NewJSONLSink(&replayJ).(EntrySink).WriteEntry(e); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveJ.Bytes(), replayJ.Bytes()) {
+		t.Errorf("JSONL replay diverges\nlive:   %q\nreplay: %q", liveJ.Bytes(), replayJ.Bytes())
+	}
+
+	var liveC, replayC bytes.Buffer
+	cs := NewCSVSink(&liveC, row{})
+	for _, r := range rows {
+		if err := cs.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rs := NewCSVSink(&replayC, row{}).(EntrySink)
+	if err := rs.WriteEntry(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveC.Bytes(), replayC.Bytes()) {
+		t.Errorf("CSV replay diverges\nlive:   %q\nreplay: %q", liveC.Bytes(), replayC.Bytes())
+	}
+}

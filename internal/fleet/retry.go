@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"runtime/pprof"
+	"time"
+
+	"telepresence/internal/core"
+)
+
+// ErrInterrupted marks work skipped or abandoned by a graceful drain: the
+// run stopped dispatching, finished what was in flight, and every completed
+// unit is preserved (journaled when a checkpoint is configured). A run that
+// returns an error satisfying errors.Is(err, ErrInterrupted) can be resumed
+// from its journal.
+var ErrInterrupted = errors.New("fleet: interrupted (resumable)")
+
+// ErrUnitTimeout marks an attempt abandoned by the per-cell watchdog
+// (RetryPolicy.PerCellTimeout).
+var ErrUnitTimeout = errors.New("fleet: unit timed out")
+
+// RetryPolicy bounds how stubbornly the fleet re-runs a failing or hung
+// work unit (an experiment repetition or a sweep cell). Because runners are
+// pure — all randomness derives from the seed and the unit's identity —
+// a retried unit produces byte-identical rows to one that succeeded first
+// try, so retries never perturb results.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per unit, first run
+	// included; <=0 means 1 (no retry).
+	MaxAttempts int
+	// PerCellTimeout is a wall-clock watchdog per attempt: an attempt
+	// still running after this long is abandoned and counted as a
+	// failure. The runner goroutine is left to finish in the background —
+	// runners are pure, so its eventual result is simply discarded.
+	// 0 disables the watchdog.
+	PerCellTimeout time.Duration
+	// Backoff is the wall-clock delay before the second attempt; it
+	// doubles on each further attempt. 0 retries immediately.
+	Backoff time.Duration
+}
+
+// maxAttempts resolves the policy's attempt budget.
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoffBefore returns the sleep preceding the given 1-based attempt:
+// Backoff before attempt 2, doubling each attempt after that.
+func (p RetryPolicy) backoffBefore(attempt int) time.Duration {
+	if p.Backoff <= 0 || attempt < 2 {
+		return 0
+	}
+	d := p.Backoff
+	for i := 2; i < attempt && d < time.Minute; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// UnitFailure records one unit's terminal failure for manifests: which
+// unit, what it said, the captured panic stack if it crashed, and how many
+// attempts were spent on it.
+type UnitFailure struct {
+	Unit     string `json:"unit"`
+	Error    string `json:"error"`
+	Stack    string `json:"stack,omitempty"`
+	Attempts int    `json:"attempts"`
+}
+
+// attemptResult carries one attempt's outcome across the watchdog channel.
+type attemptResult struct {
+	rows  []core.Row
+	err   error
+	stack string
+}
+
+// runAttempt executes a single attempt of u: chaos faults first (the plan
+// may sleep, return an injected error, or panic), then the runner itself,
+// all inside a recover() so a panicking runner becomes an error with its
+// stack captured instead of killing the process. A positive timeout arms
+// the watchdog; on expiry the attempt is abandoned (the goroutine keeps
+// running but its result is discarded via the buffered channel).
+func runAttempt(u unit, plan *FaultPlan, attempt int, timeout time.Duration) attemptResult {
+	ch := make(chan attemptResult, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- attemptResult{
+					err:   fmt.Errorf("panic: %v", p),
+					stack: string(debug.Stack()),
+				}
+			}
+		}()
+		if err := plan.perturb(u.key, attempt); err != nil {
+			ch <- attemptResult{err: err}
+			return
+		}
+		var rows []core.Row
+		var err error
+		// Label the unit for CPU profiling: -cpuprofile samples attribute
+		// to (experiment, cell) instead of an undifferentiated pool.
+		pprof.Do(context.Background(), pprof.Labels(u.labels...), func(context.Context) {
+			rows, err = u.run()
+		})
+		ch <- attemptResult{rows: rows, err: err}
+	}()
+	if timeout <= 0 {
+		return <-ch
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r
+	case <-t.C:
+		return attemptResult{err: fmt.Errorf("%w: attempt %d still running after %v (abandoned)",
+			ErrUnitTimeout, attempt, timeout)}
+	}
+}
+
+// executeUnit runs u to completion under cfg's retry policy: up to
+// MaxAttempts tries, exponential backoff between them, each attempt under
+// the watchdog and panic isolation. Backoff sleeps abort on interrupt so a
+// graceful drain is not held up by a retry schedule.
+func executeUnit(u unit, cfg Config, interrupt <-chan struct{}) unitOutcome {
+	start := time.Now()
+	max := cfg.Retry.maxAttempts()
+	var last attemptResult
+	for attempt := 1; attempt <= max; attempt++ {
+		if d := cfg.Retry.backoffBefore(attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-interrupt:
+				t.Stop()
+				return unitOutcome{err: ErrInterrupted, attempts: attempt - 1, wall: time.Since(start)}
+			}
+		}
+		last = runAttempt(u, cfg.Chaos, attempt, cfg.Retry.PerCellTimeout)
+		if last.err == nil {
+			return unitOutcome{rows: last.rows, attempts: attempt, wall: time.Since(start)}
+		}
+	}
+	return unitOutcome{
+		err:      fmt.Errorf("fleet: %s failed after %d attempt(s): %w", u.key, max, last.err),
+		stack:    last.stack,
+		attempts: max,
+		wall:     time.Since(start),
+	}
+}

@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"time"
 
@@ -20,6 +22,15 @@ type Sink interface {
 // SinkFactory opens a sink for one experiment (e.g. a per-experiment
 // output file).
 type SinkFactory func(e core.Experiment) (Sink, error)
+
+// EntrySink is implemented by sinks that can replay a checkpointed
+// journal entry's pre-encoded rows byte-identically to live writes.
+// Resuming a run (Config.Resume) requires the sink to implement it;
+// NewJSONLSink and NewCSVSink both do.
+type EntrySink interface {
+	Sink
+	WriteEntry(e *JournalEntry) error
+}
 
 // WriteResults streams every successful result's rows through a fresh sink
 // from factory, in result order. Failed experiments are skipped.
@@ -47,17 +58,35 @@ func WriteResults(results []ExperimentResult, factory SinkFactory) error {
 
 // ------------------------------------------------------------------ JSONL
 
-type jsonlSink struct{ enc *json.Encoder }
+type jsonlSink struct {
+	w   io.Writer
+	enc *json.Encoder
+}
 
 // NewJSONLSink writes one JSON object per row to w. Encoding is
 // deterministic: struct fields serialize in declaration order and samples
 // serialize as their descriptive summary.
 func NewJSONLSink(w io.Writer) Sink {
-	return jsonlSink{enc: json.NewEncoder(w)}
+	return jsonlSink{w: w, enc: json.NewEncoder(w)}
 }
 
 func (s jsonlSink) Write(row core.Row) error { return s.enc.Encode(row) }
 func (s jsonlSink) Close() error             { return nil }
+
+// WriteEntry replays a journal entry's pre-encoded JSONL lines. The
+// stored lines are json.Marshal output, which matches json.Encoder's
+// encoding exactly, so a resumed file is byte-identical to a live one.
+func (s jsonlSink) WriteEntry(e *JournalEntry) error {
+	for _, line := range e.JSONL {
+		if _, err := s.w.Write(line); err != nil {
+			return err
+		}
+		if _, err := s.w.Write([]byte{'\n'}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // ----------------------------------------------------------------- Memory
 
@@ -85,7 +114,15 @@ type ExperimentManifest struct {
 	// run-level rate can exceed the per-experiment ones summed).
 	RowsPerSec float64 `json:"rows_per_sec"`
 	File       string  `json:"file,omitempty"`
-	Error      string  `json:"error,omitempty"`
+	// Attempts is the total attempt count across reps (> Reps when
+	// retries fired).
+	Attempts int `json:"attempts,omitempty"`
+	// Resumed counts reps served from the checkpoint journal.
+	Resumed int `json:"resumed,omitempty"`
+	// Skipped marks experiments an interrupted run never completed; a
+	// resumed run fills them in.
+	Skipped bool   `json:"skipped,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // rowsPerSec computes a rows-per-second rate, 0 when the interval is
@@ -113,18 +150,29 @@ type Manifest struct {
 	Rows        int                  `json:"rows"`
 	RowsPerSec  float64              `json:"rows_per_sec"`
 	Experiments []ExperimentManifest `json:"experiments"`
+	// Failures details every failed rep: error, captured panic stack,
+	// attempt count. Interrupted (skipped) reps are not failures.
+	Failures []UnitFailure `json:"failures,omitempty"`
+	// Interrupted marks a run that drained early (signal or abort); its
+	// journal, if any, makes it resumable.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Resumed counts reps served from the checkpoint journal.
+	Resumed int `json:"resumed,omitempty"`
+	// Checkpoint is the journal directory the run wrote, when one was set.
+	Checkpoint string   `json:"checkpoint,omitempty"`
+	Errors     []string `json:"errors,omitempty"`
 }
 
 // ManifestFormat identifies the manifest schema version. /2 added the
-// run-level rows/rows_per_sec totals and per-experiment rows_per_sec.
-const ManifestFormat = "telepresence-fleet/2"
+// run-level rows/rows_per_sec totals and per-experiment rows_per_sec; /3
+// added the failures section and the interrupted/resumed/checkpoint
+// resume fields.
+const ManifestFormat = "telepresence-fleet/3"
 
-// NewManifest builds the provenance record for a completed run. It
-// assumes opts already passed validation (Run rejects invalid options
-// before producing any results to record); invalid values are recorded
-// as-is rather than masked.
+// NewManifest builds the provenance record for a completed run.
 func NewManifest(opts core.Options, workers int, wall time.Duration, results []ExperimentResult) Manifest {
-	if n, err := opts.Normalize(); err == nil {
+	n, normErr := opts.Normalize()
+	if normErr == nil {
 		opts = n
 	}
 	m := Manifest{
@@ -135,18 +183,35 @@ func NewManifest(opts core.Options, workers int, wall time.Duration, results []E
 		Workers:            workers,
 		WallMs:             float64(wall) / float64(time.Millisecond),
 	}
+	if normErr != nil {
+		// Invalid options used to be silently masked here; record them so
+		// the manifest never misdescribes the run it documents.
+		m.Errors = append(m.Errors, fmt.Sprintf("options: %v", normErr))
+	}
 	for _, res := range results {
+		rows := res.RowCount
+		if rows == 0 {
+			rows = len(res.Rows)
+		}
 		em := ExperimentManifest{
 			Name:       res.Experiment.Name,
 			Reps:       res.Reps,
-			Rows:       len(res.Rows),
+			Rows:       rows,
 			WallMs:     float64(res.Wall) / float64(time.Millisecond),
-			RowsPerSec: rowsPerSec(len(res.Rows), res.Wall),
+			RowsPerSec: rowsPerSec(rows, res.Wall),
+			Attempts:   res.Attempts,
+			Resumed:    res.Resumed,
 		}
+		m.Resumed += res.Resumed
+		m.Failures = append(m.Failures, res.Failures...)
 		if res.Err != nil {
 			em.Error = res.Err.Error()
+			if errors.Is(res.Err, ErrInterrupted) {
+				m.Interrupted = true
+				em.Skipped = true
+			}
 		}
-		m.Rows += len(res.Rows)
+		m.Rows += rows
 		m.Experiments = append(m.Experiments, em)
 	}
 	m.RowsPerSec = rowsPerSec(m.Rows, wall)

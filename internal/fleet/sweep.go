@@ -1,13 +1,9 @@
 package fleet
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"runtime/pprof"
-	"sync"
 	"time"
 
 	"telepresence/internal/core"
@@ -118,9 +114,38 @@ func (s SweepSpec) Cells() []SweepCell {
 // SweepCellResult is one cell's merged outcome.
 type SweepCellResult struct {
 	Cell SweepCell
+	// Rows holds the cell's rows. Streaming runs (RunSweepStream) leave it
+	// nil — rows went to the sink — and report RowCount instead.
 	Rows []core.Row
-	Wall time.Duration
-	Err  error
+	// RowCount is the number of rows the cell emitted (set by both
+	// buffered and streaming runs).
+	RowCount int
+	Wall     time.Duration
+	// Attempts is how many tries the cell took (>1 when retries fired).
+	Attempts int
+	// Resumed reports the cell was served from the checkpoint journal.
+	Resumed bool
+	Err     error
+	// Stack is the captured goroutine stack when the failure was a panic.
+	Stack string
+}
+
+// sweepUnits flattens a validated spec's grid into scheduler units in grid
+// order. Unit keys carry the target name and the cell's canonical
+// parameter label — grid-shape-independent, like the cell seed itself.
+func sweepUnits(spec SweepSpec, opts core.Options) ([]unit, []SweepCell) {
+	target, _ := core.LookupSweep(spec.Target)
+	cells := spec.Cells()
+	units := make([]unit, len(cells))
+	for i, cell := range cells {
+		cell := cell
+		units[i] = unit{
+			key:    "sweep/" + spec.Target + "/" + cell.Label,
+			labels: []string{"experiment", spec.Target, "cell", cell.Label},
+			run:    func() ([]core.Row, error) { return target.Run(opts, cell.Params) },
+		}
+	}
+	return units, cells
 }
 
 // RunSweep executes every cell of the grid, sharding cells across a worker
@@ -128,61 +153,39 @@ type SweepCellResult struct {
 // rows are a pure function of (opts, parameter values) — cell seeds derive
 // from the run seed and the canonical parameter label, never from grid
 // position — so results come back in grid order with byte-identical rows
-// at any worker count, exactly like Run. A cell failure is recorded in its
-// result but does not stop the others; the returned error joins all cell
-// errors.
+// at any worker count, exactly like Run. A cell failure (error, panic, or
+// watchdog timeout, after cfg.Retry's attempts) is recorded in its result
+// but does not stop the others; the returned error joins all cell errors.
+//
+// RunSweep buffers every row; use RunSweepStream to stream rows per
+// completed cell and to resume from a checkpoint journal.
 func RunSweep(spec SweepSpec, opts core.Options, cfg Config) ([]SweepCellResult, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Resume {
+		return nil, errors.New("fleet: RunSweep cannot resume from a journal (journaled rows are pre-encoded; use RunSweepStream)")
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	target, _ := core.LookupSweep(spec.Target)
-	cells := spec.Cells()
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cells) {
-		workers = len(cells)
-	}
+	units, cells := sweepUnits(spec, opts)
 
 	results := make([]SweepCellResult, len(cells))
-	ch := make(chan int)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				cell := cells[i]
-				start := time.Now()
-				var rows []core.Row
-				var err error
-				// Label the cell for CPU profiling: samples attribute to
-				// (target, cell) instead of an anonymous worker pool.
-				pprof.Do(context.Background(), pprof.Labels("experiment", spec.Target, "cell", cell.Label), func(context.Context) {
-					rows, err = target.Run(opts, cell.Params)
-				})
-				elapsed := time.Since(start)
-				if err != nil {
-					err = fmt.Errorf("fleet: sweep %s cell %d (%s): %w", spec.Target, cell.Index, cell.Label, err)
-				}
-				mu.Lock()
-				results[i] = SweepCellResult{Cell: cell, Rows: rows, Wall: elapsed, Err: err}
-				mu.Unlock()
-			}
-		}()
+	if _, err := runOrdered(units, opts.Fingerprint(), cfg, func(i int, o unitOutcome) error {
+		res := SweepCellResult{
+			Cell: cells[i], Rows: o.rows, RowCount: o.rowCount(),
+			Wall: o.wall, Attempts: o.attempts, Err: o.err, Stack: o.stack,
+		}
+		if o.err != nil {
+			res.Err = fmt.Errorf("fleet: sweep %s cell %d (%s): %w", spec.Target, cells[i].Index, cells[i].Label, o.err)
+		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	for i := range cells {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
 
 	var failures []error
 	for _, r := range results {
@@ -191,6 +194,81 @@ func RunSweep(spec SweepSpec, opts core.Options, cfg Config) ([]SweepCellResult,
 		}
 	}
 	return results, errors.Join(failures...)
+}
+
+// RunSweepStream executes the grid like RunSweep but streams each cell's
+// rows to sink as soon as the cell and all earlier cells have resolved, so
+// memory stays bounded by the reorder window (Config.Window) instead of
+// the grid size. Results carry per-cell metadata only: Rows is nil,
+// RowCount/Attempts/Resumed are set. The sink is closed before returning.
+//
+// A failed cell leaves a gap in the stream exactly where its rows would
+// be; an interrupted run (cfg.Interrupt) drains in-flight cells, journals
+// them, and marks the rest with ErrInterrupted. With cfg.Checkpoint and
+// cfg.Resume, journaled cells replay through the sink without running —
+// the sink must implement EntrySink (NewJSONLSink and NewCSVSink do) —
+// reassembling output byte-identical to an uninterrupted run.
+func RunSweepStream(spec SweepSpec, opts core.Options, cfg Config, sink Sink) ([]SweepCellResult, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	units, cells := sweepUnits(spec, opts)
+
+	results := make([]SweepCellResult, len(cells))
+	for i := range results {
+		// Pre-mark; emission overwrites. An emit abort leaves the
+		// untouched tail marked resumable, which is what it is.
+		results[i] = SweepCellResult{Cell: cells[i], Err: ErrInterrupted}
+	}
+
+	_, emitErr := runOrdered(units, opts.Fingerprint(), cfg, func(i int, o unitOutcome) error {
+		res := SweepCellResult{
+			Cell: cells[i], RowCount: o.rowCount(), Wall: o.wall,
+			Attempts: o.attempts, Resumed: o.resumed, Err: o.err, Stack: o.stack,
+		}
+		if o.err != nil && !errors.Is(o.err, ErrInterrupted) {
+			res.Err = fmt.Errorf("fleet: sweep %s cell %d (%s): %w", spec.Target, cells[i].Index, cells[i].Label, o.err)
+		}
+		results[i] = res
+		if o.err != nil {
+			return nil
+		}
+		if o.entry != nil {
+			es, ok := sink.(EntrySink)
+			if !ok {
+				return fmt.Errorf("fleet: sink %T cannot replay journal entries (no EntrySink)", sink)
+			}
+			return es.WriteEntry(o.entry)
+		}
+		if err := cfg.Chaos.sinkFault(units[i].key); err != nil {
+			return err
+		}
+		for _, row := range o.rows {
+			if err := sink.Write(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	closeErr := sink.Close()
+
+	var joined []error
+	for _, r := range results {
+		if r.Err != nil {
+			joined = append(joined, r.Err)
+		}
+	}
+	if emitErr != nil {
+		joined = append(joined, emitErr)
+	}
+	if closeErr != nil {
+		joined = append(joined, closeErr)
+	}
+	return results, errors.Join(joined...)
 }
 
 // WriteSweep streams every successful cell's rows through one sink, in
@@ -224,6 +302,14 @@ type SweepCellManifest struct {
 	Rows       int     `json:"rows"`
 	WallMs     float64 `json:"wall_ms"`
 	RowsPerSec float64 `json:"rows_per_sec"`
+	// Attempts is how many tries the cell took; omitted (0) for cells
+	// served from the journal without a recorded attempt count.
+	Attempts int `json:"attempts,omitempty"`
+	// Resumed marks cells replayed from the checkpoint journal.
+	Resumed bool `json:"resumed,omitempty"`
+	// Skipped marks cells an interrupted run never completed; a resumed
+	// run fills them in.
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // SweepManifest is the provenance record of a sweep run.
@@ -243,16 +329,29 @@ type SweepManifest struct {
 	RowsPerSec  float64             `json:"rows_per_sec"`
 	CellTimings []SweepCellManifest `json:"cell_timings"`
 	File        string              `json:"file,omitempty"`
-	Errors      []string            `json:"errors,omitempty"`
+	// Failures details every failed cell: error, captured panic stack,
+	// attempt count. Interrupted (skipped) cells are not failures.
+	Failures []UnitFailure `json:"failures,omitempty"`
+	// Interrupted marks a run that drained early (signal or abort); its
+	// journal, if any, makes it resumable.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Resumed counts cells served from the checkpoint journal.
+	Resumed int `json:"resumed,omitempty"`
+	// Checkpoint is the journal directory the run wrote, when one was set.
+	Checkpoint string   `json:"checkpoint,omitempty"`
+	Errors     []string `json:"errors,omitempty"`
 }
 
 // SweepManifestFormat identifies the sweep manifest schema version. /2
-// added the run-level rows_per_sec and the per-cell timing breakdown.
-const SweepManifestFormat = "telepresence-sweep/2"
+// added the run-level rows_per_sec and the per-cell timing breakdown; /3
+// added the failures section and the interrupted/resumed/checkpoint
+// resume fields.
+const SweepManifestFormat = "telepresence-sweep/3"
 
 // NewSweepManifest builds the provenance record for a completed sweep.
 func NewSweepManifest(spec SweepSpec, opts core.Options, workers int, wall time.Duration, results []SweepCellResult) SweepManifest {
-	if n, err := opts.Normalize(); err == nil {
+	n, normErr := opts.Normalize()
+	if normErr == nil {
 		opts = n
 	}
 	m := SweepManifest{
@@ -264,21 +363,47 @@ func NewSweepManifest(spec SweepSpec, opts core.Options, workers int, wall time.
 		WallMs:             float64(wall) / float64(time.Millisecond),
 		Cells:              len(results),
 	}
+	if normErr != nil {
+		// Invalid options used to be silently masked here; record them so
+		// the manifest never misdescribes the run it documents.
+		m.Errors = append(m.Errors, fmt.Sprintf("options: %v", normErr))
+	}
 	for _, a := range spec.Axes {
 		m.Axes = append(m.Axes, SweepAxisManifest{Name: a.Name, Values: a.Values})
 	}
 	for _, r := range results {
-		m.Rows += len(r.Rows)
-		m.CellTimings = append(m.CellTimings, SweepCellManifest{
+		rows := r.RowCount
+		if rows == 0 {
+			rows = len(r.Rows)
+		}
+		cm := SweepCellManifest{
 			Index:      r.Cell.Index,
 			Label:      r.Cell.Label,
-			Rows:       len(r.Rows),
+			Rows:       rows,
 			WallMs:     float64(r.Wall) / float64(time.Millisecond),
-			RowsPerSec: rowsPerSec(len(r.Rows), r.Wall),
-		})
+			RowsPerSec: rowsPerSec(rows, r.Wall),
+			Attempts:   r.Attempts,
+			Resumed:    r.Resumed,
+		}
+		if r.Resumed {
+			m.Resumed++
+		}
 		if r.Err != nil {
+			if errors.Is(r.Err, ErrInterrupted) {
+				m.Interrupted = true
+				cm.Skipped = true
+			} else {
+				m.Failures = append(m.Failures, UnitFailure{
+					Unit:     "sweep/" + spec.Target + "/" + r.Cell.Label,
+					Error:    r.Err.Error(),
+					Stack:    r.Stack,
+					Attempts: r.Attempts,
+				})
+			}
 			m.Errors = append(m.Errors, r.Err.Error())
 		}
+		m.Rows += rows
+		m.CellTimings = append(m.CellTimings, cm)
 	}
 	m.RowsPerSec = rowsPerSec(m.Rows, wall)
 	return m

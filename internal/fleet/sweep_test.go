@@ -27,6 +27,9 @@ func init() {
 				"a": params["a"], "b": params["b"], "c": params["c"],
 				"seed": float64(cell.Seed % 1e6),
 			}
+			if params["a"] == -2 {
+				panic("synthetic panic")
+			}
 			if params["a"] < 0 {
 				return nil, fmt.Errorf("synthetic failure")
 			}

@@ -17,7 +17,7 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run NONE \
-  -bench 'BenchmarkFleetSuiteSequential|BenchmarkFleetKeypoints8RepsSequential' \
+  -bench 'BenchmarkFleetSuiteSequential$|BenchmarkFleetSuiteSequentialCheckpoint$|BenchmarkFleetKeypoints8RepsSequential$' \
   -benchtime=1x -benchmem -count=1 . | tee "$raw" >&2
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
@@ -36,9 +36,20 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v commit="$(git rev-parse --short 
     }
     printf "}"
     sep = ",\n  "
+    nsByName[name] = ns
 }
 BEGIN { printf "{\n \"generated\":\"" date "\",\n \"commit\":\"" commit "\",\n \"results\":[\n  " }
-END   { printf "\n ]\n}\n" }
+END   {
+    printf "\n ]"
+    # Checkpointing tax: journaled sequential suite vs plain, as a percent.
+    # The fault-tolerance budget (ISSUE PR 7) is <5%.
+    base = nsByName["BenchmarkFleetSuiteSequential"]
+    ck = nsByName["BenchmarkFleetSuiteSequentialCheckpoint"]
+    if (base > 0 && ck != "") {
+        printf ",\n \"checkpoint_overhead_pct\":%.2f", (ck - base) / base * 100
+    }
+    printf "\n}\n"
+}
 ' "$raw" > "$out"
 
 echo "wrote $out" >&2

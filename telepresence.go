@@ -284,8 +284,24 @@ type (
 	FleetManifest = fleet.Manifest
 	// Sink consumes one experiment's merged rows.
 	Sink = fleet.Sink
+	// EntrySink is a sink that can replay checkpointed journal entries
+	// (required for resuming; the JSONL and CSV sinks implement it).
+	EntrySink = fleet.EntrySink
 	// MemorySink collects rows in memory (for tests and pipelines).
 	MemorySink = fleet.MemorySink
+
+	// Fault tolerance (see DESIGN.md "Fault tolerance"):
+	// RetryPolicy re-runs failing or hung units with backoff and a
+	// per-attempt watchdog (FleetConfig.Retry).
+	RetryPolicy = fleet.RetryPolicy
+	// FaultPlan is the deterministic chaos harness (FleetConfig.Chaos).
+	FaultPlan = fleet.FaultPlan
+	// FleetJournal is a per-run checkpoint directory of completed units.
+	FleetJournal = fleet.Journal
+	// FleetJournalEntry is one checkpointed unit's pre-encoded rows.
+	FleetJournalEntry = fleet.JournalEntry
+	// UnitFailure is one failed rep/cell in a manifest's failures section.
+	UnitFailure = fleet.UnitFailure
 
 	// Per-unit fleet row types (aggregated runners emit these per rep).
 	MeshHeadRow = core.MeshHeadRow
@@ -357,10 +373,20 @@ var (
 	// FleetRun shards the experiments' reps across a worker pool;
 	// merged output is byte-identical for any worker count.
 	FleetRun = fleet.Run
+	// FleetRunStream streams rows per completed rep (bounded memory) and
+	// supports checkpoint resume.
+	FleetRunStream = fleet.RunStream
 	// FleetRunAll runs the whole registered suite.
 	FleetRunAll = fleet.RunAll
 	// FleetWrite streams results through per-experiment sinks.
 	FleetWrite = fleet.WriteResults
+	// OpenFleetJournal opens (creating if needed) a checkpoint directory.
+	OpenFleetJournal = fleet.OpenJournal
+	// ErrFleetInterrupted marks a gracefully drained (resumable) run;
+	// test with errors.Is.
+	ErrFleetInterrupted = fleet.ErrInterrupted
+	// ParseFaultPlan parses a vpfleet -chaos spec into a FaultPlan.
+	ParseFaultPlan = fleet.ParseFaultPlan
 	// NewFleetManifest builds the provenance record for a finished run.
 	NewFleetManifest = fleet.NewManifest
 	// Sink constructors.
@@ -378,6 +404,9 @@ var (
 	// FleetRunSweep shards a sweep grid's cells across a worker pool;
 	// merged output is byte-identical for any worker count.
 	FleetRunSweep = fleet.RunSweep
+	// FleetRunSweepStream streams rows per completed cell (bounded
+	// memory) and supports checkpoint resume.
+	FleetRunSweepStream = fleet.RunSweepStream
 	// FleetWriteSweep streams sweep results through one sink in grid order.
 	FleetWriteSweep = fleet.WriteSweep
 	// NewFleetSweepManifest builds the provenance record of a sweep run.
