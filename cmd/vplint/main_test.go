@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCleanRepo is the acceptance pin: vplint over the entire module must
+// exit 0 — every real finding was fixed or carries a reasoned pragma.
+func TestCleanRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint is seconds of type-checking; covered by the CI vplint step")
+	}
+	var out, errb strings.Builder
+	if rc := run([]string{"../../..."}, &out, &errb); rc != 0 {
+		t.Fatalf("vplint ./... = exit %d, want 0\nstdout:\n%s\nstderr:\n%s", rc, out.String(), errb.String())
+	}
+}
+
+// TestSeededCorpusExits1 is the other half: the seeded-violation corpus
+// (directory suffixes matching the real package sets) must fail with
+// findings from every check in file:line: [check] form.
+func TestSeededCorpusExits1(t *testing.T) {
+	var out, errb strings.Builder
+	rc := run([]string{"../../internal/lint/testdata/seeded/..."}, &out, &errb)
+	if rc != 1 {
+		t.Fatalf("vplint seeded corpus = exit %d, want 1\nstdout:\n%s\nstderr:\n%s", rc, out.String(), errb.String())
+	}
+	for _, want := range []string{"[walltime]", "[globalrand]", "[maporder]", "[hotjson]", "[floatfmt]"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("seeded corpus output missing %s findings:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "clock.go:10: [walltime]") {
+		t.Errorf("findings should print as file:line: [check] message:\n%s", out.String())
+	}
+}
+
+// TestUsageExits2 pins the vpfleet-style exit-code split: bad invocations
+// are 2, findings are 1.
+func TestUsageExits2(t *testing.T) {
+	var out, errb strings.Builder
+	if rc := run(nil, &out, &errb); rc != 2 {
+		t.Fatalf("no-args = exit %d, want 2", rc)
+	}
+	if rc := run([]string{"-checks", "nosuch", "."}, &out, &errb); rc != 2 {
+		t.Fatalf("unknown check = exit %d, want 2", rc)
+	}
+}
+
+// TestListChecks keeps -list wired to the registry.
+func TestListChecks(t *testing.T) {
+	var out, errb strings.Builder
+	if rc := run([]string{"-list"}, &out, &errb); rc != 0 {
+		t.Fatalf("-list = exit %d, want 0", rc)
+	}
+	for _, c := range []string{"walltime", "globalrand", "maporder", "hotjson", "floatfmt"} {
+		if !strings.Contains(out.String(), c) {
+			t.Errorf("-list output missing %s:\n%s", c, out.String())
+		}
+	}
+}

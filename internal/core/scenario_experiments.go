@@ -252,6 +252,7 @@ func congestionCell(opts Options, params map[string]float64) (CongestionRow, err
 // parameter is present.
 func withDefaults(t SweepTarget, grid map[string]float64) map[string]float64 {
 	p := t.DefaultParams()
+	//vplint:allow maporder(keyed map-into-map overlay; each key is written once, so order cannot matter)
 	for k, v := range grid {
 		p[k] = v
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -12,17 +13,16 @@ import (
 
 // flakyExperiment fails (or panics) the first failPer attempts of every
 // rep, then succeeds with rows that depend only on the rep — the purity
-// contract that makes retried output byte-identical.
+// contract that makes retried output byte-identical. Counters are atomic:
+// a watchdog-abandoned attempt may still be running when its retry starts.
 func flakyExperiment(name string, reps, failPer int, doPanic bool) (core.Experiment, *sync.Map) {
-	var attempts sync.Map // rep -> *int
+	var attempts sync.Map // rep -> *atomic.Int64
 	exp := core.Experiment{
 		Name: name, Desc: "test", Row: 0,
 		Reps: func(core.Options) int { return reps },
 		Run: func(_ core.Options, rep int) ([]core.Row, error) {
-			v, _ := attempts.LoadOrStore(rep, new(int))
-			n := v.(*int)
-			*n++
-			if *n <= failPer {
+			v, _ := attempts.LoadOrStore(rep, new(atomic.Int64))
+			if v.(*atomic.Int64).Add(1) <= int64(failPer) {
 				if doPanic {
 					panic("synthetic rep panic")
 				}
@@ -103,10 +103,8 @@ func TestWatchdogTimeout(t *testing.T) {
 		Name: "hang", Desc: "test", Row: 0,
 		Reps: func(core.Options) int { return 1 },
 		Run: func(_ core.Options, rep int) ([]core.Row, error) {
-			v, _ := attempts.LoadOrStore(rep, new(int))
-			n := v.(*int)
-			*n++
-			if *n == 1 {
+			v, _ := attempts.LoadOrStore(rep, new(atomic.Int64))
+			if v.(*atomic.Int64).Add(1) == 1 {
 				time.Sleep(10 * time.Second) // hung; watchdog abandons it
 			}
 			return []core.Row{42}, nil

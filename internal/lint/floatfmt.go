@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// floatfmtCheck bans %v and %g on floating-point arguments in the packages
+// that encode rows and traces. Both verbs pick a shortest representation
+// whose shape (fixed vs scientific, digit count) depends on the value, so
+// a one-ulp drift flips an entire column's format and every downstream
+// byte comparison with it; %v additionally means "whatever fmt decides",
+// which is not a contract at all. Encoders must say what they mean:
+// strconv.FormatFloat/AppendFloat with an explicit format byte and
+// precision (the telemetry tracer and fleet CSV sink are the reference).
+// fmt.Errorf is exempt — error text is diagnostics, not output bytes.
+type floatfmtCheck struct{}
+
+func (floatfmtCheck) Name() string { return "floatfmt" }
+
+func (floatfmtCheck) Doc() string {
+	return "row/trace encoder packages must not format floats with %v/%g; use strconv.Format*/Append* with explicit format and precision"
+}
+
+func (floatfmtCheck) Applies(pkg *Package, cfg *Config) bool {
+	return matchPkg(pkg.Path, cfg.EncoderPackages)
+}
+
+// floatFmtFuncs maps the fmt formatting functions to the index of their
+// format-string argument. Errorf is deliberately absent.
+var floatFmtFuncs = map[string]int{
+	"Sprintf": 0,
+	"Printf":  0,
+	"Fprintf": 1,
+	"Appendf": 1,
+}
+
+func (floatfmtCheck) Run(pkg *Package, cfg *Config) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := fmtCall(pkg, file, call, fmtFuncNames())
+			if !ok {
+				return true
+			}
+			fmtIdx := floatFmtFuncs[name]
+			if len(call.Args) <= fmtIdx {
+				return true
+			}
+			format, ok := constStringValue(pkg, call.Args[fmtIdx])
+			if !ok {
+				return true // dynamic format string: nothing to scan
+			}
+			args := call.Args[fmtIdx+1:]
+			for _, v := range formatVerbs(format) {
+				if v.verb != 'v' && v.verb != 'g' && v.verb != 'G' {
+					continue
+				}
+				if v.argIdx < 0 || v.argIdx >= len(args) {
+					continue
+				}
+				argExpr := args[v.argIdx]
+				tv, ok := pkg.Info.Types[argExpr]
+				if !ok || !isFloat(tv.Type) {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:   pkg.Fset.Position(argExpr.Pos()),
+					Check: "floatfmt",
+					Message: fmt.Sprintf("%%%c formats float %s with value-dependent shape: encoders must use strconv.FormatFloat/AppendFloat with explicit format and precision",
+						v.verb, types.ExprString(argExpr)),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func fmtFuncNames() map[string]bool {
+	out := make(map[string]bool, len(floatFmtFuncs))
+	for n := range floatFmtFuncs {
+		out[n] = true
+	}
+	return out
+}
+
+// constStringValue resolves arg to a compile-time string (literal or named
+// constant) via the type checker.
+func constStringValue(pkg *Package, arg ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// verbArg is one conversion verb in a format string and the index of the
+// operand it consumes (0-based into the variadic args).
+type verbArg struct {
+	verb   byte
+	argIdx int
+}
+
+// formatVerbs scans a fmt format string and maps each verb to its operand,
+// handling %%, flags, * width/precision (each consumes an operand), and
+// explicit [n] argument indexes.
+func formatVerbs(format string) []verbArg {
+	var out []verbArg
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(format) && (format[i] == '+' || format[i] == '-' || format[i] == '#' ||
+			format[i] == ' ' || format[i] == '0' || format[i] == '\'') {
+			i++
+		}
+		// Explicit argument index: %[n]v.
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				n = n*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		// Width.
+		if i < len(format) && format[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i < len(format) {
+			out = append(out, verbArg{verb: format[i], argIdx: arg})
+			arg++
+		}
+	}
+	return out
+}

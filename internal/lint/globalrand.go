@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// globalrandCheck bans math/rand package-level functions everywhere except
+// the seeded-RNG wrapper package (internal/simrand). The top-level funcs
+// (rand.Intn, rand.Float64, ...) draw from the process-global generator —
+// shared, lock-contended, and seeded per process, so two workers or two
+// runs disagree. rand.New/NewSource outside the wrapper is banned too:
+// seed derivation must flow through simrand.Child so a unit's stream
+// depends only on its identity, never on scheduling. Mentioning the types
+// (*rand.Rand in a signature) and calling methods on an injected *rand.Rand
+// remain legal — that is exactly the sanctioned pattern.
+type globalrandCheck struct{}
+
+func (globalrandCheck) Name() string { return "globalrand" }
+
+func (globalrandCheck) Doc() string {
+	return "no math/rand top-level functions or rand.New outside internal/simrand; randomness flows through simrand.Child / injected seeded RNGs"
+}
+
+func (globalrandCheck) Applies(pkg *Package, cfg *Config) bool {
+	return !matchPkg(pkg.Path, cfg.GlobalrandAllowPackages)
+}
+
+// randTypeNames are the exported type names of math/rand and math/rand/v2:
+// referencing a type is always allowed, and when an identifier fails to
+// resolve (type errors) the member is assumed banned unless it names one
+// of these.
+var randTypeNames = map[string]bool{
+	"Rand":     true,
+	"Source":   true,
+	"Source64": true,
+	"Zipf":     true,
+	"PCG":      true, // math/rand/v2
+	"ChaCha8":  true, // math/rand/v2
+}
+
+func (globalrandCheck) Run(pkg *Package, cfg *Config) []Finding {
+	var out []Finding
+	for _, path := range []string{"math/rand", "math/rand/v2"} {
+		path := path
+		pkgMemberRefs(pkg, path, func(file *ast.File, sel *ast.SelectorExpr) {
+			name := sel.Sel.Name
+			switch obj := pkg.Info.Uses[sel.Sel].(type) {
+			case *types.TypeName:
+				return // *rand.Rand in a signature: sanctioned
+			case *types.Func:
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return // method on a seeded value, not a package func
+				}
+			case nil:
+				if randTypeNames[name] {
+					return
+				}
+			}
+			out = append(out, Finding{
+				Pos:   pkg.Fset.Position(sel.Pos()),
+				Check: "globalrand",
+				Message: fmt.Sprintf("%s.%s: randomness must flow through simrand.Child or an injected seeded *rand.Rand, never package-level math/rand state",
+					path, name),
+			})
+		})
+	}
+	return out
+}

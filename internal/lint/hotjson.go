@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+)
+
+// hotjsonCheck polices the hand-rolled-encoding contract on hot-path
+// packages: the telemetry tracer, netem, and rtp serialize per-packet and
+// per-frame state with preallocated buffers and strconv appends, because
+// encoding/json reflection and fmt.Sprint* string building allocate on
+// every call — PR 2's allocation budgets (0 allocs/frame on the link send
+// path) die by a thousand Sprintfs. Banned there: importing encoding/json
+// and calling the fmt string-building family. Exempt: files on the
+// config allowlist (trace readers, report renderers), formatting passed
+// directly to panic (the process is ending), and String()/Error() methods
+// (cold-path human text).
+type hotjsonCheck struct{}
+
+func (hotjsonCheck) Name() string { return "hotjson" }
+
+func (hotjsonCheck) Doc() string {
+	return "no encoding/json or fmt.Sprint*/Fprintf/Appendf in hot-path packages (hand-rolled encoders); panic messages, String()/Error() methods, and allowlisted reader files are exempt"
+}
+
+func (hotjsonCheck) Applies(pkg *Package, cfg *Config) bool {
+	return matchPkg(pkg.Path, cfg.HotPathPackages)
+}
+
+var hotFmtFuncs = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+	"Fprintf":  true,
+	"Appendf":  true,
+}
+
+func (hotjsonCheck) Run(pkg *Package, cfg *Config) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		fileName := pkg.Fset.Position(file.Pos()).Filename
+		if matchFile(fileName, cfg.HotJSONAllowFiles) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "encoding/json" {
+				out = append(out, Finding{
+					Pos:     pkg.Fset.Position(imp.Pos()),
+					Check:   "hotjson",
+					Message: "encoding/json imported in a hot-path package: hand-roll the encoding (see telemetry.Tracer) or allowlist this reader file in the lint config",
+				})
+			}
+		}
+		inPanic := panicArgCalls(pkg, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := fmtCall(pkg, file, call, hotFmtFuncs)
+			if !ok || inPanic[call] || enclosingFuncExempt(file, call.Pos()) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   pkg.Fset.Position(call.Pos()),
+				Check: "hotjson",
+				Message: fmt.Sprintf("fmt.%s allocates on a hot-path package: append into a reused buffer with strconv (see telemetry.Tracer), or move this to an allowlisted reader file",
+					name),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package lint is a stdlib-only static analyzer enforcing the simulator's
+// determinism contract: simulation output must be byte-identical at any
+// worker count, which means no wall-clock reads, no global math/rand, no
+// map-iteration-order dependence, and no locale/float formatting drift in
+// row or trace encoders. The golden/determinism tests prove the contract
+// dynamically at minutes of wall time; this package proves the common
+// violations at `go build` speed.
+//
+// The framework is go/parser + go/ast + go/types only (the module declares
+// zero dependencies, and the analyzer keeps it that way). Checks implement
+// the Check interface and are registered in Checks(); per-check package
+// sets and allowlists live in Config (config.go) so adding a check is a
+// small diff. Findings can be suppressed in place with a reasoned pragma:
+//
+//	//vplint:allow <check>(<reason>)
+//
+// either on the offending line or on its own line directly above. A pragma
+// must name a non-empty reason, and a pragma that does not match a finding
+// is itself a finding (stale pragmas fail the build), so suppressions
+// cannot silently outlive the code they excused.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos     token.Position
+	Check   string // check name, e.g. "walltime"
+	Message string
+}
+
+// String renders the canonical "file:line: [check] message" report line.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Message)
+}
+
+// Check is one determinism rule. Checks are pure: they read the loaded
+// package and return findings; pragma suppression and ordering are the
+// runner's job.
+type Check interface {
+	// Name is the short identifier used in reports and pragmas.
+	Name() string
+	// Doc is a one-line description for `vplint -list`.
+	Doc() string
+	// Applies reports whether the check runs on this package at all.
+	Applies(pkg *Package, cfg *Config) bool
+	// Run returns the raw findings for one package.
+	Run(pkg *Package, cfg *Config) []Finding
+}
+
+// Checks returns every registered check in stable report order.
+func Checks() []Check {
+	return []Check{
+		walltimeCheck{},
+		globalrandCheck{},
+		maporderCheck{},
+		hotjsonCheck{},
+		floatfmtCheck{},
+	}
+}
+
+// ChecksByName resolves a subset of checks by name, erroring on unknowns.
+func ChecksByName(names []string) ([]Check, error) {
+	byName := map[string]Check{}
+	for _, c := range Checks() {
+		byName[c.Name()] = c
+	}
+	out := make([]Check, 0, len(names))
+	for _, n := range names {
+		c, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q", n)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// knownCheck reports whether name is a registered check (pragma validation).
+func knownCheck(name string) bool {
+	for _, c := range Checks() {
+		if c.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the checks over the loaded packages, applies pragma
+// suppression, flags malformed and stale pragmas, and returns all
+// findings sorted by file, line, check, message — a deterministic report
+// for a tool that polices determinism.
+func Run(pkgs []*Package, checks []Check, cfg *Config) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		out = append(out, runPackage(pkg, checks, cfg)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+func runPackage(pkg *Package, checks []Check, cfg *Config) []Finding {
+	pragmas, pragmaFindings := collectPragmas(pkg)
+
+	var raw []Finding
+	ran := map[string]bool{}
+	for _, c := range checks {
+		ran[c.Name()] = true
+		if !c.Applies(pkg, cfg) {
+			continue
+		}
+		raw = append(raw, c.Run(pkg, cfg)...)
+	}
+
+	out := pragmaFindings
+	for _, f := range raw {
+		if p := matchPragma(pragmas, f); p != nil {
+			p.used = true
+			continue
+		}
+		out = append(out, f)
+	}
+	// A pragma that suppressed nothing is stale: either the violation it
+	// excused was fixed, or it never pointed at one. Only pragmas for
+	// checks that actually ran can be judged.
+	for _, p := range pragmas {
+		if !p.used && ran[p.Check] {
+			out = append(out, Finding{
+				Pos:   p.Pos,
+				Check: "pragma",
+				Message: fmt.Sprintf("stale //vplint:allow %s pragma: no %s finding on this or the next line (fix was merged? delete the pragma)",
+					p.Check, p.Check),
+			})
+		}
+	}
+	return out
+}
+
+// matchPragma finds a pragma suppressing f: same check, same file, and the
+// pragma sits on the finding's line (trailing comment) or the line above.
+func matchPragma(pragmas []*pragma, f Finding) *pragma {
+	for _, p := range pragmas {
+		if p.Check != f.Check || p.Pos.Filename != f.Pos.Filename {
+			continue
+		}
+		if f.Pos.Line == p.Pos.Line || f.Pos.Line == p.Pos.Line+1 {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package as the checks see it.
+// Type-checking is best-effort: srcimporter resolves stdlib and
+// module-internal imports from source, and any residual errors are
+// collected rather than fatal so syntactic checks still run on code that
+// is mid-refactor. Checks that need types (maporder, floatfmt) skip nodes
+// whose types did not resolve.
+type Package struct {
+	Path  string // import path, e.g. "telepresence/internal/netem"
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	TypesPkg   *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages with a shared FileSet and a
+// shared source importer, so stdlib dependencies are checked once per
+// vplint run, not once per package.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader. The "source" compiler importer type-checks
+// imports from source; module-internal import paths resolve only when the
+// process working directory is inside the module (go/build shells out to
+// the go command for module mode), which is how both the vplint CLI and
+// `go test` run.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// LoadDir parses the non-test Go files of one directory as a single
+// package with the given import path.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, name), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: importPath, Dir: dir, Fset: l.fset, Files: files}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Info = &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	// Check never returns a nil package; errors are already collected.
+	pkg.TypesPkg, _ = conf.Check(importPath, l.fset, files, pkg.Info)
+	return pkg, nil
+}
+
+// Load resolves the patterns (directories, or "dir/..." trees) against
+// baseDir, derives import paths from the enclosing go.mod, and loads every
+// matched package. Directories named testdata and directories starting
+// with "." or "_" are skipped, mirroring the go tool.
+func Load(baseDir string, patterns []string) ([]*Package, error) {
+	modRoot, modPath, err := findModule(baseDir)
+	if err != nil {
+		return nil, err
+	}
+	dirSet := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if abs, err := filepath.Abs(d); err == nil {
+			d = abs
+		}
+		if !dirSet[d] {
+			dirSet[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			root := filepath.Join(baseDir, rest)
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(baseDir, pat))
+	}
+	sort.Strings(dirs)
+
+	loader := NewLoader()
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, d := range dirs {
+		rel, err := filepath.Rel(modRoot, d)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: %s is outside module %s", d, modRoot)
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.LoadDir(d, importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}

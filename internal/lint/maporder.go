@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maporderCheck flags `range` over a map in packages whose iteration order
+// can leak into rows, traces, manifests, or wire behavior. Go randomizes
+// map iteration per run, so any order-sensitive consumer is a determinism
+// bug that golden tests only catch when the dice land badly.
+//
+// Two escape hatches, both explicit:
+//
+//   - The collect-and-sort idiom is recognized structurally: a range body
+//     that only appends into slices, followed later in the same statement
+//     list by a sort/slices call on one of those slices, is the sanctioned
+//     fix and produces no finding.
+//   - //vplint:allow maporder(reason) on or above the range statement
+//     suppresses the finding for loops that are provably order-independent
+//     (e.g. commutative integer sums). The reason is mandatory and the
+//     pragma goes stale — and fails the build — once the loop is gone.
+type maporderCheck struct{}
+
+func (maporderCheck) Name() string { return "maporder" }
+
+func (maporderCheck) Doc() string {
+	return "no raw range over maps in deterministic/output packages: collect keys and sort, or //vplint:allow maporder(reason)"
+}
+
+func (maporderCheck) Applies(pkg *Package, cfg *Config) bool {
+	return cfg.inDeterministic(pkg.Path) || matchPkg(pkg.Path, cfg.MapOrderExtraPackages)
+}
+
+func (maporderCheck) Run(pkg *Package, cfg *Config) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true // unresolved: cannot prove it is a map
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectsAndSorts(pkg, file, rs) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   pkg.Fset.Position(rs.Pos()),
+				Check: "maporder",
+				Message: fmt.Sprintf("range over map %s: iteration order is randomized per run; collect keys and sort before iterating, or annotate //vplint:allow maporder(reason)",
+					types.ExprString(rs.X)),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// collectsAndSorts recognizes the sanctioned idiom: the range body only
+// appends into collector slices, and a later statement in the same list
+// sorts one of them (sort.Strings/Ints/Float64s/Slice/SliceStable/Stable
+// or slices.Sort*). The order-sensitive work then runs over the sorted
+// slice, not the map.
+func collectsAndSorts(pkg *Package, file *ast.File, rs *ast.RangeStmt) bool {
+	targets := collectorTargets(rs)
+	if len(targets) == 0 {
+		return false
+	}
+	list, idx, ok := stmtContext(file, rs)
+	if !ok {
+		return false
+	}
+	for _, stmt := range list[idx+1:] {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || !isSortCall(pkg, file, call) {
+			continue
+		}
+		for _, arg := range call.Args {
+			if targets[types.ExprString(arg)] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectorTargets returns the rendered expressions a pure collector loop
+// appends into: every body statement must be `x = append(x, ...)`.
+func collectorTargets(rs *ast.RangeStmt) map[string]bool {
+	if rs.Body == nil || len(rs.Body.List) == 0 {
+		return nil
+	}
+	targets := map[string]bool{}
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 ||
+			(as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+			return nil
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return nil
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return nil
+		}
+		lhs := types.ExprString(as.Lhs[0])
+		if types.ExprString(call.Args[0]) != lhs {
+			return nil
+		}
+		targets[lhs] = true
+	}
+	return targets
+}
+
+var sortFuncs = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Stable": true, "Sort": true,
+	"SortFunc": true, "SortStableFunc": true, // slices package
+}
+
+// isSortCall reports whether call invokes the sort or slices package.
+func isSortCall(pkg *Package, file *ast.File, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !sortFuncs[sel.Sel.Name] {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch obj := pkg.Info.Uses[id].(type) {
+	case *types.PkgName:
+		p := obj.Imported().Path()
+		return p == "sort" || p == "slices"
+	case nil:
+		return importAliases(file, "sort")[id.Name] || importAliases(file, "slices")[id.Name]
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// pragma is one parsed //vplint:allow comment. A pragma suppresses findings
+// of its check on the comment's own line (trailing form) or the next line
+// (standalone form above a statement). used is set by the runner; unused
+// pragmas are reported as stale.
+type pragma struct {
+	Check  string
+	Reason string
+	Pos    token.Position
+	used   bool
+}
+
+// pragmaRe matches the allow grammar at the start of a //vplint comment:
+// "vplint:allow <check>(<reason>)". The reason must be non-empty and may
+// not contain ')', so trailing text (e.g. a test expectation comment) is
+// ignored cleanly.
+var pragmaRe = regexp.MustCompile(`^vplint:allow\s+([A-Za-z0-9_-]+)\(([^)]*)\)`)
+
+// collectPragmas parses every //vplint: comment in the package. Comments
+// that start the vplint namespace but do not parse, name an unknown check,
+// or give an empty reason are findings in their own right — a suppression
+// that does not say what it suppresses or why is itself contract drift.
+func collectPragmas(pkg *Package) ([]*pragma, []Finding) {
+	var (
+		pragmas  []*pragma
+		findings []Finding
+	)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//vplint:")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := pragmaRe.FindStringSubmatch("vplint:" + text)
+				if m == nil {
+					findings = append(findings, Finding{
+						Pos:     pos,
+						Check:   "pragma",
+						Message: `malformed vplint pragma: want //vplint:allow <check>(<reason>)`,
+					})
+					continue
+				}
+				check, reason := m[1], strings.TrimSpace(m[2])
+				if !knownCheck(check) {
+					findings = append(findings, Finding{
+						Pos:     pos,
+						Check:   "pragma",
+						Message: fmt.Sprintf("vplint pragma names unknown check %q", check),
+					})
+					continue
+				}
+				if reason == "" {
+					findings = append(findings, Finding{
+						Pos:     pos,
+						Check:   "pragma",
+						Message: fmt.Sprintf("vplint:allow %s pragma must give a reason: //vplint:allow %s(<why this is deterministic>)", check, check),
+					})
+					continue
+				}
+				pragmas = append(pragmas, &pragma{Check: check, Reason: reason, Pos: pos})
+			}
+		}
+	}
+	return pragmas, findings
+}
+
+// enclosingFuncExempt reports whether pos sits inside a String() string or
+// Error() string method — cold-path human-facing text the hot-path checks
+// leave alone.
+func enclosingFuncExempt(file *ast.File, pos token.Pos) bool {
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || pos < fd.Pos() || pos > fd.End() {
+			continue
+		}
+		if fd.Name == nil || (fd.Name.Name != "String" && fd.Name.Name != "Error") {
+			return false
+		}
+		ft := fd.Type
+		if ft.Params != nil && len(ft.Params.List) != 0 {
+			return false
+		}
+		if ft.Results == nil || len(ft.Results.List) != 1 {
+			return false
+		}
+		r, ok := ft.Results.List[0].Type.(*ast.Ident)
+		return ok && r.Name == "string" && len(ft.Results.List[0].Names) <= 1
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+// Package core (seeded corpus): a row encoder formatting floats with
+// value-dependent verbs.
+package core
+
+import "fmt"
+
+type Row struct {
+	Rate float64
+	Loss float64
+}
+
+func (r Row) CSV() string {
+	return fmt.Sprintf("%v,%g", r.Rate, r.Loss)
+}

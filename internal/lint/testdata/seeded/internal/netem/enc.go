@@ -1,0 +1,34 @@
+// Package netem (seeded corpus): hot-path package with a JSON encoder,
+// fmt string building, global randomness, and an order-sensitive map walk.
+package netem
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+)
+
+type Frame struct {
+	Size int
+	Link string
+}
+
+func Encode(f Frame) ([]byte, error) {
+	return json.Marshal(f)
+}
+
+func Label(f Frame) string {
+	return fmt.Sprintf("%s/%d", f.Link, f.Size)
+}
+
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+func Drain(queues map[string][]Frame) []Frame {
+	var out []Frame
+	for _, q := range queues {
+		out = append(out, q...)
+	}
+	return out
+}

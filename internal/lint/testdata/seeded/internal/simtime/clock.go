@@ -1,0 +1,13 @@
+// Package simtime (seeded corpus): the directory suffix places this under
+// DefaultConfig's deterministic set, so vplint over this tree must exit 1.
+package simtime
+
+import "time"
+
+// Elapsed commits the cardinal sin: wall-clock reads in the virtual-time
+// package itself.
+func Elapsed() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

@@ -1,0 +1,17 @@
+// Package enc stands in for the row/trace encoder packages: floats must
+// never be rendered with the value-dependent %v / %g verbs.
+package enc
+
+import "fmt"
+
+const rowFmt = "rate=%g qdrop=%d" // named-constant formats are scanned too
+
+func Bad(f float64, g float32, n int) string {
+	a := fmt.Sprintf("%v", f)   // want "%v formats float f"
+	b := fmt.Sprintf("x=%g\n", g) // want "%g formats float g"
+	c := fmt.Sprintf(rowFmt, f, n) // want "%g formats float f"
+	var buf []byte
+	buf = fmt.Appendf(buf, "%d %v", n, f) // want "%v formats float f"
+	d := fmt.Sprintf("%[2]v %[1]d", n, f) // want "%v formats float f"
+	return a + b + c + d + string(buf)
+}

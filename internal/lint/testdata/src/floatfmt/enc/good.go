@@ -1,0 +1,20 @@
+package enc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+func Good(f float64, n int, s string) string {
+	a := strconv.FormatFloat(f, 'f', 3, 64) // the sanctioned form: explicit format and precision
+	b := fmt.Sprintf("%.3f", f)             // explicit precision fixes the shape
+	c := fmt.Sprintf("%v %d %g", s, n, "txt") // %v/%g on non-floats is not this check's business
+	d := fmt.Sprintf("%*.*f", 8, 2, f)      // starred width/precision still names a fixed shape
+	return a + b + c + d
+}
+
+// Diag builds error text, not row bytes: fmt.Errorf is exempt even on
+// floats (matching the real tree's "%g Mbps" validation errors).
+func Diag(f float64) error {
+	return fmt.Errorf("bad floor %g Mbps", f)
+}

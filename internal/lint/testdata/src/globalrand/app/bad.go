@@ -1,0 +1,16 @@
+// Package app is any package outside internal/simrand: the process-global
+// math/rand surface and local construction of generators are both banned —
+// seeds must flow through simrand.Child.
+package app
+
+import "math/rand"
+
+func Bad(n int) int {
+	if rand.Float64() < 0.5 { // want "math/rand.Float64"
+		return rand.Intn(n) // want "math/rand.Intn"
+	}
+	src := rand.NewSource(42) // want "math/rand.NewSource"
+	r := rand.New(src)        // want "math/rand.New:"
+	rand.Shuffle(n, func(i, j int) {}) // want "math/rand.Shuffle"
+	return r.Intn(n)
+}

@@ -1,0 +1,13 @@
+package app
+
+import "math/rand"
+
+// Good receives an injected, explicitly seeded generator: methods on the
+// value are the sanctioned pattern, and naming the type in a signature is
+// not a use of global state.
+func Good(r *rand.Rand) float64 {
+	return r.Float64() + r.NormFloat64()
+}
+
+// Pick draws from the injected generator only.
+func Pick(r *rand.Rand, xs []int) int { return xs[r.Intn(len(xs))] }

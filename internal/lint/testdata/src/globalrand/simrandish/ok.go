@@ -1,0 +1,8 @@
+// Package simrandish stands in for internal/simrand, the one allowlisted
+// package: the seeded-RNG wrapper itself must construct generators.
+package simrandish
+
+import "math/rand"
+
+// New derives a child generator from an explicit seed.
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,23 @@
+// Package hot stands in for the hand-rolled-encoder packages (telemetry
+// tracer, netem, rtp): reflection-based JSON and fmt string building are
+// banned on these hot paths.
+package hot
+
+import (
+	"encoding/json" // want "encoding/json imported in a hot-path package"
+	"fmt"
+)
+
+type Row struct{ A int }
+
+func Encode(r Row) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+func Label(i int) string {
+	return fmt.Sprintf("u%d", i) // want "fmt.Sprintf allocates on a hot-path package"
+}
+
+func Append(b []byte, i int) []byte {
+	return fmt.Appendf(b, "%d", i) // want "fmt.Appendf allocates on a hot-path package"
+}

@@ -1,0 +1,34 @@
+package hot
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type Direction int
+
+// String is a cold-path human label: String()/Error() methods are exempt.
+func (d Direction) String() string {
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+// MustPositive formats only to crash: panic arguments are exempt.
+func MustPositive(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("hot: n must be positive, got %d", n))
+	}
+}
+
+// Check builds error text, not output bytes: fmt.Errorf is not banned.
+func Check(n int) error {
+	if n < 0 {
+		return fmt.Errorf("hot: negative %d", n)
+	}
+	return nil
+}
+
+// AppendLabel is the sanctioned hot-path form: strconv into a reused buffer.
+func AppendLabel(b []byte, i int) []byte {
+	b = append(b, 'u')
+	return strconv.AppendInt(b, int64(i), 10)
+}

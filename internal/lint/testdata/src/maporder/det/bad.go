@@ -1,0 +1,36 @@
+// Package det is a maporder fixture inside the deterministic set.
+package det
+
+import "fmt"
+
+// FirstMatch mirrors the real regression fixed in telemetry/schema.go's
+// ValidateLine: returning on the first matching key makes the result (here
+// the rendered pair, there the error text) depend on map iteration order.
+func FirstMatch(m map[string]int) string {
+	for k, v := range m { // want "range over map m"
+		if v > 0 {
+			return fmt.Sprintf("%s=%d", k, v)
+		}
+	}
+	return ""
+}
+
+// SumFloats looks commutative but is not: float addition rounds, so the
+// iteration order leaks into the low bits of the result.
+func SumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "range over map m"
+		s += v
+	}
+	return s
+}
+
+// CollectNoSort collects keys but never sorts them: the slice is just the
+// random order captured.
+func CollectNoSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m { // want "range over map m"
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,49 @@
+package det
+
+import "sort"
+
+// Keys is the sanctioned collect-and-sort idiom, recognized structurally:
+// the body only appends, and the collector is sorted in the same block.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Pairs collects into two slices; sorting one of them sanctions the loop
+// (the companion slice is reordered with it by index, as in the fleet
+// manifest encoders).
+func Pairs(m map[string]int) []string {
+	var ks []string
+	var vs []int
+	for k, v := range m {
+		ks = append(ks, k)
+		vs = append(vs, v)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	_ = vs
+	return ks
+}
+
+// Count is provably order-independent — a pure integer count — and keeps
+// its map range behind a reasoned pragma instead of a rewrite.
+func Count(m map[string]int) int {
+	n := 0
+	//vplint:allow maporder(pure integer count; every iteration order yields the same result)
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Slices and arrays iterate in index order; no finding.
+func SliceSum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

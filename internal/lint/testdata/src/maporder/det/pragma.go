@@ -1,0 +1,31 @@
+package det
+
+// Stale: the loop below ranges a slice, so this pragma suppresses nothing
+// and must itself fail the build.
+//
+//vplint:allow maporder(left behind after the map became a slice) // want "stale //vplint:allow maporder pragma"
+func Stale(xs []string) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}
+
+// A pragma without a reason is rejected, so the map range it meant to
+// excuse is still reported too.
+func NoReason(m map[string]bool) int {
+	n := 0
+	//vplint:allow maporder() // want "must give a reason"
+	for range m { // want "range over map m"
+		n++
+	}
+	return n
+}
+
+// Unknown check names and off-grammar pragmas are malformed.
+//
+//vplint:allow nosuchcheck(whatever) // want "unknown check"
+//
+//vplint:allow maporder missing-parens // want "malformed vplint pragma"
+func Malformed() {}

@@ -1,0 +1,18 @@
+// Package det is a walltime fixture inside the fixture config's
+// deterministic set: every machine-clock read below must be flagged.
+package det
+
+import "time"
+
+func Bad() time.Duration {
+	start := time.Now()           // want "time.Now reads the machine clock"
+	time.Sleep(time.Millisecond)  // want "time.Sleep reads the machine clock"
+	<-time.After(time.Second)     // want "time.After reads the machine clock"
+	tm := time.NewTimer(time.Second) // want "time.NewTimer reads the machine clock"
+	defer tm.Stop()
+	tk := time.NewTicker(time.Second) // want "time.NewTicker reads the machine clock"
+	defer tk.Stop()
+	d := time.Since(start) // want "time.Since reads the machine clock"
+	_ = time.Until(start)  // want "time.Until reads the machine clock"
+	return d
+}

@@ -1,0 +1,15 @@
+package det
+
+import "time"
+
+const tick = 25 * time.Millisecond
+
+// Good stays on the pure time surface: Duration arithmetic, constants,
+// constructors, and methods on time.Time values are all deterministic.
+func Good(epoch int64) time.Time {
+	t := time.Unix(epoch, 0)
+	return t.Add(3 * tick)
+}
+
+// Format is value-to-string, no clock involved.
+func Format(d time.Duration) string { return d.String() }

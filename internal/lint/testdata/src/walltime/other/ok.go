@@ -1,0 +1,10 @@
+// Package other sits outside the deterministic set (think the fleet
+// scheduler's watchdog): wall-clock reads are legal here and the file
+// must produce no findings.
+package other
+
+import "time"
+
+func Wall() time.Time { return time.Now() }
+
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }

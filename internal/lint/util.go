@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// importAliases returns the names by which file refers to importPath: the
+// declared alias, or the path's base name when undeclared. Dot and blank
+// imports yield nothing.
+func importAliases(file *ast.File, importPath string) map[string]bool {
+	out := map[string]bool{}
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != importPath {
+			continue
+		}
+		name := baseName(path)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "." || name == "_" {
+			continue
+		}
+		out[name] = true
+	}
+	return out
+}
+
+func baseName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// pkgMemberRefs calls fn for every reference to a package-level member of
+// importPath: selector expressions whose base identifier resolves (via
+// type info) to that package. When the identifier did not resolve at all —
+// a package mid-refactor — it falls back to matching the file's import
+// alias, so the determinism checks do not go blind under type errors.
+// Identifiers that resolve to anything other than the package (a local
+// shadowing the alias) are skipped.
+func pkgMemberRefs(pkg *Package, importPath string, fn func(file *ast.File, sel *ast.SelectorExpr)) {
+	for _, file := range pkg.Files {
+		aliases := importAliases(file, importPath)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch obj := pkg.Info.Uses[id].(type) {
+			case *types.PkgName:
+				if obj.Imported().Path() == importPath {
+					fn(file, sel)
+				}
+			case nil:
+				if aliases[id.Name] {
+					fn(file, sel)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fmtCall reports whether call is fmt.<name> for one of the given
+// function names, returning the matched name.
+func fmtCall(pkg *Package, file *ast.File, call *ast.CallExpr, names map[string]bool) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !names[sel.Sel.Name] {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	switch obj := pkg.Info.Uses[id].(type) {
+	case *types.PkgName:
+		if obj.Imported().Path() == "fmt" {
+			return sel.Sel.Name, true
+		}
+	case nil:
+		if importAliases(file, "fmt")[id.Name] {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// panicArgCalls returns the set of call expressions passed directly to
+// panic(...): crash-path formatting is exempt from hot-path bans.
+func panicArgCalls(pkg *Package, file *ast.File) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+				return true
+			}
+		}
+		for _, a := range call.Args {
+			if c, ok := a.(*ast.CallExpr); ok {
+				out[c] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isFloat reports whether t is a floating-point type (including untyped
+// float constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// stmtContext locates the statement list that directly contains stmt and
+// its index there, so checks can reason about "what happens after this
+// statement in the same block".
+func stmtContext(file *ast.File, stmt ast.Stmt) (list []ast.Stmt, idx int, ok bool) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		var stmts []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			stmts = b.List
+		case *ast.CaseClause:
+			stmts = b.Body
+		case *ast.CommClause:
+			stmts = b.Body
+		default:
+			return true
+		}
+		for i, s := range stmts {
+			if s == stmt {
+				list, idx, ok = stmts, i, true
+				return false
+			}
+		}
+		return true
+	})
+	return list, idx, ok
+}

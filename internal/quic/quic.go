@@ -203,6 +203,7 @@ func (c *Conn) Handshook() bool { return c.handshook }
 // Close stops all retransmission activity.
 func (c *Conn) Close() {
 	c.closed = true
+	//vplint:allow maporder(cancel-all teardown; cancellation is commutative and nothing observes the order)
 	for _, sp := range c.unacked {
 		sp.timer.Cancel()
 	}
@@ -544,6 +545,7 @@ func (c *Conn) markDelivered(id uint64) {
 		if _, ok := c.recvDone[c.recvNext]; ok {
 			delete(c.recvDone, c.recvNext)
 		} else if rs := c.recvStreams[c.recvNext]; rs != nil {
+			//vplint:allow maporder(releases content-free scratch to the buffer pool; output never depends on reuse order)
 			for _, seg := range rs.segs {
 				c.putBuf(seg)
 			}
@@ -634,6 +636,7 @@ func (c *Conn) tryDeliver(now simtime.Time, id uint64, rs *recvStream) {
 		off += uint64(len(seg))
 	}
 	c.msgBuf = buf
+	//vplint:allow maporder(releases content-free scratch to the buffer pool; output never depends on reuse order)
 	for _, seg := range rs.segs {
 		c.putBuf(seg)
 	}

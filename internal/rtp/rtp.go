@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // HeaderLen is the fixed RTP header size.
@@ -160,6 +161,7 @@ type Depacketizer struct {
 	ordered  [][]byte   // reused fragment-ordering scratch
 	listPool [][][]byte // recycled per-frame fragment lists
 	seqPool  [][]uint16 // recycled per-frame seq lists
+	tsScr    []uint32   // reused sorted-timestamp scratch for map scans
 
 	// Stats.
 	Received, FramesOut, FramesDropped int64
@@ -241,8 +243,12 @@ func (d *Depacketizer) Push(pkt []byte) ([][]byte, error) {
 		frame := d.tryComplete(ts)
 		if len(frame) == 0 {
 			// The packet's own frame may not be next in order; try every
-			// pending frame once.
-			for pending := range d.marker {
+			// pending frame once, oldest timestamp first. The scan order
+			// is load-bearing: before the in-order anchor exists (or when
+			// stale overlaps are dropped inside tryComplete) the first
+			// completable frame wins, and map order would make that a
+			// per-run coin flip.
+			for _, pending := range d.pendingTS(d.marker) {
 				if frame = d.tryComplete(pending); len(frame) > 0 {
 					break
 				}
@@ -258,6 +264,24 @@ func (d *Depacketizer) Push(pkt []byte) ([][]byte, error) {
 }
 
 func seqLess(a, b uint16) bool { return int16(a-b) < 0 }
+
+// pendingTS returns the map's timestamps ascending, in the reused scratch.
+func (d *Depacketizer) pendingTS(m map[uint32]uint16) []uint32 {
+	d.tsScr = sortedTS(d.tsScr, m)
+	return d.tsScr
+}
+
+// sortedTS collects a timestamp-keyed map's keys into scr, ascending, so
+// callers scan pending frames in a deterministic oldest-first order
+// instead of randomized map order.
+func sortedTS[V any](scr []uint32, m map[uint32]V) []uint32 {
+	scr = scr[:0]
+	for ts := range m {
+		scr = append(scr, ts)
+	}
+	sort.Slice(scr, func(i, j int) bool { return scr[i] < scr[j] })
+	return scr
+}
 
 func (d *Depacketizer) tryComplete(ts uint32) []byte {
 	mseq, ok := d.marker[ts]
@@ -341,7 +365,8 @@ func (d *Depacketizer) Pending() int { return len(d.frames) }
 // counting them as lost, and advances the in-order anchor past them so
 // later frames can deliver.
 func (d *Depacketizer) GC(beforeTS uint32) {
-	for ts := range d.frames {
+	d.tsScr = sortedTS(d.tsScr, d.frames)
+	for _, ts := range d.tsScr {
 		if ts < beforeTS {
 			// Skip the anchor past this frame if it was next in line.
 			if m, ok := d.marker[ts]; ok && d.haveStart && !seqLess(m, d.nextSeq) {

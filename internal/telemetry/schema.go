@@ -146,7 +146,16 @@ func ValidateLine(line []byte) error {
 		}
 	}
 	if want := len(fields) + 3; len(m) != want {
+		// Report the lexically first undeclared field: with several extras
+		// on one line, ranging the map directly would name a different one
+		// each run, and validator output must be as deterministic as the
+		// traces it polices.
+		keys := make([]string, 0, len(m))
 		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
 			if k == "t_ms" || k == "cat" || k == "ev" {
 				continue
 			}

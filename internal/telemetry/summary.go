@@ -73,6 +73,7 @@ func (s *Summary) UserFrameCounts(user int) (sent, thinned, decoded, undecodable
 	if sd := s.Senders[user]; sd != nil {
 		sent, thinned = sd.FramesSent, sd.FramesThinned
 	}
+	//vplint:allow maporder(accumulates commutative integer sums; every iteration order yields the same totals)
 	for k, st := range s.Streams {
 		if k.Receiver != user {
 			continue

@@ -16,6 +16,15 @@ out="${1:-BENCH_fleet.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
+# Time the determinism lint over the whole module. vplint type-checks every
+# package from source, so its wall time tracks repo growth; recording it in
+# the history line keeps the lint budget (seconds, not minutes) honest.
+t0="$(date +%s%N)"
+go run ./cmd/vplint ./... >&2
+t1="$(date +%s%N)"
+vplint_s="$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.2f", (b - a) / 1e9 }')"
+echo "vplint ./... took ${vplint_s}s" >&2
+
 go test -run NONE \
   -bench 'BenchmarkFleetSuiteSequential$|BenchmarkFleetSuiteSequentialCheckpoint$|BenchmarkFleetKeypoints8RepsSequential$' \
   -benchtime=1x -benchmem -count=1 . | tee "$raw" >&2
@@ -62,9 +71,9 @@ rps="$(awk '/"benchmark":"BenchmarkFleetSuiteSequential"/ {
         print substr($0, RSTART + 15, RLENGTH - 15)
 }' "$out")"
 if [ -n "$rps" ]; then
-  printf '{"commit":"%s","date":"%s","rows_per_sec":%s}\n' \
+  printf '{"commit":"%s","date":"%s","rows_per_sec":%s,"vplint_seconds":%s}\n' \
     "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
-    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$rps" >> "$history"
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$rps" "$vplint_s" >> "$history"
   echo "appended rows/sec to $history" >&2
 else
   echo "warning: no rows/sec in $out; $history not updated" >&2
