@@ -28,17 +28,30 @@
 // (-metrics DIR), and `trace summarize` validates a trace file against the
 // event schema and prints a per-link/per-stream timeline report.
 //
+// A running fleet is live-observable (see DESIGN.md "Live observability"):
+// `vpfleet serve -addr :8090 run|sweep ...` executes the fleet while
+// serving GET /api/runs, /api/runs/{id}, /api/runs/{id}/rows (NDJSON
+// tail-follow of the sink stream), /metrics (Prometheus text) and
+// /debug/pprof over HTTP; `-monitor-addr :8090` attaches the same server
+// to a plain run/sweep; and `-progress` renders a single-line live
+// terminal view (cells done/total, retries, failures, rows/sec, ETA).
+// All three views read one Monitor — they can never disagree — and none
+// of them changes a single emitted row byte.
+//
 // Usage:
 //
 //	vpfleet list
 //	vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
 //	            [-checkpoint DIR] [-resume] [-retries N] [-cell-timeout D]
 //	            [-backoff D] [-chaos SPEC] [-trace DIR] [-metrics DIR]
+//	            [-monitor-addr ADDR] [-progress]
 //	            [-cpuprofile FILE] [-memprofile FILE] all|<name>...
 //	vpfleet sweep <target> -axis name=v1,v2,... [-axis name=...]
 //	            [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
 //	            [-checkpoint DIR] [-resume] [-retries N] [-cell-timeout D]
 //	            [-backoff D] [-chaos SPEC] [-trace DIR] [-metrics DIR]
+//	            [-monitor-addr ADDR] [-progress]
+//	vpfleet serve [-addr ADDR] run|sweep <args...>
 //	vpfleet trace summarize <file.trace.jsonl>
 //	vpfleet trace schema
 //
@@ -51,6 +64,8 @@
 //	vpfleet sweep burstloss -axis p_good_bad=0.01,0.05 -checkpoint ck/
 //	vpfleet sweep burstloss -axis p_good_bad=0.01,0.05 -checkpoint ck/ -resume
 //	vpfleet run all -retries 3 -cell-timeout 5m -chaos panic=0.2,attempts=1
+//	vpfleet serve -addr :8090 sweep handover -axis delay_ms=0,100,250
+//	vpfleet run all -progress -workers 8
 package main
 
 import (
@@ -59,6 +74,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -70,6 +86,7 @@ import (
 	"time"
 
 	tp "telepresence"
+	"telepresence/internal/fleetobs"
 )
 
 // Exit codes, distinct per failure class so scripts and CI can tell a
@@ -100,9 +117,11 @@ func main() {
 	case "list":
 		list()
 	case "run":
-		runCmd(os.Args[2:])
+		runCmd(os.Args[2:], nil)
 	case "sweep":
-		sweepCmd(os.Args[2:])
+		sweepCmd(os.Args[2:], nil)
+	case "serve":
+		serveCmd(os.Args[2:])
 	case "trace":
 		traceCmd(os.Args[2:])
 	default:
@@ -116,13 +135,21 @@ func usage() {
   vpfleet list
   vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
               [-checkpoint DIR] [-resume] [-retries N] [-cell-timeout D]
-              [-backoff D] [-chaos SPEC] [-trace DIR] [-metrics DIR] all|<name>...
+              [-backoff D] [-chaos SPEC] [-trace DIR] [-metrics DIR]
+              [-monitor-addr ADDR] [-progress] all|<name>...
   vpfleet sweep <target> -axis name=v1,v2,... [-axis name=...] [-seed N] [-full]
                 [-workers N] [-out DIR] [-format jsonl|csv] [-checkpoint DIR]
                 [-resume] [-retries N] [-cell-timeout D] [-backoff D]
                 [-chaos SPEC] [-trace DIR] [-metrics DIR]
+                [-monitor-addr ADDR] [-progress]
+  vpfleet serve [-addr ADDR] run|sweep <args...>
   vpfleet trace summarize <file.trace.jsonl>...
   vpfleet trace schema
+
+serve executes the run/sweep while exposing live introspection over HTTP:
+GET /api/runs, /api/runs/{id}, /api/runs/{id}/rows (NDJSON tail),
+/metrics (Prometheus text), /debug/pprof. -monitor-addr attaches the same
+server to a plain run/sweep; -progress renders a live terminal line.
 
 exit codes: 0 ok; 1 cell failures; 2 usage; 3 interrupted (resumable)`)
 	os.Exit(exitUsage)
@@ -175,6 +202,13 @@ type commonFlags struct {
 	cellTimeout *time.Duration
 	backoff     *time.Duration
 	chaos       *string
+	monitorAddr *string
+	progress    *bool
+
+	// serveLis is the pre-bound introspection listener in serve mode
+	// (serveCmd binds before delegating, so a bad -addr is a usage error
+	// before any work starts); nil for plain run/sweep.
+	serveLis net.Listener
 }
 
 func newCommonFlags(name string) *commonFlags {
@@ -194,6 +228,8 @@ func newCommonFlags(name string) *commonFlags {
 		cellTimeout: fs.Duration("cell-timeout", 0, "abandon and retry a cell attempt running longer than this (0 = no watchdog)"),
 		backoff:     fs.Duration("backoff", 0, "delay before a cell's second attempt, doubling per attempt"),
 		chaos:       fs.String("chaos", "", "inject deterministic faults, e.g. panic=0.5,error=0.2,delay=0.3,delay_ms=50,sink=0.1,attempts=2"),
+		monitorAddr: fs.String("monitor-addr", "", "serve live HTTP introspection on this address while the fleet runs"),
+		progress:    fs.Bool("progress", false, "render a single-line live progress view on stderr"),
 	}
 }
 
@@ -299,6 +335,105 @@ func installInterrupt() <-chan struct{} {
 	return stop
 }
 
+// serveCmd executes a run or sweep while serving live introspection:
+// `vpfleet serve [-addr ADDR] run|sweep <args...>`. The listener binds
+// before any work starts, so a bad address is a usage error (exit 2);
+// everything after the subcommand is the run/sweep's own argument list,
+// and the exit code is the underlying run's. Graceful SIGTERM drain is
+// the normal interrupt path: /api/runs/{id} reports "interrupted" while
+// in-flight cells finish, and vpfleet exits 3 with a resume hint.
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8090", "HTTP address for live introspection")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) == 0 {
+		usage()
+	}
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		failUsage(fmt.Errorf("serve: cannot listen on %q: %v", *addr, err))
+	}
+	switch rest[0] {
+	case "run":
+		runCmd(rest[1:], lis)
+	case "sweep":
+		sweepCmd(rest[1:], lis)
+	default:
+		fmt.Fprintf(os.Stderr, "vpfleet: serve: unknown subcommand %q (want run or sweep)\n\n", rest[0])
+		usage()
+	}
+}
+
+// obsSession is one CLI run's observability stack: the RunState monitor
+// feeding the HTTP server and/or terminal progress line. A nil
+// *obsSession is valid and inert (no flags asked for observability).
+type obsSession struct {
+	state    *fleetobs.RunState
+	progress *fleetobs.Progress
+}
+
+// attachObs wires the observability requested by the flags into cfg: the
+// serve-mode listener (when serveCmd bound one), a -monitor-addr server,
+// and/or the -progress renderer, all reading one Monitor so the views
+// cannot disagree. Returns nil when nothing was requested.
+func (c *commonFlags) attachObs(id, kind string, cfg *tp.FleetConfig) *obsSession {
+	lis := c.serveLis
+	if lis == nil && *c.monitorAddr != "" {
+		l, err := net.Listen("tcp", *c.monitorAddr)
+		if err != nil {
+			failUsage(fmt.Errorf("-monitor-addr %q: %v", *c.monitorAddr, err))
+		}
+		lis = l
+	}
+	if lis == nil && !*c.progress {
+		return nil
+	}
+	var st *fleetobs.RunState
+	if lis != nil {
+		reg := fleetobs.NewRegistry()
+		st = reg.NewRun(id, kind)
+		fleetobs.Serve(lis, reg)
+		// The resolved address line is the contract scripts poll for
+		// (with -addr 127.0.0.1:0 the port is kernel-assigned).
+		fmt.Fprintf(os.Stderr, "vpfleet: serving live introspection on http://%s (run %s)\n", lis.Addr(), id)
+	} else {
+		st = fleetobs.NewRunState(id, kind)
+	}
+	cfg.Monitor = st
+	s := &obsSession{state: st}
+	if *c.progress {
+		s.progress = fleetobs.NewProgress(st, os.Stderr)
+		s.progress.Start()
+	}
+	return s
+}
+
+// rowTee returns the writer sinks should tee emitted bytes into (the
+// run's RowLog), or nil when no observability is attached.
+func (s *obsSession) rowTee() io.Writer {
+	if s == nil {
+		return nil
+	}
+	return s.state.RowLog()
+}
+
+// finish finalizes the live view with the run's outcome and stops the
+// progress renderer; tail-following rows clients terminate here.
+func (s *obsSession) finish(runErr error, resumeHint string) {
+	if s == nil {
+		return
+	}
+	if s.progress != nil {
+		s.progress.Stop()
+	}
+	hint := ""
+	if errors.Is(runErr, tp.ErrFleetInterrupted) {
+		hint = resumeHint
+	}
+	s.state.Finish(runErr, hint)
+}
+
 // exit maps a run's error to the process exit code: interrupted (and
 // therefore resumable) runs exit 3, any other failure exits 1.
 func exit(runErr error, journal *tp.FleetJournal, resumeHint string) {
@@ -382,8 +517,9 @@ func summarizeFile(path string) {
 	}
 }
 
-func sweepCmd(args []string) {
+func sweepCmd(args []string, lis net.Listener) {
 	c := newCommonFlags("sweep")
+	c.serveLis = lis
 	var axes axisFlags
 	c.fs.Var(&axes, "axis", "swept parameter as name=v1,v2,... (repeatable)")
 	names := c.parseMixed(args)
@@ -400,6 +536,7 @@ func sweepCmd(args []string) {
 	}
 	workers, opts, out, format := c.resolve()
 	cfg, journal := c.fleetConfig(workers)
+	obs := c.attachObs("sweep-"+spec.Target, "sweep", &cfg)
 
 	path := filepath.Join(out, "sweep-"+spec.Target+"."+format)
 	f, err := os.Create(path)
@@ -410,7 +547,7 @@ func sweepCmd(args []string) {
 	// Rows stream to the file as cells complete (memory is bounded by the
 	// reorder window, not the grid); journaled cells replay on -resume.
 	start := time.Now()
-	results, runErr := tp.FleetRunSweepStream(spec, opts, cfg, newFileSink(f, format, target.Row))
+	results, runErr := tp.FleetRunSweepStream(spec, opts, cfg, newFileSink(f, format, target.Row, obs.rowTee()))
 	wall := time.Since(start)
 
 	manifest := tp.NewFleetSweepManifest(spec, opts, workers, wall, results)
@@ -444,12 +581,14 @@ func sweepCmd(args []string) {
 	}
 	fmt.Printf("\nsweep %s: %d cells in %s (workers=%d); rows: %s\n",
 		spec.Target, len(results), wall.Round(time.Millisecond), workers, path)
-	exit(runErr, journal,
-		fmt.Sprintf("vpfleet sweep %s ... -checkpoint %s -resume", spec.Target, *c.checkpoint))
+	hint := fmt.Sprintf("vpfleet sweep %s ... -checkpoint %s -resume", spec.Target, *c.checkpoint)
+	obs.finish(runErr, hint)
+	exit(runErr, journal, hint)
 }
 
-func runCmd(args []string) {
+func runCmd(args []string, lis net.Listener) {
 	c := newCommonFlags("run")
+	c.serveLis = lis
 	cpuProfile := c.fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := c.fs.String("memprofile", "", "write a heap profile after the run to this file")
 	names := c.parseMixed(args)
@@ -462,6 +601,7 @@ func runCmd(args []string) {
 	}
 	workers, opts, out, format := c.resolve()
 	cfg, journal := c.fleetConfig(workers)
+	obs := c.attachObs("run", "run", &cfg)
 
 	// Profiling hooks for the hot-path work the ROADMAP tracks. Runner
 	// execution carries pprof labels, so samples still attribute to
@@ -489,7 +629,7 @@ func runCmd(args []string) {
 		if err != nil {
 			return nil, err
 		}
-		return newFileSink(f, format, e.Row), nil
+		return newFileSink(f, format, e.Row, obs.rowTee()), nil
 	})
 	wall := time.Since(start)
 
@@ -544,17 +684,25 @@ func runCmd(args []string) {
 	}
 	fmt.Printf("\n%d experiments in %s (workers=%d); manifest: %s\n",
 		len(results), wall.Round(time.Millisecond), workers, filepath.Join(out, "manifest.json"))
-	exit(runErr, journal,
-		fmt.Sprintf("vpfleet run %s -checkpoint %s -resume", strings.Join(names, " "), *c.checkpoint))
+	hint := fmt.Sprintf("vpfleet run %s -checkpoint %s -resume", strings.Join(names, " "), *c.checkpoint)
+	obs.finish(runErr, hint)
+	exit(runErr, journal, hint)
 }
 
 // newFileSink wraps f in the row sink for format ("csv" or "jsonl",
-// validated by resolve), closing the file with the sink.
-func newFileSink(f *os.File, format string, row tp.ExperimentRow) tp.Sink {
-	if format == "csv" {
-		return closeSink{tp.NewCSVSink(f, row), f}
+// validated by resolve), closing the file with the sink. A non-nil tee
+// additionally receives every emitted byte (the live rows endpoint);
+// the tee is an in-memory ring and never fails, so it cannot affect the
+// run's outcome.
+func newFileSink(f *os.File, format string, row tp.ExperimentRow, tee io.Writer) tp.Sink {
+	var w io.Writer = f
+	if tee != nil {
+		w = io.MultiWriter(f, tee)
 	}
-	return closeSink{tp.NewJSONLSink(f), f}
+	if format == "csv" {
+		return closeSink{tp.NewCSVSink(w, row), f}
+	}
+	return closeSink{tp.NewJSONLSink(w), f}
 }
 
 // closeSink closes the backing file after the row sink finishes.

@@ -3,9 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -78,6 +82,15 @@ func TestExitCodes(t *testing.T) {
 		{"clean run", []string{"run", "protocols", "-out", out}, 0},
 		{"chaos-failed run", []string{"run", "protocols", "-chaos", "error=1,attempts=9", "-retries", "2", "-out", out}, 1},
 		{"chaos healed by retry", []string{"run", "protocols", "-chaos", "error=1,attempts=1", "-retries", "2", "-out", out}, 0},
+		// serve wraps run/sweep: its own errors are usage errors, and the
+		// underlying run's exit code passes through otherwise.
+		{"serve without subcommand", []string{"serve", "-addr", "127.0.0.1:0"}, 2},
+		{"serve unknown subcommand", []string{"serve", "-addr", "127.0.0.1:0", "frob"}, 2},
+		{"serve bad addr", []string{"serve", "-addr", "999.999.999.999:http", "run", "protocols", "-out", out}, 2},
+		{"serve bad monitor addr", []string{"run", "protocols", "-monitor-addr", "999.999.999.999:http", "-out", out}, 2},
+		{"serve clean run", []string{"serve", "-addr", "127.0.0.1:0", "run", "protocols", "-out", out}, 0},
+		{"serve chaos-failed run", []string{"serve", "-addr", "127.0.0.1:0", "run", "protocols", "-chaos", "error=1,attempts=9", "-retries", "2", "-out", out}, 1},
+		{"progress clean run", []string{"run", "protocols", "-progress", "-out", out}, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -126,6 +139,155 @@ func TestChaosHealedBytesMatchClean(t *testing.T) {
 	}
 	if len(m.Experiments) != 1 || m.Experiments[0].Attempts != 2 {
 		t.Errorf("manifest attempts = %+v, want 2 (one faulted + one clean)", m.Experiments)
+	}
+}
+
+// serveURL polls path (the serve-mode stderr log) for the announced
+// introspection URL; with -addr 127.0.0.1:0 the port is kernel-assigned,
+// so the log line is the only way to find it.
+func serveURL(t *testing.T, path string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	re := regexp.MustCompile(`serving live introspection on (http://\S+)`)
+	for time.Now().Before(deadline) {
+		data, _ := os.ReadFile(path)
+		if m := re.FindSubmatch(data); m != nil {
+			return string(m[1])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	data, _ := os.ReadFile(path)
+	t.Fatalf("serve never announced its URL; log:\n%s", data)
+	return ""
+}
+
+// getBody fetches url and returns the response body, failing on any
+// transport error.
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(body)
+}
+
+// TestServeSigterm pins the serve-mode interrupt contract: the live API
+// is reachable while the fleet runs, /metrics exposes fleet_rows_total,
+// the rows endpoint streams sink bytes, and a SIGTERM drain flips
+// /api/runs/{id} to "interrupted" before the process exits 3 with an
+// interrupted, resumable manifest.
+func TestServeSigterm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("signal timing test")
+	}
+	out, ck := t.TempDir(), t.TempDir()
+	logPath := filepath.Join(t.TempDir(), "serve.log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logFile.Close()
+
+	// Chaos delays stretch each cell so the fleet is still mid-run when the
+	// API is polled and the signal lands; workers=1 leaves cells queued.
+	cmd := exec.Command(vpfleetBin, "serve", "-addr", "127.0.0.1:0",
+		"sweep", "handover", "-axis", "delay_ms=0,100,250,500,700,900",
+		"-workers", "1", "-out", out, "-checkpoint", ck,
+		"-chaos", "delay=1,delay_ms=1200,attempts=99")
+	cmd.Stdout, cmd.Stderr = logFile, logFile
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := serveURL(t, logPath)
+	id := "sweep-handover"
+
+	// Poll until the run reports itself running with work dispatched.
+	deadline := time.Now().Add(10 * time.Second)
+	var snap struct {
+		State      string `json:"state"`
+		Dispatched int    `json:"dispatched"`
+	}
+	for {
+		if err := json.Unmarshal([]byte(getBody(t, base+"/api/runs/"+id)), &snap); err != nil {
+			t.Fatalf("bad /api/runs/%s JSON: %v", id, err)
+		}
+		if snap.State == "running" && snap.Dispatched > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never reached running state: %+v", snap)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Prometheus exposition carries the run's counters.
+	metrics := getBody(t, base+"/metrics")
+	if !strings.Contains(metrics, `fleet_rows_total{run="`+id+`"}`) {
+		t.Errorf("/metrics missing fleet_rows_total for %s:\n%.400s", id, metrics)
+	}
+
+	// The rows endpoint streams the sink's NDJSON; wait for the first cell
+	// (delay_ms=0 finishes quickly even under chaos delay).
+	rowDeadline := time.Now().Add(10 * time.Second)
+	for {
+		row := getBody(t, base+"/api/runs/"+id+"/rows?max=1")
+		if strings.HasPrefix(row, "{") && strings.HasSuffix(strings.TrimSpace(row), "}") {
+			break
+		}
+		if time.Now().After(rowDeadline) {
+			t.Fatalf("rows endpoint never streamed a row: %q", row)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// During the drain the live API must already report interrupted.
+	drainDeadline := time.Now().Add(5 * time.Second)
+	for {
+		var ds struct {
+			State       string `json:"state"`
+			Interrupted bool   `json:"interrupted"`
+		}
+		body := getBody(t, base+"/api/runs/"+id)
+		if err := json.Unmarshal([]byte(body), &ds); err != nil {
+			t.Fatalf("bad drain JSON: %v", err)
+		}
+		if ds.State == "interrupted" && ds.Interrupted {
+			break
+		}
+		if time.Now().After(drainDeadline) {
+			t.Fatalf("live state never reported interrupted during drain: %s", body)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	err = cmd.Wait()
+	var exitErr *exec.ExitError
+	if !isExit(err, &exitErr) || exitErr.ExitCode() != 3 {
+		data, _ := os.ReadFile(logPath)
+		t.Fatalf("served interrupted run: err=%v, want exit 3\n%s", err, data)
+	}
+	var m struct {
+		Interrupted bool   `json:"interrupted"`
+		Checkpoint  string `json:"checkpoint"`
+	}
+	data, err := os.ReadFile(filepath.Join(out, "sweep-handover-manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Interrupted || m.Checkpoint != ck {
+		t.Errorf("manifest %+v, want interrupted with checkpoint %s", m, ck)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"telepresence/internal/core"
@@ -97,6 +98,12 @@ func runOrdered(units []unit, scope string, cfg Config, emit func(i int, o unitO
 	stop := make(chan struct{}) // closed on emit error: stop dispatching
 	var stopOnce sync.Once
 
+	// dispatchedN feeds the window-occupancy events; the counter itself is
+	// engine accounting (an atomic add, no allocation) and the events only
+	// fire when a monitor is attached.
+	var dispatchedN atomic.Int64
+	cfg.publish(MonitorEvent{Kind: EventRunStarted, Unit: -1, Units: n})
+
 	type indexed struct {
 		i int
 		o unitOutcome
@@ -114,7 +121,7 @@ func runOrdered(units []unit, scope string, cfg Config, emit func(i int, o unitO
 		go func() {
 			defer wg.Done()
 			for i := range tasks {
-				o := executeUnit(units[i], cfg, interrupt)
+				o := executeUnit(i, units[i], cfg, interrupt)
 				if o.err == nil && cfg.Checkpoint != nil {
 					if e, err := encodeEntry(units[i].key, scope, o.attempts, o.rows); err != nil {
 						o.err = err
@@ -122,6 +129,8 @@ func runOrdered(units []unit, scope string, cfg Config, emit func(i int, o unitO
 						o.err = err
 					}
 				}
+				cfg.publish(MonitorEvent{Kind: EventUnitDone, Unit: i, Key: units[i].key,
+					Attempt: o.attempts, Rows: len(o.rows), Wall: o.wall, Err: o.err, Stack: o.stack})
 				done <- indexed{i, o}
 			}
 		}()
@@ -140,6 +149,7 @@ func runOrdered(units []unit, scope string, cfg Config, emit func(i int, o unitO
 			// long as the random select favors the token case.
 			select {
 			case <-interrupt:
+				cfg.publish(MonitorEvent{Kind: EventInterrupted, Unit: -1})
 				return
 			case <-stop:
 				return
@@ -148,12 +158,16 @@ func runOrdered(units []unit, scope string, cfg Config, emit func(i int, o unitO
 			select {
 			case <-tokens:
 			case <-interrupt:
+				cfg.publish(MonitorEvent{Kind: EventInterrupted, Unit: -1})
 				return
 			case <-stop:
 				return
 			}
 			if cfg.Resume && cfg.Checkpoint != nil {
 				if e, ok := cfg.Checkpoint.Lookup(units[i].key, scope); ok {
+					dispatchedN.Add(1)
+					cfg.publish(MonitorEvent{Kind: EventJournalHit, Unit: i, Key: units[i].key,
+						Attempt: e.Attempts, Rows: e.Rows})
 					select {
 					case done <- indexed{i, unitOutcome{entry: e, attempts: e.Attempts, resumed: true}}:
 					case <-stop:
@@ -162,9 +176,12 @@ func runOrdered(units []unit, scope string, cfg Config, emit func(i int, o unitO
 					continue
 				}
 			}
+			dispatchedN.Add(1)
+			cfg.publish(MonitorEvent{Kind: EventUnitDispatched, Unit: i, Key: units[i].key})
 			select {
 			case tasks <- i:
 			case <-interrupt:
+				cfg.publish(MonitorEvent{Kind: EventInterrupted, Unit: -1})
 				return
 			case <-stop:
 				return
@@ -199,6 +216,9 @@ func runOrdered(units []unit, scope string, cfg Config, emit func(i int, o unitO
 				if err := emit(next, o); err != nil {
 					emitErr = err
 					stopOnce.Do(func() { close(stop) })
+				} else if o.err == nil {
+					cfg.publish(MonitorEvent{Kind: EventRowsEmitted, Unit: next,
+						Key: units[next].key, Rows: o.rowCount()})
 				}
 			}
 			next++
@@ -211,6 +231,10 @@ func runOrdered(units []unit, scope string, cfg Config, emit func(i int, o unitO
 			rep.maxBuffered = len(buf)
 		}
 		flush()
+		if cfg.Monitor != nil {
+			cfg.publish(MonitorEvent{Kind: EventWindow, Unit: -1,
+				InFlight: int(dispatchedN.Load()) - next - len(buf), Buffered: len(buf)})
+		}
 	}
 	flush()
 
@@ -219,6 +243,8 @@ func runOrdered(units []unit, scope string, cfg Config, emit func(i int, o unitO
 	if next < n {
 		rep.interrupted = true
 		for ; next < n; next++ {
+			cfg.publish(MonitorEvent{Kind: EventUnitDone, Unit: next, Key: units[next].key,
+				Err: ErrInterrupted})
 			if emitErr == nil {
 				if err := emit(next, unitOutcome{err: ErrInterrupted}); err != nil {
 					emitErr = err
@@ -226,6 +252,7 @@ func runOrdered(units []unit, scope string, cfg Config, emit func(i int, o unitO
 			}
 		}
 	}
+	cfg.publish(MonitorEvent{Kind: EventRunDone, Unit: -1, Err: emitErr})
 	if cfg.onReport != nil {
 		cfg.onReport(rep)
 	}

@@ -59,6 +59,14 @@ type Config struct {
 	// yet emitted (the reorder buffer); <=0 selects 4x workers. The bound
 	// is what keeps streaming memory constant in grid size.
 	Window int
+	// Monitor, when non-nil, receives unit-lifecycle events (dispatch,
+	// attempts, retries, panics, journal hits, ordered emission, window
+	// occupancy) from every goroutine of the run; implementations must be
+	// concurrency-safe. Monitors observe but never steer: emitted rows are
+	// byte-identical with or without one, and a nil Monitor adds zero
+	// allocations to the dispatch path. See internal/fleetobs for the live
+	// HTTP/terminal views built on this.
+	Monitor Monitor
 
 	// onReport receives the engine's internal accounting (tests only).
 	onReport func(engineReport)

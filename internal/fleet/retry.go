@@ -124,11 +124,13 @@ func runAttempt(u unit, plan *FaultPlan, attempt int, timeout time.Duration) att
 	}
 }
 
-// executeUnit runs u to completion under cfg's retry policy: up to
+// executeUnit runs unit i to completion under cfg's retry policy: up to
 // MaxAttempts tries, exponential backoff between them, each attempt under
 // the watchdog and panic isolation. Backoff sleeps abort on interrupt so a
-// graceful drain is not held up by a retry schedule.
-func executeUnit(u unit, cfg Config, interrupt <-chan struct{}) unitOutcome {
+// graceful drain is not held up by a retry schedule. Attempt lifecycle
+// events (started, panicked, timed out, retried-with-backoff) publish to
+// cfg.Monitor when one is attached.
+func executeUnit(i int, u unit, cfg Config, interrupt <-chan struct{}) unitOutcome {
 	start := time.Now()
 	max := cfg.Retry.maxAttempts()
 	var last attemptResult
@@ -142,9 +144,24 @@ func executeUnit(u unit, cfg Config, interrupt <-chan struct{}) unitOutcome {
 				return unitOutcome{err: ErrInterrupted, attempts: attempt - 1, wall: time.Since(start)}
 			}
 		}
+		cfg.publish(MonitorEvent{Kind: EventAttemptStarted, Unit: i, Key: u.key, Attempt: attempt})
 		last = runAttempt(u, cfg.Chaos, attempt, cfg.Retry.PerCellTimeout)
 		if last.err == nil {
 			return unitOutcome{rows: last.rows, attempts: attempt, wall: time.Since(start)}
+		}
+		if cfg.Monitor != nil {
+			switch {
+			case last.stack != "":
+				cfg.publish(MonitorEvent{Kind: EventUnitPanicked, Unit: i, Key: u.key,
+					Attempt: attempt, Err: last.err, Stack: last.stack})
+			case errors.Is(last.err, ErrUnitTimeout):
+				cfg.publish(MonitorEvent{Kind: EventUnitTimedOut, Unit: i, Key: u.key,
+					Attempt: attempt, Err: last.err})
+			}
+			if attempt < max {
+				cfg.publish(MonitorEvent{Kind: EventUnitRetried, Unit: i, Key: u.key,
+					Attempt: attempt, Err: last.err, Backoff: cfg.Retry.backoffBefore(attempt + 1)})
+			}
 		}
 	}
 	return unitOutcome{

@@ -1,0 +1,60 @@
+package fleetobs
+
+import "sync"
+
+// Registry holds the runs a server exposes, in registration order (an
+// explicit order slice — map iteration order must never leak into API or
+// metrics output).
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	runs  map[string]*RunState
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{runs: map[string]*RunState{}}
+}
+
+// NewRun creates, registers and returns a RunState under id. Registering
+// the same id again replaces the previous run in place (same position),
+// which is what a resumed run wants.
+func (g *Registry) NewRun(id, kind string) *RunState {
+	st := NewRunState(id, kind)
+	g.mu.Lock()
+	if _, ok := g.runs[id]; !ok {
+		g.order = append(g.order, id)
+	}
+	g.runs[id] = st
+	g.mu.Unlock()
+	return st
+}
+
+// Get returns the run registered under id, or nil.
+func (g *Registry) Get(id string) *RunState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.runs[id]
+}
+
+// Runs returns the registered runs in registration order.
+func (g *Registry) Runs() []*RunState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*RunState, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.runs[id])
+	}
+	return out
+}
+
+// Snapshots returns a summary snapshot (no per-unit detail) per run, in
+// registration order.
+func (g *Registry) Snapshots() []Snapshot {
+	runs := g.Runs()
+	out := make([]Snapshot, 0, len(runs))
+	for _, st := range runs {
+		out = append(out, st.Snapshot(false))
+	}
+	return out
+}

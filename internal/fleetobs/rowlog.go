@@ -1,0 +1,114 @@
+package fleetobs
+
+import "sync"
+
+// defaultRowLogCap bounds the tail buffer: the newest lines kept for
+// /api/runs/{id}/rows. Old lines fall off the front (the sequence numbers
+// make the gap visible to readers), so live tailing stays O(cap) in
+// memory no matter how many rows a run emits.
+const defaultRowLogCap = 4096
+
+// RowLog is a bounded, append-only line buffer fed by teeing the sink's
+// writer (io.MultiWriter), so it holds the exact bytes the sink emitted —
+// live writes and journal replays alike — with no re-encoding. Readers
+// tail it by sequence number and block on a change channel.
+type RowLog struct {
+	mu       sync.Mutex
+	lines    [][]byte // ring, newest last; lines[0] has sequence firstSeq
+	firstSeq int64
+	partial  []byte // bytes after the last newline, not yet a line
+	cap      int
+	closed   bool
+	changed  chan struct{} // closed and replaced on every append/Close
+}
+
+// NewRowLog returns an empty log keeping at most capLines lines.
+func NewRowLog(capLines int) *RowLog {
+	if capLines <= 0 {
+		capLines = defaultRowLogCap
+	}
+	return &RowLog{cap: capLines, changed: make(chan struct{})}
+}
+
+// Write implements io.Writer: p is split on newlines into complete lines
+// (a trailing fragment is buffered until its newline arrives). Always
+// reports full success so a tee never fails the sink — the log observes,
+// it cannot steer.
+func (l *RowLog) Write(p []byte) (int, error) {
+	n := len(p)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return n, nil
+	}
+	appended := false
+	for len(p) > 0 {
+		nl := -1
+		for i, b := range p {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			l.partial = append(l.partial, p...)
+			break
+		}
+		line := append(l.partial, p[:nl]...)
+		l.partial = nil
+		p = p[nl+1:]
+		l.lines = append(l.lines, line)
+		if len(l.lines) > l.cap {
+			drop := len(l.lines) - l.cap
+			l.lines = l.lines[drop:]
+			l.firstSeq += int64(drop)
+		}
+		appended = true
+	}
+	if appended {
+		close(l.changed)
+		l.changed = make(chan struct{})
+	}
+	return n, nil
+}
+
+// Close marks the stream complete (flushing any unterminated final
+// fragment as a line) and wakes all waiting readers; tail-followers
+// terminate once they've drained. Further writes are discarded.
+func (l *RowLog) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	if len(l.partial) > 0 {
+		l.lines = append(l.lines, l.partial)
+		l.partial = nil
+		if len(l.lines) > l.cap {
+			drop := len(l.lines) - l.cap
+			l.lines = l.lines[drop:]
+			l.firstSeq += int64(drop)
+		}
+	}
+	l.closed = true
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// read returns the lines at sequence >= from (clamped to what the ring
+// still holds), the sequence just past them, whether the log is closed,
+// and a channel that closes on the next append or Close. The returned
+// line slices are the log's own backing arrays; callers must not mutate
+// them.
+func (l *RowLog) read(from int64) (lines [][]byte, next int64, closed bool, changed <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.firstSeq {
+		from = l.firstSeq
+	}
+	end := l.firstSeq + int64(len(l.lines))
+	if from < end {
+		lines = l.lines[from-l.firstSeq:]
+	}
+	return lines, end, l.closed, l.changed
+}

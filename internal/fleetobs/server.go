@@ -1,0 +1,137 @@
+package fleetobs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// NewMux builds the introspection handler over reg:
+//
+//	GET /api/runs            — summary snapshot per run (JSON array)
+//	GET /api/runs/{id}       — one run with per-unit detail (JSON)
+//	GET /api/runs/{id}/rows  — NDJSON tail-follow of the sink stream
+//	GET /metrics             — Prometheus text exposition
+//	    /debug/pprof/...     — the standard pprof handlers
+//
+// Row streaming serves the sink's exact emitted bytes (the RowLog tee),
+// so what the API shows can never disagree with what landed on disk.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, reg.Snapshots())
+	})
+	mux.HandleFunc("GET /api/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st := reg.Get(r.PathValue("id"))
+		if st == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, st.Snapshot(true))
+	})
+	mux.HandleFunc("GET /api/runs/{id}/rows", func(w http.ResponseWriter, r *http.Request) {
+		st := reg.Get(r.PathValue("id"))
+		if st == nil {
+			http.NotFound(w, r)
+			return
+		}
+		serveRows(w, r, st.RowLog())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, reg.Snapshots())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeJSON renders v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// serveRows streams the log's lines as NDJSON from ?from=<seq> (default
+// 0: earliest retained), following appends until the run closes its log,
+// the client hangs up, or ?max=<n> lines have been sent. Responses flush
+// per batch so curl sees rows as they land.
+func serveRows(w http.ResponseWriter, r *http.Request, log *RowLog) {
+	var from int64
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || v < 0 {
+			http.Error(w, "bad from", http.StatusBadRequest)
+			return
+		}
+		from = v
+	}
+	max := int64(-1) // unbounded
+	if q := r.URL.Query().Get("max"); q != "" {
+		v, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad max", http.StatusBadRequest)
+			return
+		}
+		max = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	// Send headers before the first wait so a tail-follower's client sees
+	// the response open immediately, rows or not.
+	if flusher != nil {
+		flusher.Flush()
+	}
+	var sent int64
+	for {
+		lines, next, closed, changed := log.read(from)
+		for _, line := range lines {
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				return
+			}
+			sent++
+			if max >= 0 && sent >= max {
+				return
+			}
+		}
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		from = next
+		if closed {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		case <-time.After(30 * time.Second):
+			// Heartbeat timeout: re-check state so an abandoned log (a run
+			// that never closes it) cannot pin the handler forever.
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+// Serve starts an http.Server for reg's mux on l in a background
+// goroutine and returns it; callers own shutdown (srv.Close). Serve
+// errors after shutdown are expected and dropped.
+func Serve(l net.Listener, reg *Registry) *http.Server {
+	srv := &http.Server{Handler: NewMux(reg)}
+	go srv.Serve(l)
+	return srv
+}

@@ -65,8 +65,13 @@ func DefaultConfig() *Config {
 		DeterministicPackages: deterministic,
 		// Fleet manifests and sinks serialize maps (axes, failures) into
 		// JSONL/CSV artifacts that the resume/determinism contract compares
-		// byte-for-byte.
-		MapOrderExtraPackages:   []string{"internal/fleet"},
+		// byte-for-byte. fleetobs renders API and Prometheus responses whose
+		// ordering must not depend on map iteration either (its Registry keeps
+		// an explicit order slice for exactly this reason) — but it is
+		// deliberately NOT a deterministic package: EWMA rates and uptime are
+		// wall-clock by design (time.Now is its whole point), and its JSON API
+		// responses are off the hot path, so walltime and hotjson don't apply.
+		MapOrderExtraPackages:   []string{"internal/fleet", "internal/fleetobs"},
 		GlobalrandAllowPackages: []string{"internal/simrand"},
 		HotPathPackages: []string{
 			"internal/telemetry",
@@ -84,6 +89,9 @@ func DefaultConfig() *Config {
 			"internal/fleet",
 			"internal/stats",
 			"internal/core",
+			// Prometheus exposition and the progress line format floats; both
+			// must use strconv with explicit formats, never %v/%g.
+			"internal/fleetobs",
 		},
 	}
 }

@@ -151,6 +151,33 @@ func TestSeededCorpus(t *testing.T) {
 	}
 }
 
+// TestSeededFleetobs pins the fleetobs exemption boundary: the seeded
+// fleetobs package uses time.Now-ish wall clock and encoding/json with
+// no findings (both sanctioned there), while its map-ranged metrics
+// output and value-dependent float verb are still caught.
+func TestSeededFleetobs(t *testing.T) {
+	loader := NewLoader()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "seeded", "internal", "fleetobs"),
+		"seed/internal/fleetobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{pkg}, Checks(), DefaultConfig())
+	byCheck := map[string]int{}
+	for _, f := range findings {
+		byCheck[f.Check]++
+	}
+	if byCheck["walltime"] != 0 || byCheck["hotjson"] != 0 {
+		t.Errorf("fleetobs must be exempt from walltime/hotjson, got %v", byCheck)
+	}
+	if byCheck["maporder"] == 0 {
+		t.Errorf("seeded map-ranged metrics output not caught: %v", byCheck)
+	}
+	if byCheck["floatfmt"] == 0 {
+		t.Errorf("seeded %%g float verb not caught: %v", byCheck)
+	}
+}
+
 // TestDefaultConfigTargets pins which real packages each check patrols.
 func TestDefaultConfigTargets(t *testing.T) {
 	cfg := DefaultConfig()
@@ -164,16 +191,20 @@ func TestDefaultConfigTargets(t *testing.T) {
 		{walltimeCheck{}, "telepresence/internal/netem", true},
 		{walltimeCheck{}, "telepresence/internal/fleet", false}, // watchdog/backoff are wall time by design
 		{walltimeCheck{}, "telepresence/cmd/vpfleet", false},
+		{walltimeCheck{}, "telepresence/internal/fleetobs", false}, // EWMA/uptime are wall time by design
 		{globalrandCheck{}, "telepresence/internal/vca", true},
 		{globalrandCheck{}, "telepresence/internal/simrand", false}, // the one sanctioned wrapper
 		{maporderCheck{}, "telepresence/internal/quic", true},
-		{maporderCheck{}, "telepresence/internal/fleet", true}, // manifests/sinks emit map-derived bytes
+		{maporderCheck{}, "telepresence/internal/fleet", true},    // manifests/sinks emit map-derived bytes
+		{maporderCheck{}, "telepresence/internal/fleetobs", true}, // API/metrics ordering must not leak map order
 		{maporderCheck{}, "telepresence/internal/stats", false},
 		{hotjsonCheck{}, "telepresence/internal/telemetry", true},
 		{hotjsonCheck{}, "telepresence/internal/rtp", true},
 		{hotjsonCheck{}, "telepresence/internal/core", false},
+		{hotjsonCheck{}, "telepresence/internal/fleetobs", false}, // JSON API responses are off the hot path
 		{floatfmtCheck{}, "telepresence/internal/fleet", true},
 		{floatfmtCheck{}, "telepresence/internal/stats", true},
+		{floatfmtCheck{}, "telepresence/internal/fleetobs", true}, // Prometheus text + progress line
 		{floatfmtCheck{}, "telepresence/internal/netem", false},
 	}
 	for _, c := range cases {

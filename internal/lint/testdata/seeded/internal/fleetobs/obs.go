@@ -1,0 +1,46 @@
+// Package fleetobs (seeded corpus): observability code where wall clock
+// and encoding/json are sanctioned (not a deterministic or hot-path
+// package), but map-ordered output and value-dependent float verbs are
+// still violations — metrics and API bytes must not depend on iteration
+// order or float formatting defaults.
+package fleetobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+type snapshot struct {
+	ID   string
+	Rows int64
+}
+
+// Uptime legitimately reads the wall clock: fleetobs is exempt from
+// walltime, so this must yield no finding.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Render legitimately uses encoding/json: fleetobs is exempt from
+// hotjson, so this must yield no finding either.
+func Render(s snapshot) ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// RowsPerSec formats a float with a value-dependent verb in an encoder
+// package: seeded floatfmt violation.
+func RowsPerSec(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// Metrics ranges a map straight into exposition text: order leaks.
+func Metrics(runs map[string]snapshot) string {
+	var b strings.Builder
+	for id, s := range runs { // seeded maporder violation
+		b.WriteString("fleet_rows_total{run=\"" + id + "\"} ")
+		_ = s
+	}
+	return b.String()
+}

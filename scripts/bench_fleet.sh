@@ -16,6 +16,16 @@ out="${1:-BENCH_fleet.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
+# Host context: rows/sec numbers are only comparable within one host, so
+# every record carries the CPU budget it ran under. cpus is the online
+# processor count; gomaxprocs is the Go scheduler's budget (the benchmark
+# suffix, e.g. BenchmarkFoo-8, also reflects it); bench_workers is the
+# worker count the sequential suite benchmarks pin (1 — they measure
+# per-row cost, not parallel speedup).
+cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 0)"
+gomaxprocs="${GOMAXPROCS:-$cpus}"
+bench_workers=1
+
 # Time the determinism lint over the whole module. vplint type-checks every
 # package from source, so its wall time tracks repo growth; recording it in
 # the history line keeps the lint budget (seconds, not minutes) honest.
@@ -29,7 +39,8 @@ go test -run NONE \
   -bench 'BenchmarkFleetSuiteSequential$|BenchmarkFleetSuiteSequentialCheckpoint$|BenchmarkFleetKeypoints8RepsSequential$' \
   -benchtime=1x -benchmem -count=1 . | tee "$raw" >&2
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -v cpus="$cpus" -v gomaxprocs="$gomaxprocs" -v bench_workers="$bench_workers" '
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = ""; bytes = ""; allocs = ""; rows = ""
@@ -47,7 +58,11 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v commit="$(git rev-parse --short 
     sep = ",\n  "
     nsByName[name] = ns
 }
-BEGIN { printf "{\n \"generated\":\"" date "\",\n \"commit\":\"" commit "\",\n \"results\":[\n  " }
+BEGIN {
+    printf "{\n \"generated\":\"" date "\",\n \"commit\":\"" commit "\",\n"
+    printf " \"cpus\":" cpus ",\n \"gomaxprocs\":" gomaxprocs ",\n \"bench_workers\":" bench_workers ",\n"
+    printf " \"results\":[\n  "
+}
 END   {
     printf "\n ]"
     # Checkpointing tax: journaled sequential suite vs plain, as a percent.
@@ -71,9 +86,10 @@ rps="$(awk '/"benchmark":"BenchmarkFleetSuiteSequential"/ {
         print substr($0, RSTART + 15, RLENGTH - 15)
 }' "$out")"
 if [ -n "$rps" ]; then
-  printf '{"commit":"%s","date":"%s","rows_per_sec":%s,"vplint_seconds":%s}\n' \
+  printf '{"commit":"%s","date":"%s","rows_per_sec":%s,"vplint_seconds":%s,"cpus":%s,"gomaxprocs":%s,"bench_workers":%s}\n' \
     "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
-    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$rps" "$vplint_s" >> "$history"
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$rps" "$vplint_s" \
+    "$cpus" "$gomaxprocs" "$bench_workers" >> "$history"
   echo "appended rows/sec to $history" >&2
 else
   echo "warning: no rows/sec in $out; $history not updated" >&2

@@ -303,9 +303,36 @@ type (
 	// UnitFailure is one failed rep/cell in a manifest's failures section.
 	UnitFailure = fleet.UnitFailure
 
+	// Live observability (see DESIGN.md "Live observability"):
+	// FleetMonitor receives unit-lifecycle events from a running fleet
+	// (FleetConfig.Monitor). Monitors observe but never steer; a nil
+	// monitor is provably inert. internal/fleetobs builds the HTTP and
+	// terminal views on this.
+	FleetMonitor = fleet.Monitor
+	// FleetMonitorEvent is one engine notification.
+	FleetMonitorEvent = fleet.MonitorEvent
+	// FleetEventKind enumerates the notification kinds.
+	FleetEventKind = fleet.EventKind
+
 	// Per-unit fleet row types (aggregated runners emit these per rep).
 	MeshHeadRow = core.MeshHeadRow
 	KeypointRow = core.KeypointRow
+)
+
+// Fleet monitor event kinds (FleetMonitorEvent.Kind).
+const (
+	FleetEventRunStarted     = fleet.EventRunStarted
+	FleetEventUnitDispatched = fleet.EventUnitDispatched
+	FleetEventAttemptStarted = fleet.EventAttemptStarted
+	FleetEventUnitRetried    = fleet.EventUnitRetried
+	FleetEventUnitPanicked   = fleet.EventUnitPanicked
+	FleetEventUnitTimedOut   = fleet.EventUnitTimedOut
+	FleetEventJournalHit     = fleet.EventJournalHit
+	FleetEventUnitDone       = fleet.EventUnitDone
+	FleetEventRowsEmitted    = fleet.EventRowsEmitted
+	FleetEventWindow         = fleet.EventWindow
+	FleetEventInterrupted    = fleet.EventInterrupted
+	FleetEventRunDone        = fleet.EventRunDone
 )
 
 // Scenario engine: declarative timelines of network impairment (steps,
