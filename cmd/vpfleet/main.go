@@ -38,22 +38,16 @@
 // All three views read one Monitor — they can never disagree — and none
 // of them changes a single emitted row byte.
 //
-// Usage:
+// The prof subcommand introspects virtual-time profiles (see DESIGN.md
+// "Virtual-time profiling"): scenario cells profiled with -vprof DIR write
+// per-cell deterministic site reports (.vprof.jsonl) and pprof exports
+// (.vprof.pb.gz, openable with `go tool pprof`), the run merges them and
+// ranks hot_sites into its manifest, and `prof top`/`prof merge` rank and
+// combine profile files after the fact.
 //
-//	vpfleet list
-//	vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
-//	            [-checkpoint DIR] [-resume] [-retries N] [-cell-timeout D]
-//	            [-backoff D] [-chaos SPEC] [-trace DIR] [-metrics DIR]
-//	            [-monitor-addr ADDR] [-progress]
-//	            [-cpuprofile FILE] [-memprofile FILE] all|<name>...
-//	vpfleet sweep <target> -axis name=v1,v2,... [-axis name=...]
-//	            [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
-//	            [-checkpoint DIR] [-resume] [-retries N] [-cell-timeout D]
-//	            [-backoff D] [-chaos SPEC] [-trace DIR] [-metrics DIR]
-//	            [-monitor-addr ADDR] [-progress]
-//	vpfleet serve [-addr ADDR] run|sweep <args...>
-//	vpfleet trace summarize <file.trace.jsonl>
-//	vpfleet trace schema
+// Run `vpfleet` with no arguments (or any malformed invocation) for the
+// full usage listing — usage() below enumerates every subcommand and the
+// shared flag set in one place.
 //
 // Examples:
 //
@@ -66,6 +60,9 @@
 //	vpfleet run all -retries 3 -cell-timeout 5m -chaos panic=0.2,attempts=1
 //	vpfleet serve -addr :8090 sweep handover -axis delay_ms=0,100,250
 //	vpfleet run all -progress -workers 8
+//	vpfleet sweep burstloss -axis loss_bad=0.3,0.6 -vprof prof/
+//	vpfleet prof top prof/merged.vprof.pb.gz
+//	vpfleet prof merge -out merged/ prof/*.vprof.jsonl
 package main
 
 import (
@@ -124,27 +121,39 @@ func main() {
 		serveCmd(os.Args[2:])
 	case "trace":
 		traceCmd(os.Args[2:])
+	case "prof":
+		profCmd(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "vpfleet: unknown command %q\n\n", os.Args[1])
 		usage()
 	}
 }
 
+// usage enumerates every subcommand in one place; subcommand handlers fall
+// back here on any malformed invocation, so this listing is the single
+// source of CLI truth.
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  vpfleet list
-  vpfleet run [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
-              [-checkpoint DIR] [-resume] [-retries N] [-cell-timeout D]
-              [-backoff D] [-chaos SPEC] [-trace DIR] [-metrics DIR]
-              [-monitor-addr ADDR] [-progress] all|<name>...
-  vpfleet sweep <target> -axis name=v1,v2,... [-axis name=...] [-seed N] [-full]
-                [-workers N] [-out DIR] [-format jsonl|csv] [-checkpoint DIR]
-                [-resume] [-retries N] [-cell-timeout D] [-backoff D]
-                [-chaos SPEC] [-trace DIR] [-metrics DIR]
-                [-monitor-addr ADDR] [-progress]
-  vpfleet serve [-addr ADDR] run|sweep <args...>
-  vpfleet trace summarize <file.trace.jsonl>...
-  vpfleet trace schema
+  vpfleet list                                 list experiments and sweep targets
+  vpfleet run all|<name>...                    run experiments on a worker pool
+  vpfleet sweep <target> -axis name=v1,v2,...  run a parameter grid over one target
+  vpfleet serve [-addr ADDR] run|sweep <args>  run/sweep with live HTTP introspection
+  vpfleet trace summarize <file.trace.jsonl>   validate and report session traces
+  vpfleet trace schema                         print the trace event schema
+  vpfleet prof top [-n N] <profile>...         rank a profile's hottest sites
+  vpfleet prof merge [-out DIR] <profile>...   merge profiles into run-level artifacts
+
+run and sweep share the flags:
+  [-seed N] [-full] [-workers N] [-out DIR] [-format jsonl|csv]
+  [-checkpoint DIR] [-resume] [-retries N] [-cell-timeout D] [-backoff D]
+  [-chaos SPEC] [-trace DIR] [-metrics DIR] [-vprof DIR]
+  [-monitor-addr ADDR] [-progress]
+run additionally takes [-cpuprofile FILE] [-memprofile FILE].
+
+-vprof DIR writes per-cell virtual-time profiles (<cell>.vprof.jsonl
+deterministic site counters, <cell>.vprof.pb.gz pprof with wall CPU),
+merges them after the run, and ranks hot_sites into the manifest; prof
+top/merge accept both formats (.jsonl by extension, pprof otherwise).
 
 serve executes the run/sweep while exposing live introspection over HTTP:
 GET /api/runs, /api/runs/{id}, /api/runs/{id}/rows (NDJSON tail),
@@ -196,6 +205,7 @@ type commonFlags struct {
 	format      *string
 	trace       *string
 	metrics     *string
+	vprof       *string
 	checkpoint  *string
 	resume      *bool
 	retries     *int
@@ -222,6 +232,7 @@ func newCommonFlags(name string) *commonFlags {
 		format:      fs.String("format", "jsonl", "row format: jsonl or csv"),
 		trace:       fs.String("trace", "", "write per-cell session event traces (JSONL) to this directory"),
 		metrics:     fs.String("metrics", "", "write per-cell metrics timeseries (CSV) to this directory"),
+		vprof:       fs.String("vprof", "", "write per-cell virtual-time profiles (JSONL + pprof) to this directory and merge them after the run"),
 		checkpoint:  fs.String("checkpoint", "", "journal completed cells to this directory (enables -resume)"),
 		resume:      fs.Bool("resume", false, "skip cells already journaled in -checkpoint DIR"),
 		retries:     fs.Int("retries", 1, "attempts per cell, first run included (1 = no retry)"),
@@ -269,7 +280,7 @@ func (c *commonFlags) resolve() (workers int, opts tp.Options, outDir, format st
 	if err := os.MkdirAll(*c.out, 0o755); err != nil {
 		fail(err)
 	}
-	for _, dir := range []*string{c.trace, c.metrics} {
+	for _, dir := range []*string{c.trace, c.metrics, c.vprof} {
 		if *dir != "" {
 			if err := os.MkdirAll(*dir, 0o755); err != nil {
 				fail(err)
@@ -278,7 +289,25 @@ func (c *commonFlags) resolve() (workers int, opts tp.Options, outDir, format st
 	}
 	opts.TraceDir = *c.trace
 	opts.MetricsDir = *c.metrics
+	opts.ProfDir = *c.vprof
 	return workers, opts, *c.out, *c.format
+}
+
+// mergeProfiles merges the per-cell profiles a run left in -vprof DIR into
+// merged.vprof.jsonl / merged.vprof.pb.gz and returns the hot-site ranking
+// for the manifest; nil when no -vprof was given. A merge failure is
+// reported but never turns a successful run into a failed one — profiles
+// are provenance, not results.
+func (c *commonFlags) mergeProfiles() []tp.FleetHotSite {
+	if *c.vprof == "" {
+		return nil
+	}
+	hot, err := tp.FleetMergeProfiles(*c.vprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpfleet: vprof merge:", err)
+		return nil
+	}
+	return hot
 }
 
 // fleetConfig assembles the scheduler config from the fault-tolerance
@@ -517,6 +546,99 @@ func summarizeFile(path string) {
 	}
 }
 
+// profCmd introspects virtual-time profiles: `top` ranks one profile's
+// hottest scheduling sites, `merge` sums several profiles into run-level
+// artifacts. Both accept the deterministic JSONL reports (.vprof.jsonl)
+// and the pprof exports (.vprof.pb.gz / any pprof profile the vprof
+// encoder wrote); an unreadable or malformed file is a usage error
+// (exit 2).
+func profCmd(args []string) {
+	if len(args) == 0 {
+		usage()
+	}
+	switch args[0] {
+	case "top":
+		fs := flag.NewFlagSet("prof top", flag.ExitOnError)
+		n := fs.Int("n", 10, "how many sites to rank (0 = all)")
+		fs.Parse(args[1:])
+		if fs.NArg() == 0 {
+			usage()
+		}
+		for i, path := range fs.Args() {
+			if i > 0 {
+				fmt.Println()
+			}
+			r := parseProfFile(path)
+			fmt.Printf("profile %s\n", path)
+			if err := r.WriteTop(os.Stdout, *n); err != nil {
+				fail(err)
+			}
+		}
+	case "merge":
+		fs := flag.NewFlagSet("prof merge", flag.ExitOnError)
+		out := fs.String("out", ".", "directory for the merged artifacts")
+		fs.Parse(args[1:])
+		if fs.NArg() == 0 {
+			usage()
+		}
+		reports := make([]*tp.VProfReport, 0, fs.NArg())
+		for _, path := range fs.Args() {
+			reports = append(reports, parseProfFile(path))
+		}
+		m := tp.MergeVProfReports(reports...)
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fail(err)
+		}
+		jsonlPath := filepath.Join(*out, tp.FleetMergedProfJSONL)
+		pprofPath := filepath.Join(*out, tp.FleetMergedProfPprof)
+		writeProfArtifact(jsonlPath, m.WriteJSONL)
+		writeProfArtifact(pprofPath, func(w io.Writer) error {
+			return m.WritePprof(w, time.Now().UnixNano())
+		})
+		fmt.Printf("merged %d profiles (%d sites, %d events): %s, %s\n",
+			len(reports), len(m.Sites), m.TotalEvents, jsonlPath, pprofPath)
+	default:
+		fmt.Fprintf(os.Stderr, "vpfleet: unknown prof subcommand %q\n\n", args[0])
+		usage()
+	}
+}
+
+// parseProfFile reads one profile, selecting the decoder by extension:
+// .jsonl parses as a deterministic site report, anything else as a pprof
+// profile. Malformed files are usage errors.
+func parseProfFile(path string) *tp.VProfReport {
+	f, err := os.Open(path)
+	if err != nil {
+		failUsage(err)
+	}
+	defer f.Close()
+	var r *tp.VProfReport
+	if strings.HasSuffix(path, ".jsonl") {
+		r, err = tp.ParseVProfReport(f)
+	} else {
+		r, err = tp.ParseVProfPprof(f)
+	}
+	if err != nil {
+		failUsage(fmt.Errorf("prof %s: %w", path, err))
+	}
+	return r
+}
+
+// writeProfArtifact writes one merged profile output.
+func writeProfArtifact(path string, emit func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+}
+
 func sweepCmd(args []string, lis net.Listener) {
 	c := newCommonFlags("sweep")
 	c.serveLis = lis
@@ -552,6 +674,7 @@ func sweepCmd(args []string, lis net.Listener) {
 
 	manifest := tp.NewFleetSweepManifest(spec, opts, workers, wall, results)
 	manifest.File = path
+	manifest.HotSites = c.mergeProfiles()
 	if journal != nil {
 		manifest.Checkpoint = journal.Dir()
 	}
@@ -654,6 +777,7 @@ func runCmd(args []string, lis net.Listener) {
 	}
 
 	manifest := tp.NewFleetManifest(opts, workers, wall, results)
+	manifest.HotSites = c.mergeProfiles()
 	for i := range manifest.Experiments {
 		manifest.Experiments[i].File = files[manifest.Experiments[i].Name]
 	}

@@ -64,6 +64,19 @@ func isExit(err error, target **exec.ExitError) bool {
 // 2 usage errors, 3 interrupted-resumable (covered by TestSigtermResume).
 func TestExitCodes(t *testing.T) {
 	out := t.TempDir()
+	// A profiled sweep seeds real profile files for the prof cases; a
+	// garbage file pins that malformed profiles are usage errors.
+	profDir := t.TempDir()
+	if code, o := runVpfleet(t, "sweep", "burstloss", "-axis", "loss_bad=0.3",
+		"-vprof", profDir, "-out", out); code != 0 {
+		t.Fatalf("profiled sweep exited %d\n%s", code, o)
+	}
+	profJSONL := filepath.Join(profDir, "merged.vprof.jsonl")
+	profPb := filepath.Join(profDir, "merged.vprof.pb.gz")
+	garbage := filepath.Join(t.TempDir(), "garbage.vprof.jsonl")
+	if err := os.WriteFile(garbage, []byte("not a profile\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name string
 		args []string
@@ -91,6 +104,17 @@ func TestExitCodes(t *testing.T) {
 		{"serve clean run", []string{"serve", "-addr", "127.0.0.1:0", "run", "protocols", "-out", out}, 0},
 		{"serve chaos-failed run", []string{"serve", "-addr", "127.0.0.1:0", "run", "protocols", "-chaos", "error=1,attempts=9", "-retries", "2", "-out", out}, 1},
 		{"progress clean run", []string{"run", "protocols", "-progress", "-out", out}, 0},
+		// prof introspects profile files: malformed or missing inputs are
+		// usage errors; valid rank and merge succeed on both formats.
+		{"prof without subcommand", []string{"prof"}, 2},
+		{"prof unknown subcommand", []string{"prof", "frob"}, 2},
+		{"prof top without file", []string{"prof", "top"}, 2},
+		{"prof merge without files", []string{"prof", "merge"}, 2},
+		{"prof top missing file", []string{"prof", "top", filepath.Join(out, "nosuch.vprof.jsonl")}, 2},
+		{"prof top garbage file", []string{"prof", "top", garbage}, 2},
+		{"prof top jsonl", []string{"prof", "top", profJSONL}, 0},
+		{"prof top pprof", []string{"prof", "top", profPb}, 0},
+		{"prof merge valid", []string{"prof", "merge", "-out", t.TempDir(), profJSONL, profPb}, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

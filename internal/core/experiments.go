@@ -36,6 +36,13 @@ type Options struct {
 	// MetricsDir, when non-empty, makes every scenario cell write its
 	// sampled metrics timeseries to <MetricsDir>/<target>__<label>.metrics.csv.
 	MetricsDir string
+	// ProfDir, when non-empty, makes every scenario cell attach a
+	// virtual-time profiler (internal/vprof) and write
+	// <ProfDir>/<target>__<label>.vprof.jsonl (deterministic site counters)
+	// plus <target>__<label>.vprof.pb.gz (pprof, includes wall CPU).
+	// Profiles observe but never steer: rows are byte-identical with or
+	// without profiling.
+	ProfDir string
 }
 
 // Quick returns fast options for tests and CI.
@@ -81,7 +88,7 @@ func (o Options) Normalize() (Options, error) {
 // identities) match produce byte-identical rows, so journaled work is
 // reusable exactly when fingerprints agree; resuming with a different seed
 // or scale simply misses and re-runs. Observability settings (TraceDir,
-// MetricsDir) never steer results and are excluded.
+// MetricsDir, ProfDir) never steer results and are excluded.
 func (o Options) Fingerprint() string {
 	return fmt.Sprintf("seed=%d,dur=%d,reps=%d", o.Seed, int64(o.SessionDuration), o.Reps)
 }

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"telepresence/internal/vprof"
+)
+
+// ProfJSONLSuffix / ProfPprofSuffix name the two per-cell profile outputs:
+// the deterministic JSONL site report and the gzipped pprof profile (which
+// additionally carries wall-CPU attribution).
+const (
+	ProfJSONLSuffix = ".vprof.jsonl"
+	ProfPprofSuffix = ".vprof.pb.gz"
+)
+
+// cellProf builds the virtual-time profiler one scenario cell was asked for
+// (opts.ProfDir) and returns it plus a done func that, called after the
+// session runs, snapshots the profile and writes both outputs. When ProfDir
+// is unset it returns (nil, no-op, nil): the session runs with the
+// scheduler's probe hook unset — the allocation-free inert default.
+//
+// Like cellTelemetry, each cell owns its own files, named
+// <target>__<label>, so parallel fleet workers never share a writer and a
+// rerun overwrites rather than appends. The pprof time_nanos stamp is left
+// zero here: core is a deterministic package and never reads the wall
+// clock; merge-time consumers (internal/fleet, vpfleet prof) stamp their
+// own artifacts.
+func cellProf(opts Options, target, label string) (*vprof.Profiler, func() error, error) {
+	noop := func() error { return nil }
+	if opts.ProfDir == "" {
+		return nil, noop, nil
+	}
+	stem := target + "__" + sanitizeLabel(label)
+	p := vprof.New()
+	done := func() error {
+		r := p.Report()
+		var errs []error
+		write := func(suffix string, emit func(*bufio.Writer) error) {
+			f, err := os.Create(filepath.Join(opts.ProfDir, stem+suffix))
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			b := bufio.NewWriterSize(f, 1<<16)
+			errs = append(errs, emit(b), b.Flush(), f.Close())
+		}
+		write(ProfJSONLSuffix, func(w *bufio.Writer) error { return r.WriteJSONL(w) })
+		write(ProfPprofSuffix, func(w *bufio.Writer) error { return r.WritePprof(w, 0) })
+		if err := errors.Join(errs...); err != nil {
+			return fmt.Errorf("core: vprof %s: %w", stem, err)
+		}
+		return nil
+	}
+	return p, done, nil
+}

@@ -116,6 +116,11 @@ func ccrateCell(opts Options, params map[string]float64) (CCRateRow, error) {
 		return CCRateRow{}, err
 	}
 	sc.Telemetry = tc
+	pp, pdone, err := cellProf(cell, "ccrate", scenario.ParamLabel(params))
+	if err != nil {
+		return CCRateRow{}, err
+	}
+	sc.Prof = pp
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return CCRateRow{}, err
@@ -125,6 +130,9 @@ func ccrateCell(opts Options, params map[string]float64) (CCRateRow, error) {
 	}
 	res := sess.Run()
 	if err := tdone(); err != nil {
+		return CCRateRow{}, err
+	}
+	if err := pdone(); err != nil {
 		return CCRateRow{}, err
 	}
 	up := sess.UplinkStats(0)
@@ -213,6 +221,11 @@ func ccrampCell(opts Options, params map[string]float64) (CCRampRow, error) {
 		return CCRampRow{}, err
 	}
 	sc.Telemetry = tc
+	pp, pdone, err := cellProf(cell, "ccramp", scenario.ParamLabel(params))
+	if err != nil {
+		return CCRampRow{}, err
+	}
+	sc.Prof = pp
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return CCRampRow{}, err
@@ -230,6 +243,9 @@ func ccrampCell(opts Options, params map[string]float64) (CCRampRow, error) {
 
 	res := sess.Run()
 	if err := tdone(); err != nil {
+		return CCRampRow{}, err
+	}
+	if err := pdone(); err != nil {
 		return CCRampRow{}, err
 	}
 	up := sess.UplinkStats(0)

@@ -127,6 +127,11 @@ func recoveryCell(opts Options, params map[string]float64) (RecoveryRow, error) 
 		return RecoveryRow{}, err
 	}
 	sc.Telemetry = tc
+	pp, pdone, err := cellProf(cell, "recovery", scenario.ParamLabel(params))
+	if err != nil {
+		return RecoveryRow{}, err
+	}
+	sc.Prof = pp
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return RecoveryRow{}, err
@@ -142,6 +147,9 @@ func recoveryCell(opts Options, params map[string]float64) (RecoveryRow, error) 
 	}
 	res := sess.Run()
 	if err := tdone(); err != nil {
+		return RecoveryRow{}, err
+	}
+	if err := pdone(); err != nil {
 		return RecoveryRow{}, err
 	}
 	up := sess.UplinkStats(0)
@@ -232,6 +240,11 @@ func recrampCell(opts Options, params map[string]float64) (RecRampRow, error) {
 		return RecRampRow{}, err
 	}
 	sc.Telemetry = tc
+	pp, pdone, err := cellProf(cell, "recramp", scenario.ParamLabel(params))
+	if err != nil {
+		return RecRampRow{}, err
+	}
+	sc.Prof = pp
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return RecRampRow{}, err
@@ -247,6 +260,9 @@ func recrampCell(opts Options, params map[string]float64) (RecRampRow, error) {
 
 	res := sess.Run()
 	if err := tdone(); err != nil {
+		return RecRampRow{}, err
+	}
+	if err := pdone(); err != nil {
 		return RecRampRow{}, err
 	}
 	up := sess.UplinkStats(0)

@@ -79,6 +79,11 @@ func handoverCell(opts Options, params map[string]float64) (HandoverRow, error) 
 		return HandoverRow{}, err
 	}
 	sc.Telemetry = tc
+	pp, pdone, err := cellProf(cell, "handover", scenario.ParamLabel(params))
+	if err != nil {
+		return HandoverRow{}, err
+	}
+	sc.Prof = pp
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return HandoverRow{}, err
@@ -90,6 +95,9 @@ func handoverCell(opts Options, params map[string]float64) (HandoverRow, error) 
 	}
 	res := sess.Run()
 	if err := tdone(); err != nil {
+		return HandoverRow{}, err
+	}
+	if err := pdone(); err != nil {
 		return HandoverRow{}, err
 	}
 	return HandoverRow{
@@ -144,6 +152,11 @@ func burstLossCell(opts Options, params map[string]float64) (BurstLossRow, error
 		return BurstLossRow{}, err
 	}
 	sc.Telemetry = tc
+	pp, pdone, err := cellProf(cell, "burstloss", scenario.ParamLabel(params))
+	if err != nil {
+		return BurstLossRow{}, err
+	}
+	sc.Prof = pp
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return BurstLossRow{}, err
@@ -159,6 +172,9 @@ func burstLossCell(opts Options, params map[string]float64) (BurstLossRow, error
 	}
 	res := sess.Run()
 	if err := tdone(); err != nil {
+		return BurstLossRow{}, err
+	}
+	if err := pdone(); err != nil {
 		return BurstLossRow{}, err
 	}
 	up := sess.UplinkStats(0)
@@ -210,6 +226,11 @@ func congestionCell(opts Options, params map[string]float64) (CongestionRow, err
 		return CongestionRow{}, err
 	}
 	sc.Telemetry = tc
+	pp, pdone, err := cellProf(cell, "congestion", scenario.ParamLabel(params))
+	if err != nil {
+		return CongestionRow{}, err
+	}
+	sc.Prof = pp
 	sess, err := vca.NewSession(sc)
 	if err != nil {
 		return CongestionRow{}, err
@@ -230,6 +251,9 @@ func congestionCell(opts Options, params map[string]float64) (CongestionRow, err
 	}
 	res := sess.Run()
 	if err := tdone(); err != nil {
+		return CongestionRow{}, err
+	}
+	if err := pdone(); err != nil {
 		return CongestionRow{}, err
 	}
 	up := sess.UplinkStats(0)

@@ -161,6 +161,10 @@ type Manifest struct {
 	// Checkpoint is the journal directory the run wrote, when one was set.
 	Checkpoint string   `json:"checkpoint,omitempty"`
 	Errors     []string `json:"errors,omitempty"`
+	// HotSites ranks the run's busiest scheduling sites when it profiled
+	// (Options.ProfDir): merged deterministic event counts, plus wall CPU.
+	// Set by the caller from MergeProfiles after the run completes.
+	HotSites []HotSite `json:"hot_sites,omitempty"`
 }
 
 // ManifestFormat identifies the manifest schema version. /2 added the

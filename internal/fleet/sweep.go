@@ -340,6 +340,10 @@ type SweepManifest struct {
 	// Checkpoint is the journal directory the run wrote, when one was set.
 	Checkpoint string   `json:"checkpoint,omitempty"`
 	Errors     []string `json:"errors,omitempty"`
+	// HotSites ranks the sweep's busiest scheduling sites when it profiled
+	// (Options.ProfDir): merged deterministic event counts, plus wall CPU.
+	// Set by the caller from MergeProfiles after the sweep completes.
+	HotSites []HotSite `json:"hot_sites,omitempty"`
 }
 
 // SweepManifestFormat identifies the sweep manifest schema version. /2

@@ -71,7 +71,16 @@ func DefaultConfig() *Config {
 		// deliberately NOT a deterministic package: EWMA rates and uptime are
 		// wall-clock by design (time.Now is its whole point), and its JSON API
 		// responses are off the hot path, so walltime and hotjson don't apply.
-		MapOrderExtraPackages:   []string{"internal/fleet", "internal/fleetobs"},
+		// vprof is the virtual-time profiler: wall-clock CPU attribution is
+		// its entire point (time.Now around every probed event), so like
+		// fleetobs it is deliberately NOT a deterministic package — but its
+		// JSONL reports and pprof string tables are byte-compared artifacts,
+		// so map order must never leak into them (maporder), and its report
+		// floats must use strconv with explicit formats (floatfmt, below).
+		// Its deterministic counters feeding goldens are protected one layer
+		// down instead: simtime, which vprof observes, never reads the wall
+		// clock and stays in the walltime set above.
+		MapOrderExtraPackages:   []string{"internal/fleet", "internal/fleetobs", "internal/vprof"},
 		GlobalrandAllowPackages: []string{"internal/simrand"},
 		HotPathPackages: []string{
 			"internal/telemetry",
@@ -92,6 +101,9 @@ func DefaultConfig() *Config {
 			// Prometheus exposition and the progress line format floats; both
 			// must use strconv with explicit formats, never %v/%g.
 			"internal/fleetobs",
+			// vprof's JSONL reports are byte-stable goldens: every float in
+			// them goes through strconv.AppendFloat with an explicit format.
+			"internal/vprof",
 		},
 	}
 }

@@ -178,6 +178,33 @@ func TestSeededFleetobs(t *testing.T) {
 	}
 }
 
+// TestSeededVprof pins the vprof exemption boundary: the seeded vprof
+// package uses time.Now-ish wall clock with no finding (CPU attribution
+// is sanctioned there), while its map-ranged report output and
+// value-dependent float verb are still caught.
+func TestSeededVprof(t *testing.T) {
+	loader := NewLoader()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "seeded", "internal", "vprof"),
+		"seed/internal/vprof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{pkg}, Checks(), DefaultConfig())
+	byCheck := map[string]int{}
+	for _, f := range findings {
+		byCheck[f.Check]++
+	}
+	if byCheck["walltime"] != 0 {
+		t.Errorf("vprof must be exempt from walltime, got %v", byCheck)
+	}
+	if byCheck["maporder"] == 0 {
+		t.Errorf("seeded map-ranged report output not caught: %v", byCheck)
+	}
+	if byCheck["floatfmt"] == 0 {
+		t.Errorf("seeded %%g float verb not caught: %v", byCheck)
+	}
+}
+
 // TestDefaultConfigTargets pins which real packages each check patrols.
 func TestDefaultConfigTargets(t *testing.T) {
 	cfg := DefaultConfig()
@@ -192,11 +219,13 @@ func TestDefaultConfigTargets(t *testing.T) {
 		{walltimeCheck{}, "telepresence/internal/fleet", false}, // watchdog/backoff are wall time by design
 		{walltimeCheck{}, "telepresence/cmd/vpfleet", false},
 		{walltimeCheck{}, "telepresence/internal/fleetobs", false}, // EWMA/uptime are wall time by design
+		{walltimeCheck{}, "telepresence/internal/vprof", false},    // CPU attribution is wall time by design
 		{globalrandCheck{}, "telepresence/internal/vca", true},
 		{globalrandCheck{}, "telepresence/internal/simrand", false}, // the one sanctioned wrapper
 		{maporderCheck{}, "telepresence/internal/quic", true},
 		{maporderCheck{}, "telepresence/internal/fleet", true},    // manifests/sinks emit map-derived bytes
 		{maporderCheck{}, "telepresence/internal/fleetobs", true}, // API/metrics ordering must not leak map order
+		{maporderCheck{}, "telepresence/internal/vprof", true},    // merged reports are byte-compared artifacts
 		{maporderCheck{}, "telepresence/internal/stats", false},
 		{hotjsonCheck{}, "telepresence/internal/telemetry", true},
 		{hotjsonCheck{}, "telepresence/internal/rtp", true},
@@ -205,6 +234,7 @@ func TestDefaultConfigTargets(t *testing.T) {
 		{floatfmtCheck{}, "telepresence/internal/fleet", true},
 		{floatfmtCheck{}, "telepresence/internal/stats", true},
 		{floatfmtCheck{}, "telepresence/internal/fleetobs", true}, // Prometheus text + progress line
+		{floatfmtCheck{}, "telepresence/internal/vprof", true},    // byte-stable JSONL report floats
 		{floatfmtCheck{}, "telepresence/internal/netem", false},
 	}
 	for _, c := range cases {
@@ -281,4 +311,6 @@ func TestRunSortsFindings(t *testing.T) {
 	}
 }
 
-func fmtFinding(f Finding) string { return fmt.Sprintf("%s:%d [%s]", f.Pos.Filename, f.Pos.Line, f.Check) }
+func fmtFinding(f Finding) string {
+	return fmt.Sprintf("%s:%d [%s]", f.Pos.Filename, f.Pos.Line, f.Check)
+}

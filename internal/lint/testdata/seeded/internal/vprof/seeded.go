@@ -1,0 +1,39 @@
+// Package vprof (seeded corpus): the virtual-time profiler, where wall
+// clock is sanctioned (CPU attribution is its whole point, so it is not a
+// deterministic package), but map-ordered report output and
+// value-dependent float verbs are still violations — its JSONL reports
+// are byte-compared artifacts.
+package vprof
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+type siteStat struct {
+	Events uint64
+	CPU    time.Duration
+}
+
+// Charge legitimately reads the wall clock: vprof is exempt from
+// walltime, so this must yield no finding.
+func Charge(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Rate formats a float with a value-dependent verb in an encoder
+// package: seeded floatfmt violation.
+func Rate(eventsPerVSec float64) string {
+	return fmt.Sprintf("%g", eventsPerVSec)
+}
+
+// Render ranges a map straight into report text: order leaks.
+func Render(sites map[string]siteStat) string {
+	var b strings.Builder
+	for name, s := range sites { // seeded maporder violation
+		b.WriteString(name)
+		_ = s
+	}
+	return b.String()
+}

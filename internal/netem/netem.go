@@ -108,6 +108,10 @@ type Link struct {
 	// pooled events this makes the per-frame path allocation-free.
 	free []*delivery
 
+	// deliverSite labels delivery events for the virtual-time profiler;
+	// interned once at construction so the per-frame path stays map-free.
+	deliverSite simtime.SiteID
+
 	// lnJitter caches log(JitterMs) for the per-frame lognormal draw.
 	lnJitter float64
 
@@ -199,7 +203,7 @@ func NewLink(sched *simtime.Scheduler, rng *simrand.Source, cfg Config) *Link {
 		!(cfg.ReorderProb >= 0 && cfg.ReorderProb <= 1) {
 		panic(fmt.Sprintf("netem: invalid config %+v", cfg))
 	}
-	l := &Link{cfg: cfg, sched: sched, rng: rng}
+	l := &Link{cfg: cfg, sched: sched, rng: rng, deliverSite: sched.Site("netem.deliver")}
 	if cfg.JitterMs > 0 {
 		l.lnJitter = math.Log(cfg.JitterMs)
 	}
@@ -362,7 +366,7 @@ func (l *Link) Send(f Frame) bool {
 
 	d := l.getDelivery()
 	d.f = f
-	l.sched.AtArg(txDone.Add(delay), deliverFn, d)
+	l.sched.AtArgSite(txDone.Add(delay), deliverFn, d, l.deliverSite)
 	if l.tr != nil {
 		// queue is the occupancy gauge after admission; tx_ms is when the
 		// serializer finishes this frame.

@@ -121,6 +121,11 @@ type Conn struct {
 	ssPool  []*sendStream // sendStream nodes
 	rxBuf   []byte        // descrambled payload of the packet in flight
 	msgBuf  []byte        // multi-fragment reassembly target
+
+	// Profiler site labels for the connection's timer events, interned at
+	// construction so per-packet scheduling stays map-free.
+	rtoSite simtime.SiteID
+	ackSite simtime.SiteID
 }
 
 type sendStream struct {
@@ -188,6 +193,8 @@ func NewConn(sched *simtime.Scheduler, out *netem.Link, cfg Config) *Conn {
 		unacked:      map[uint64]*sentPacket{},
 		rto:          100 * simtime.Millisecond,
 		nextStreamID: first,
+		rtoSite:      sched.Site("quic.rto"),
+		ackSite:      sched.Site("quic.ack"),
 	}
 }
 
@@ -365,7 +372,7 @@ func (c *Conn) sendStreamFrame(fr streamFrag) {
 	sp.pn = pn
 	sp.frames = append(sp.frames, fr)
 	c.unacked[pn] = sp
-	sp.timer = c.sched.AfterArg(c.rto, retransmitFn, retransmitArg{c, sp, pn})
+	sp.timer = c.sched.AfterArgSite(c.rto, retransmitFn, retransmitArg{c, sp, pn}, c.rtoSite)
 	c.sendRaw(pkt, 0)
 }
 
@@ -654,7 +661,7 @@ func (c *Conn) queueAck(pn uint64) {
 	}
 	if !c.ackPending {
 		c.ackPending = true
-		c.ackTimer = c.sched.AfterArg(25*simtime.Millisecond, ackTimerFn, c)
+		c.ackTimer = c.sched.AfterArgSite(25*simtime.Millisecond, ackTimerFn, c, c.ackSite)
 	}
 }
 

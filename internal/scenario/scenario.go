@@ -279,10 +279,11 @@ func (s *Schedule) Bind(sched *simtime.Scheduler, sh *netem.Shaper) error {
 		return err
 	}
 	base := sched.Now()
+	site := sched.Site("scenario.apply")
 	var chain *netem.GilbertElliott
 	for _, a := range acts {
 		a := a
-		sched.At(base.Add(a.At), func() {
+		sched.AtSite(base.Add(a.At), func() {
 			sh.ExtraDelayMs = a.Set.ExtraDelayMs
 			sh.RateBps = a.Set.RateBps
 			sh.LossProb = a.Set.LossProb
@@ -293,7 +294,7 @@ func (s *Schedule) Bind(sched *simtime.Scheduler, sh *netem.Shaper) error {
 				chain = a.Set.Burst.chain()
 			}
 			sh.Burst = chain
-		})
+		}, site)
 	}
 	return nil
 }

@@ -36,6 +36,26 @@ const (
 // Never is a sentinel Time later than every reachable simulation instant.
 const Never = Time(math.MaxInt64)
 
+// SiteID names a scheduling site: a stable label ("netem.deliver",
+// "vca/recovery.scan") interned on one scheduler via Site. Site 0 is the
+// unlabeled site; events scheduled through the unlabeled variants (At,
+// After, ...) carry it. IDs are scheduler-local: the same name may intern
+// to different IDs on different schedulers, so cross-run aggregation must
+// key on SiteName, never on the raw ID.
+type SiteID uint32
+
+// Probe observes event execution. EventStart fires after the clock has
+// advanced to the event's timestamp and before its callback runs; EventEnd
+// fires after the callback returns. Probes observe but never steer: a
+// scheduler with a nil probe behaves identically (and its dispatch path
+// allocates nothing). Callbacks are not re-entered — Step is single-
+// threaded and never recursive — so EventStart/EventEnd calls are strictly
+// paired and never nest.
+type Probe interface {
+	EventStart(site SiteID, now Time)
+	EventEnd(site SiteID)
+}
+
 // Add returns the time d after t.
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 
@@ -64,6 +84,7 @@ type event struct {
 	seq      uint64
 	index    int // heap index; -1 once popped
 	gen      uint32
+	site     SiteID
 	canceled bool
 }
 
@@ -121,6 +142,13 @@ type Scheduler struct {
 	seq    uint64
 	nsteps uint64
 	free   []*event
+
+	probe Probe
+	// Site interning: siteNames[id] is the label, siteIDs its inverse. The
+	// map is lookup-only after interning (never ranged), so iteration order
+	// cannot leak into behavior.
+	siteNames []string
+	siteIDs   map[string]SiteID
 }
 
 // NewScheduler returns a scheduler whose clock starts at zero.
@@ -135,6 +163,43 @@ func (s *Scheduler) Steps() uint64 { return s.nsteps }
 // Pending reports how many events are queued (including cancelled ones that
 // have not yet been reaped).
 func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// SetProbe installs (or, with nil, removes) the execution probe. Probes
+// observe every subsequently executed event; installing one mid-run is
+// safe but misses events already fired.
+func (s *Scheduler) SetProbe(p Probe) { s.probe = p }
+
+// Site interns a scheduling-site label and returns its scheduler-local ID.
+// Interning the same name twice returns the same ID. Interning is a setup-
+// time operation (it may allocate); hot paths should intern once and reuse
+// the SiteID.
+func (s *Scheduler) Site(name string) SiteID {
+	if s.siteIDs == nil {
+		s.siteIDs = make(map[string]SiteID, 16)
+		s.siteNames = append(s.siteNames, "") // SiteID 0: the unlabeled site
+		s.siteIDs[""] = 0
+	}
+	if id, ok := s.siteIDs[name]; ok {
+		return id
+	}
+	id := SiteID(len(s.siteNames))
+	s.siteNames = append(s.siteNames, name)
+	s.siteIDs[name] = id
+	return id
+}
+
+// SiteName returns the label interned for id ("" for the unlabeled site or
+// an ID this scheduler never issued).
+func (s *Scheduler) SiteName(id SiteID) string {
+	if int(id) < len(s.siteNames) {
+		return s.siteNames[id]
+	}
+	return ""
+}
+
+// NumSites reports how many site IDs this scheduler has issued (including
+// the implicit unlabeled site once anything has been interned).
+func (s *Scheduler) NumSites() int { return len(s.siteNames) }
 
 func (s *Scheduler) alloc(at Time) *event {
 	if at < s.now {
@@ -162,6 +227,7 @@ func (s *Scheduler) recycle(e *event) {
 	e.run = nil
 	e.runArg = nil
 	e.arg = nil
+	e.site = 0
 	e.canceled = false
 	s.free = append(s.free, e)
 }
@@ -193,6 +259,34 @@ func (s *Scheduler) AfterArg(d Duration, fn func(any), arg any) Handle {
 	return s.AtArg(s.now.Add(d), fn, arg)
 }
 
+// AtSite is At with a scheduling-site label: the installed Probe (if any)
+// attributes the event's execution to site. With no probe it is exactly At.
+func (s *Scheduler) AtSite(at Time, fn func(), site SiteID) Handle {
+	e := s.alloc(at)
+	e.run = fn
+	e.site = site
+	return Handle{e: e, gen: e.gen}
+}
+
+// AtArgSite is AtArg with a scheduling-site label.
+func (s *Scheduler) AtArgSite(at Time, fn func(any), arg any, site SiteID) Handle {
+	e := s.alloc(at)
+	e.runArg = fn
+	e.arg = arg
+	e.site = site
+	return Handle{e: e, gen: e.gen}
+}
+
+// AfterSite is After with a scheduling-site label.
+func (s *Scheduler) AfterSite(d Duration, fn func(), site SiteID) Handle {
+	return s.AtSite(s.now.Add(d), fn, site)
+}
+
+// AfterArgSite is AfterArg with a scheduling-site label.
+func (s *Scheduler) AfterArgSite(d Duration, fn func(any), arg any, site SiteID) Handle {
+	return s.AtArgSite(s.now.Add(d), fn, arg, site)
+}
+
 // Step executes the single next event, advancing the clock to its timestamp.
 // It reports whether an event was executed.
 func (s *Scheduler) Step() bool {
@@ -204,10 +298,20 @@ func (s *Scheduler) Step() bool {
 		}
 		s.now = e.at
 		s.nsteps++
-		run, runArg, arg := e.run, e.runArg, e.arg
+		run, runArg, arg, site := e.run, e.runArg, e.arg, e.site
 		// Recycle before running: the callback may schedule again and reuse
 		// this very node; its Handle generation is already retired.
 		s.recycle(e)
+		if p := s.probe; p != nil {
+			p.EventStart(site, s.now)
+			if runArg != nil {
+				runArg(arg)
+			} else {
+				run()
+			}
+			p.EventEnd(site)
+			return true
+		}
 		if runArg != nil {
 			runArg(arg)
 		} else {
@@ -256,32 +360,49 @@ func (s *Scheduler) Run() {
 // probes. A ticker allocates its trampoline once at construction; each tick
 // then reuses a pooled scheduler node, so steady-state ticking is
 // allocation-free.
+//
+// Reentrancy contract (relied on by profiler probes, which assume strictly
+// paired, non-nested EventStart/EventEnd):
+//   - fn runs inside Step, never recursively: a tick callback that creates
+//     another Ticker or schedules more events only enqueues them — nothing
+//     fires until the current callback returns.
+//   - Stop from inside fn takes effect immediately: the tick in progress
+//     completes, no further tick is scheduled, and Stop is idempotent
+//     (Stop-then-Stop, or Stop racing a cancelled-but-unreaped node, is a
+//     no-op).
 type Ticker struct {
 	s        *Scheduler
 	interval Duration
 	fn       func(Time)
 	run      func() // allocated once; rescheduled every tick
 	h        Handle
+	site     SiteID
 	stopped  bool
 }
 
 // NewTicker schedules fn to run every interval on s. fn receives the virtual
 // time of each tick.
 func NewTicker(s *Scheduler, interval Duration, fn func(Time)) *Ticker {
+	return NewTickerSite(s, interval, fn, 0)
+}
+
+// NewTickerSite is NewTicker with a scheduling-site label: every tick of
+// the returned Ticker is attributed to site by the installed Probe.
+func NewTickerSite(s *Scheduler, interval Duration, fn func(Time), site SiteID) *Ticker {
 	if interval <= 0 {
 		panic("simtime: non-positive ticker interval")
 	}
-	t := &Ticker{s: s, interval: interval, fn: fn}
+	t := &Ticker{s: s, interval: interval, fn: fn, site: site}
 	t.run = func() {
 		if t.stopped {
 			return
 		}
 		t.fn(t.s.now)
 		if !t.stopped {
-			t.h = t.s.At(t.s.now.Add(t.interval), t.run)
+			t.h = t.s.AtSite(t.s.now.Add(t.interval), t.run, t.site)
 		}
 	}
-	t.h = s.At(s.now.Add(interval), t.run)
+	t.h = s.AtSite(s.now.Add(interval), t.run, t.site)
 	return t
 }
 

@@ -18,6 +18,7 @@ import (
 	"telepresence/internal/stats"
 	"telepresence/internal/telemetry"
 	"telepresence/internal/video"
+	"telepresence/internal/vprof"
 )
 
 // SessionConfig describes one telepresence session to simulate.
@@ -83,6 +84,15 @@ type SessionConfig struct {
 	// subsystem. Telemetry observes but never steers: even when enabled,
 	// every experiment row stays identical.
 	Telemetry *TelemetryConfig
+	// Prof, when non-nil, attaches the virtual-time profiler
+	// (internal/vprof) to the session's scheduler before any subsystem
+	// schedules its first event. Nil — the default — leaves the
+	// scheduler's probe hook unset, which costs zero allocations on the
+	// dispatch path, so sessions are byte-identical to builds without the
+	// profiler. Like Telemetry, the profiler observes but never steers:
+	// its deterministic counters are identical at any worker count, and
+	// its wall-clock CPU attribution never reaches golden outputs.
+	Prof *vprof.Profiler
 }
 
 // DefaultFrameTimeout is the default depacketizer incomplete-frame timeout:
@@ -275,7 +285,8 @@ type Session struct {
 	latSum     []float64
 	latN       []int
 
-	relayFree []*relayJob // pooled SFU forwarding jobs
+	relayFree []*relayJob    // pooled SFU forwarding jobs
+	relaySite simtime.SiteID // profiler label for SFU forwarding events
 
 	// Rate-control state, nil/empty unless SessionConfig.RateControl is
 	// set (the closed loop draws nothing — no events, no rng, no frames —
@@ -376,6 +387,13 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		sched: simtime.NewScheduler(),
 		rng:   simrand.New(cfg.Seed),
 	}
+	if cfg.Prof != nil {
+		// Attach before any subsystem schedules, so the profiler observes
+		// the whole run. Profilers observe but never steer: event order,
+		// rows, and traces are byte-identical with or without one.
+		cfg.Prof.Attach(s.sched)
+	}
+	s.relaySite = s.sched.Site("vca/sfu.relay")
 	s.recPlan = recPlan
 	n := len(cfg.Participants)
 	s.up = make([]*netem.Link, n)
@@ -805,7 +823,7 @@ func (s *Session) wireSpatial() error {
 		})
 		enc := semantic.NewEncoder(s.cfg.SemanticMode)
 		var stamped []byte
-		simtime.NewTicker(s.sched, interval, func(now simtime.Time) {
+		simtime.NewTickerSite(s.sched, interval, func(now simtime.Time) {
 			f := gen.Next() // motion advances even for thinned frames
 			if rc != nil {
 				keep := 1.0
@@ -845,12 +863,12 @@ func (s *Session) wireSpatial() error {
 				s.tr.FrameSent(now, i, len(stamped))
 			}
 			s.quicUp[i].SendMessage(stamped)
-		})
+		}, s.sched.Site("vca/quic.frame"))
 		// Audio: 60-byte frames every 20 ms ~ 24 kbps.
 		audioBuf := make([]byte, 60)
-		simtime.NewTicker(s.sched, 20*simtime.Millisecond, func(simtime.Time) {
+		simtime.NewTickerSite(s.sched, 20*simtime.Millisecond, func(simtime.Time) {
 			s.quicUp[i].SendMessage(audioBuf)
-		})
+		}, s.sched.Site("vca/quic.audio"))
 	}
 
 	// Receiver-report tickers: each receiver reports every remote spatial
@@ -861,7 +879,7 @@ func (s *Session) wireSpatial() error {
 		var scratch []byte
 		for j := 0; j < n; j++ {
 			j := j
-			simtime.NewTicker(s.sched, rc.interval(), func(now simtime.Time) {
+			simtime.NewTickerSite(s.sched, rc.interval(), func(now simtime.Time) {
 				for i := 0; i < n; i++ {
 					b := s.builders[i][j]
 					if b == nil || b.Received() == 0 {
@@ -871,7 +889,7 @@ func (s *Session) wireSpatial() error {
 					scratch = rep.Marshal(scratch[:0])
 					s.quicUp[j].SendMessage(scratch) // SendMessage copies
 				}
-			})
+			}, s.sched.Site("vca/ratecontrol.report"))
 		}
 	}
 	return nil
@@ -1168,7 +1186,7 @@ func (s *Session) wireVideo() error {
 				// relay exactly like media: the SFU is payload-agnostic.
 				j := s.getRelayJob()
 				j.from, j.size, j.pkt = i, f.Size, f.Payload
-				s.sched.AfterArg(procDelay, relayFn, j)
+				s.sched.AfterArgSite(procDelay, relayFn, j, s.relaySite)
 			})
 			s.down[i].SetHandler(func(now simtime.Time, f netem.Frame) {
 				if s.handleReportFrame(i, f.Payload, now) || s.handleRecoveryFrame(i, f.Payload, now) {
@@ -1193,7 +1211,7 @@ func (s *Session) wireVideo() error {
 	if s.builders != nil {
 		for j := 0; j < n; j++ {
 			j := j
-			simtime.NewTicker(s.sched, s.reportInterval(), func(now simtime.Time) {
+			simtime.NewTickerSite(s.sched, s.reportInterval(), func(now simtime.Time) {
 				for i := 0; i < n; i++ {
 					b := s.builders[i][j]
 					if b == nil || b.Received() == 0 {
@@ -1205,7 +1223,7 @@ func (s *Session) wireVideo() error {
 					wire := rep.Marshal(make([]byte, 0, rtp.ReportLen))
 					s.up[j].Send(netem.Frame{Size: len(wire) + 28, Payload: wire})
 				}
-			})
+			}, s.sched.Site("vca/ratecontrol.report"))
 		}
 	}
 
@@ -1216,7 +1234,7 @@ func (s *Session) wireVideo() error {
 	if s.recRecv != nil {
 		for j := 0; j < n; j++ {
 			j := j
-			simtime.NewTicker(s.sched, s.cfg.Recovery.interval(), func(now simtime.Time) {
+			simtime.NewTickerSite(s.sched, s.cfg.Recovery.interval(), func(now simtime.Time) {
 				nowMs := now.Milliseconds()
 				for i := 0; i < n; i++ {
 					rr := s.recRecv[i][j]
@@ -1244,7 +1262,7 @@ func (s *Session) wireVideo() error {
 						s.up[j].Send(netem.Frame{Size: len(wire) + 28, Payload: wire})
 					}
 				}
-			})
+			}, s.sched.Site("vca/recovery.scan"))
 		}
 	}
 
@@ -1258,7 +1276,7 @@ func (s *Session) wireVideo() error {
 			audio.PT = rtp.PTFaceTimeAudio
 		}
 		var stamped []byte
-		simtime.NewTicker(s.sched, interval, func(now simtime.Time) {
+		simtime.NewTickerSite(s.sched, interval, func(now simtime.Time) {
 			frame := s.scenes[i].Next()
 			ef, err := s.encoders[i].Encode(frame)
 			if err != nil {
@@ -1289,13 +1307,13 @@ func (s *Session) wireVideo() error {
 					s.up[i].Send(netem.Frame{Size: len(parity) + 28, Payload: parity})
 				}
 			}
-		})
+		}, s.sched.Site("vca/rtp.frame"))
 		audioBuf := make([]byte, 60)
-		simtime.NewTicker(s.sched, 20*simtime.Millisecond, func(now simtime.Time) {
+		simtime.NewTickerSite(s.sched, 20*simtime.Millisecond, func(now simtime.Time) {
 			for _, pkt := range audio.Packetize(audioBuf, now.Seconds()) {
 				s.up[i].Send(netem.Frame{Size: len(pkt) + 28, Payload: pkt})
 			}
-		})
+		}, s.sched.Site("vca/rtp.audio"))
 	}
 	return nil
 }

@@ -105,7 +105,7 @@ func (s *Session) setupTelemetry() {
 			return float64(total)
 		})
 	}
-	simtime.NewTicker(s.sched, tc.metricsInterval(), func(now simtime.Time) {
+	simtime.NewTickerSite(s.sched, tc.metricsInterval(), func(now simtime.Time) {
 		dt := now.Sub(lastT).Seconds()
 		for i := 0; i < n; i++ {
 			b := s.up[i].Stats().DeliveredB
@@ -116,7 +116,7 @@ func (s *Session) setupTelemetry() {
 		}
 		lastT = now
 		m.Sample(now.Milliseconds())
-	})
+	}, s.sched.Site("vca/telemetry.metrics"))
 }
 
 // recSnap is a snapshot of one recovery receiver's repair counters, taken

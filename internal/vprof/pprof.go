@@ -1,0 +1,453 @@
+package vprof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file hand-rolls the pprof profile.proto wire format — encoder and
+// decoder — so `go tool pprof -top/-web` renders the profiler's output
+// without this module growing a dependency. Only the subset of the schema
+// the profiler emits is implemented:
+//
+//	Profile:  sample_type=1, sample=2, location=4, function=5,
+//	          string_table=6, time_nanos=9, duration_nanos=10,
+//	          period_type=11, period=12, default_sample_type=14
+//	ValueType: type=1, unit=2        Sample: location_id=1, value=2
+//	Location:  id=1, line=4          Line:   function_id=1, line=2
+//	Function:  id=1, name=2, system_name=3, filename=4
+//
+// Each site becomes a two-frame stack — leaf = the site, parent = its
+// subsystem (the site name before the last '.') — with two sample values:
+// deterministic event counts ("events/count") and wall CPU
+// ("cpu/nanoseconds"). duration_nanos carries the profiled virtual
+// duration, so a parsed profile round-trips back into a Report (minus the
+// gap histograms, which pprof has no vocabulary for).
+
+// protobuf wire types.
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *protoBuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+// uintField emits a varint field, omitting the proto3 zero default.
+func (p *protoBuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, wireVarint)
+	p.varint(v)
+}
+
+func (p *protoBuf) intField(field int, v int64) { p.uintField(field, uint64(v)) }
+
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.tag(field, wireBytes)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) strField(field int, s string) {
+	p.tag(field, wireBytes)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// packedInts encodes a repeated integer field in packed form.
+func (p *protoBuf) packedInts(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// strTab interns strings into the profile string table (index 0 is "").
+type strTab struct {
+	idx map[string]int64
+	tab []string
+}
+
+func newStrTab() *strTab {
+	return &strTab{idx: map[string]int64{"": 0}, tab: []string{""}}
+}
+
+func (t *strTab) id(s string) int64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int64(len(t.tab))
+	t.tab = append(t.tab, s)
+	t.idx[s] = i
+	return i
+}
+
+// WritePprof serializes the report as a gzipped pprof profile with sample
+// types events/count and cpu/nanoseconds. timeNanos stamps the profile's
+// wall-clock collection time (pass 0 for a byte-reproducible file). The
+// default sample type is "events", so `go tool pprof -top` ranks by the
+// deterministic counter unless -sample_index=cpu selects wall CPU.
+func (r *Report) WritePprof(w io.Writer, timeNanos int64) error {
+	strs := newStrTab()
+	var prof protoBuf
+
+	valueType := func(field int, typ, unit string) {
+		var vt protoBuf
+		vt.intField(1, strs.id(typ))
+		vt.intField(2, strs.id(unit))
+		prof.bytesField(field, vt.b)
+	}
+	valueType(1, "events", "count")
+	valueType(1, "cpu", "nanoseconds")
+
+	// One shared function+location per distinct frame name (sites and
+	// subsystems); IDs are issued in first-use order, which is
+	// deterministic because r.Sites is sorted.
+	frameIDs := make(map[string]uint64)
+	var frameNames []string
+	frame := func(name string) uint64 {
+		if id, ok := frameIDs[name]; ok {
+			return id
+		}
+		id := uint64(len(frameNames) + 1) // pprof IDs start at 1
+		frameIDs[name] = id
+		frameNames = append(frameNames, name)
+		return id
+	}
+
+	for i := range r.Sites {
+		s := &r.Sites[i]
+		stack := []uint64{frame(s.Site)}
+		if s.Subsystem != "" && s.Subsystem != s.Site {
+			stack = append(stack, frame(s.Subsystem))
+		}
+		var sm protoBuf
+		sm.packedInts(1, stack)
+		var vals protoBuf
+		vals.varint(s.Events)
+		vals.varint(uint64(s.CPUNanos))
+		sm.bytesField(2, vals.b)
+		prof.bytesField(2, sm.b)
+	}
+
+	filename := strs.id("(virtual-time)")
+	for i, name := range frameNames {
+		id := uint64(i + 1)
+		nameIdx := strs.id(name)
+
+		var fn protoBuf
+		fn.uintField(1, id)
+		fn.intField(2, nameIdx)
+		fn.intField(3, nameIdx)
+		fn.intField(4, filename)
+		prof.bytesField(5, fn.b)
+
+		var line protoBuf
+		line.uintField(1, id)
+		var loc protoBuf
+		loc.uintField(1, id)
+		loc.bytesField(4, line.b)
+		prof.bytesField(4, loc.b)
+	}
+
+	prof.intField(9, timeNanos)
+	prof.intField(10, r.VirtualNanos)
+	valueType(11, "cpu", "nanoseconds")
+	prof.intField(12, 1)
+	prof.intField(14, strs.id("events"))
+
+	// string_table last: by then every string is interned. Field order is
+	// irrelevant on the wire.
+	for _, s := range strs.tab {
+		prof.strField(6, s)
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(prof.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// protoReader walks a protobuf message.
+type protoReader struct {
+	b   []byte
+	pos int
+}
+
+func (p *protoReader) done() bool { return p.pos >= len(p.b) }
+
+func (p *protoReader) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if p.pos >= len(p.b) {
+			return 0, errors.New("vprof: truncated varint")
+		}
+		c := p.b[p.pos]
+		p.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, errors.New("vprof: varint overflow")
+		}
+	}
+}
+
+// field reads the next tag and, for length-delimited fields, the payload.
+// Scalar fields return their varint value in num.
+func (p *protoReader) field() (fieldNum int, num uint64, payload []byte, err error) {
+	tag, err := p.varint()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	fieldNum = int(tag >> 3)
+	switch wire := int(tag & 7); wire {
+	case wireVarint:
+		num, err = p.varint()
+	case wireBytes:
+		var n uint64
+		n, err = p.varint()
+		if err == nil {
+			if uint64(len(p.b)-p.pos) < n {
+				return 0, 0, nil, errors.New("vprof: truncated field")
+			}
+			payload = p.b[p.pos : p.pos+int(n)]
+			p.pos += int(n)
+		}
+	case wireFixed64:
+		if len(p.b)-p.pos < 8 {
+			return 0, 0, nil, errors.New("vprof: truncated fixed64")
+		}
+		p.pos += 8
+	case wireFixed32:
+		if len(p.b)-p.pos < 4 {
+			return 0, 0, nil, errors.New("vprof: truncated fixed32")
+		}
+		p.pos += 4
+	default:
+		return 0, 0, nil, fmt.Errorf("vprof: unsupported wire type %d", wire)
+	}
+	return fieldNum, num, payload, err
+}
+
+// repeatedInts appends a repeated integer field's occurrence: packed
+// payloads decode every element, scalar occurrences append one.
+func repeatedInts(dst []uint64, num uint64, payload []byte) ([]uint64, error) {
+	if payload == nil {
+		return append(dst, num), nil
+	}
+	pr := protoReader{b: payload}
+	for !pr.done() {
+		v, err := pr.varint()
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// ParsePprof reads a (gzipped or raw) profile.proto written by WritePprof
+// — or any pprof profile using the same subset — back into a Report.
+// Samples aggregate by leaf-frame name; gap histograms are not
+// representable in pprof and come back empty.
+func ParsePprof(rd io.Reader) (*Report, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		gz, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		if data, err = io.ReadAll(gz); err != nil {
+			return nil, err
+		}
+		if err := gz.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	type sampleRec struct {
+		locs []uint64
+		vals []uint64
+	}
+	var (
+		strTab   []string
+		types    [][2]uint64 // (type idx, unit idx)
+		samples  []sampleRec
+		locFunc  = make(map[uint64]uint64) // location id -> leaf function id
+		funcName = make(map[uint64]uint64) // function id -> name idx
+		duration int64
+	)
+
+	pr := protoReader{b: data}
+	for !pr.done() {
+		f, num, payload, err := pr.field()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1: // sample_type
+			var typ, unit uint64
+			vt := protoReader{b: payload}
+			for !vt.done() {
+				vf, vnum, _, err := vt.field()
+				if err != nil {
+					return nil, err
+				}
+				switch vf {
+				case 1:
+					typ = vnum
+				case 2:
+					unit = vnum
+				}
+			}
+			types = append(types, [2]uint64{typ, unit})
+		case 2: // sample
+			var rec sampleRec
+			sm := protoReader{b: payload}
+			for !sm.done() {
+				sf, snum, spay, err := sm.field()
+				if err != nil {
+					return nil, err
+				}
+				switch sf {
+				case 1:
+					if rec.locs, err = repeatedInts(rec.locs, snum, spay); err != nil {
+						return nil, err
+					}
+				case 2:
+					if rec.vals, err = repeatedInts(rec.vals, snum, spay); err != nil {
+						return nil, err
+					}
+				}
+			}
+			samples = append(samples, rec)
+		case 4: // location
+			var id, fnID uint64
+			lm := protoReader{b: payload}
+			for !lm.done() {
+				lf, lnum, lpay, err := lm.field()
+				if err != nil {
+					return nil, err
+				}
+				switch lf {
+				case 1:
+					id = lnum
+				case 4:
+					if fnID == 0 { // first Line is the leaf-most
+						ln := protoReader{b: lpay}
+						for !ln.done() {
+							lnf, lnnum, _, err := ln.field()
+							if err != nil {
+								return nil, err
+							}
+							if lnf == 1 {
+								fnID = lnnum
+							}
+						}
+					}
+				}
+			}
+			locFunc[id] = fnID
+		case 5: // function
+			var id, name uint64
+			fm := protoReader{b: payload}
+			for !fm.done() {
+				ff, fnum, _, err := fm.field()
+				if err != nil {
+					return nil, err
+				}
+				switch ff {
+				case 1:
+					id = fnum
+				case 2:
+					name = fnum
+				}
+			}
+			funcName[id] = name
+		case 6: // string_table
+			strTab = append(strTab, string(payload))
+		case 10: // duration_nanos
+			duration = int64(num)
+		}
+	}
+
+	nameAt := func(idx uint64) string {
+		if idx < uint64(len(strTab)) {
+			return strTab[idx]
+		}
+		return ""
+	}
+	eventsIdx, cpuIdx := -1, -1
+	for i, t := range types {
+		switch nameAt(t[0]) {
+		case "events":
+			eventsIdx = i
+		case "cpu":
+			cpuIdx = i
+		}
+	}
+	if eventsIdx < 0 {
+		return nil, errors.New("vprof: profile has no events/count sample type")
+	}
+
+	byName := make(map[string]*SiteReport)
+	var order []string
+	for _, rec := range samples {
+		if len(rec.locs) == 0 {
+			continue
+		}
+		name := nameAt(funcName[locFunc[rec.locs[0]]])
+		if name == "" {
+			name = Unlabeled
+		}
+		sr := byName[name]
+		if sr == nil {
+			sr = &SiteReport{Site: name, Subsystem: subsystemOf(name)}
+			byName[name] = sr
+			order = append(order, name)
+		}
+		if eventsIdx < len(rec.vals) {
+			sr.Events += rec.vals[eventsIdx]
+		}
+		if cpuIdx >= 0 && cpuIdx < len(rec.vals) {
+			sr.CPUNanos += int64(rec.vals[cpuIdx])
+		}
+	}
+	sort.Strings(order)
+	r := &Report{VirtualNanos: duration}
+	for _, name := range order {
+		r.Sites = append(r.Sites, *byName[name])
+		r.TotalEvents += byName[name].Events
+	}
+	r.sortAndDerive()
+	return r, nil
+}

@@ -1,0 +1,132 @@
+// Package vprof is the virtual-time profiler: it attributes scheduler
+// events, virtual-time spans, and wall CPU to named scheduling sites
+// (simtime.SiteID labels like "netem.deliver" or "vca/recovery.scan").
+//
+// The profiler is a simtime.Probe. Like telemetry tracers and fleet
+// monitors it observes but never steers: attaching one changes no event
+// order, no row bytes, and a nil/absent profiler leaves the scheduler's
+// dispatch path allocation-free.
+//
+// Its output splits along the determinism boundary:
+//
+//   - Deterministic counters — events fired per site, a log2 histogram of
+//     inter-fire virtual-time gaps, events per virtual second — depend only
+//     on the seed. They serialize as byte-stable JSONL (WriteJSONL) that is
+//     golden-testable and worker-count-invariant.
+//   - Wall-clock CPU attribution — nanoseconds spent inside each site's
+//     callbacks, measured with time.Now around every probed event — is
+//     explicitly non-deterministic. It never enters the JSONL report; it is
+//     exported only through the pprof profile (WritePprof) and merge
+//     summaries, which are provenance artifacts, not goldens.
+package vprof
+
+import (
+	"math/bits"
+	"time"
+
+	"telepresence/internal/simtime"
+)
+
+// gapBuckets is the number of log2 inter-fire-gap buckets: bucket k counts
+// gaps g with bits.Len64(g) == k, i.e. 2^(k-1) <= g < 2^k nanoseconds
+// (bucket 0 counts zero-length gaps). 64 buckets cover every int64 gap.
+const gapBuckets = 64
+
+// siteStats accumulates one site's counters. Everything except cpuNanos is
+// a pure function of the event stream (deterministic).
+type siteStats struct {
+	events   uint64
+	last     simtime.Time
+	fired    bool
+	cpuNanos int64
+	gaps     [gapBuckets]uint64
+}
+
+// Profiler aggregates per-site profiles for one scheduler. It implements
+// simtime.Probe; install it with Attach. The zero value is not usable —
+// construct with New. Profilers are single-threaded, like the schedulers
+// they observe.
+type Profiler struct {
+	sched   *simtime.Scheduler
+	sites   []siteStats // indexed by SiteID; grown on demand
+	started time.Time   // wall-clock start of the event in flight
+}
+
+// New returns an idle profiler. Attach it to a scheduler before running.
+func New() *Profiler { return &Profiler{} }
+
+// Attach installs p as sched's probe. Attach before wiring subsystems so
+// every event is observed; attaching mid-run only misses past events.
+func (p *Profiler) Attach(sched *simtime.Scheduler) {
+	p.sched = sched
+	sched.SetProbe(p)
+}
+
+// EventStart implements simtime.Probe: it counts the firing, buckets the
+// virtual-time gap since the site's previous firing, and starts the
+// wall-clock timer for CPU attribution.
+func (p *Profiler) EventStart(site simtime.SiteID, now simtime.Time) {
+	for int(site) >= len(p.sites) {
+		p.sites = append(p.sites, siteStats{})
+	}
+	st := &p.sites[site]
+	st.events++
+	if st.fired {
+		gap := uint64(now - st.last)
+		k := bits.Len64(gap)
+		if k >= gapBuckets {
+			k = gapBuckets - 1
+		}
+		st.gaps[k]++
+	}
+	st.last = now
+	st.fired = true
+	p.started = time.Now()
+}
+
+// EventEnd implements simtime.Probe: it charges the event's wall-clock
+// duration to the site. Events never nest (simtime's Step is not
+// re-entrant), so one in-flight timestamp suffices.
+func (p *Profiler) EventEnd(site simtime.SiteID) {
+	p.sites[site].cpuNanos += time.Since(p.started).Nanoseconds()
+}
+
+// Report snapshots the profile. Site names come from the attached
+// scheduler's intern table; the unlabeled site reports as "(unlabeled)".
+// The report's virtual duration is the scheduler's current Now, so
+// events-per-virtual-second is well-defined whenever the snapshot is taken
+// after the run.
+func (p *Profiler) Report() *Report {
+	r := &Report{}
+	if p.sched != nil {
+		r.VirtualNanos = int64(p.sched.Now())
+	}
+	for id := range p.sites {
+		st := &p.sites[id]
+		if st.events == 0 {
+			continue
+		}
+		name := ""
+		if p.sched != nil {
+			name = p.sched.SiteName(simtime.SiteID(id))
+		}
+		if name == "" {
+			name = Unlabeled
+		}
+		sr := SiteReport{
+			Site:      name,
+			Subsystem: subsystemOf(name),
+			Events:    st.events,
+			CPUNanos:  st.cpuNanos,
+		}
+		for k, c := range st.gaps {
+			if c != 0 {
+				sr.Gaps = append(sr.Gaps, GapBucket{LtNanos: bucketLtNanos(k), Count: c})
+			}
+		}
+		r.Sites = append(r.Sites, sr)
+		r.TotalEvents += st.events
+	}
+	r.sortAndDerive()
+	return r
+}

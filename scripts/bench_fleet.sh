@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bench_fleet.sh — run the fleet benchmarks and emit BENCH_fleet.json, the
 # perf-trajectory record future PRs compare against. Each run also appends
-# one {commit, date, rows_per_sec} line to BENCH_history.jsonl, the
-# append-only throughput timeline across commits.
+# one {commit, date, rows_per_sec, hot_sites} line to BENCH_history.jsonl,
+# the append-only throughput timeline across commits (hot_sites is the
+# top-3 scheduling-site ranking from a short profiled sweep).
 #
 # Usage: scripts/bench_fleet.sh [output.json]
 #
@@ -38,6 +39,19 @@ echo "vplint ./... took ${vplint_s}s" >&2
 go test -run NONE \
   -bench 'BenchmarkFleetSuiteSequential$|BenchmarkFleetSuiteSequentialCheckpoint$|BenchmarkFleetKeypoints8RepsSequential$' \
   -benchtime=1x -benchmem -count=1 . | tee "$raw" >&2
+
+# Profile a short sweep and record its top-3 hot scheduling sites: the
+# history line then shows where virtual-time budget goes, commit over
+# commit, next to how fast the fleet chews through rows. The counters are
+# deterministic (seed-derived), so hot-site drift in the timeline means a
+# real behavior change, not measurement noise.
+profdir="$(mktemp -d)"
+trap 'rm -f "$raw"; rm -rf "$profdir"' EXIT
+go run ./cmd/vpfleet sweep burstloss -axis loss_bad=0.3,0.6 \
+  -vprof "$profdir" -out "$profdir/out" >&2
+hot_sites="$(go run ./cmd/vpfleet prof top -n 3 "$profdir/merged.vprof.jsonl" \
+  | awk 'NR > 2 { printf "%s{\"site\":\"%s\",\"events\":%s}", sep, $1, $2; sep = "," }')"
+echo "hot sites: $hot_sites" >&2
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     -v cpus="$cpus" -v gomaxprocs="$gomaxprocs" -v bench_workers="$bench_workers" '
@@ -86,10 +100,10 @@ rps="$(awk '/"benchmark":"BenchmarkFleetSuiteSequential"/ {
         print substr($0, RSTART + 15, RLENGTH - 15)
 }' "$out")"
 if [ -n "$rps" ]; then
-  printf '{"commit":"%s","date":"%s","rows_per_sec":%s,"vplint_seconds":%s,"cpus":%s,"gomaxprocs":%s,"bench_workers":%s}\n' \
+  printf '{"commit":"%s","date":"%s","rows_per_sec":%s,"vplint_seconds":%s,"cpus":%s,"gomaxprocs":%s,"bench_workers":%s,"hot_sites":[%s]}\n' \
     "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$rps" "$vplint_s" \
-    "$cpus" "$gomaxprocs" "$bench_workers" >> "$history"
+    "$cpus" "$gomaxprocs" "$bench_workers" "$hot_sites" >> "$history"
   echo "appended rows/sec to $history" >&2
 else
   echo "warning: no rows/sec in $out; $history not updated" >&2

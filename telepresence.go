@@ -33,6 +33,7 @@ import (
 	"telepresence/internal/stats"
 	"telepresence/internal/telemetry"
 	"telepresence/internal/vca"
+	"telepresence/internal/vprof"
 )
 
 // Version identifies the release of this framework.
@@ -158,6 +159,48 @@ var (
 	ValidateTraceLine = telemetry.ValidateLine
 	// TraceSchemaDoc renders the event schema as a sorted listing.
 	TraceSchemaDoc = telemetry.SchemaDoc
+)
+
+// Virtual-time profiling (internal/vprof): per-site scheduler attribution
+// (SessionConfig.Prof, Options.ProfDir). A nil profiler is provably inert;
+// an attached one observes but never steers, so rows stay byte-identical.
+// Deterministic counters export as byte-stable JSONL; pprof exports
+// additionally carry wall-CPU attribution and open with `go tool pprof`.
+type (
+	// VProfiler attributes scheduler events to named sites
+	// (SessionConfig.Prof).
+	VProfiler = vprof.Profiler
+	// VProfReport is a profile snapshot: per-site counters over a virtual
+	// duration.
+	VProfReport = vprof.Report
+	// VProfSiteReport is one scheduling site's aggregated profile.
+	VProfSiteReport = vprof.SiteReport
+	// FleetHotSite is one entry of a manifest's hot_sites ranking.
+	FleetHotSite = fleet.HotSite
+)
+
+// Virtual-time profiling entry points.
+var (
+	// NewVProfiler returns an idle profiler; attach via SessionConfig.Prof.
+	NewVProfiler = vprof.New
+	// ParseVProfReport reads a deterministic JSONL site report.
+	ParseVProfReport = vprof.ParseReport
+	// ParseVProfPprof reads a (gzipped or raw) pprof profile back into a
+	// report.
+	ParseVProfPprof = vprof.ParsePprof
+	// MergeVProfReports sums reports site-by-site, keyed on site name.
+	MergeVProfReports = vprof.Merge
+	// FleetMergeProfiles merges a run's per-unit profiles into run-level
+	// artifacts and returns the manifest hot-site ranking.
+	FleetMergeProfiles = fleet.MergeProfiles
+)
+
+// Profile artifact names: per-cell suffixes and the run-level merges.
+const (
+	ProfJSONLSuffix      = core.ProfJSONLSuffix
+	ProfPprofSuffix      = core.ProfPprofSuffix
+	FleetMergedProfJSONL = fleet.MergedProfJSONL
+	FleetMergedProfPprof = fleet.MergedProfPprof
 )
 
 // NewSession plans (per the paper's §4.1 matrix) and wires a session.
